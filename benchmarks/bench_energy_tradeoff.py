@@ -1,0 +1,82 @@
+"""Sec. 1 / Sec. 5.4 — the accuracy / energy trade-off and Pareto frontier.
+
+Combines the RErr-vs-p curves of the model suite with the voltage/energy
+model of Fig. 1 to answer the paper's headline question: how much SRAM energy
+can be saved while keeping the increase in (robust) test error below a
+budget?  The paper reports ~20% savings within 1% extra error (8 bit) and
+~30% when combined with 4-bit precision.
+"""
+
+from conftest import EVAL_RATES, print_table, rerr_percent
+from repro.biterror import VoltageModel
+from repro.eval import energy_report, pareto_frontier
+from repro.utils.tables import Table
+
+ERROR_BUDGET = 5.0  # percentage points of extra RErr allowed at this scale
+
+
+def build_operating_points(model_suite, test, fields8, fields4, voltage_model):
+    points = []
+    for key, fields, precision in (
+        ("rquant", fields8, 8),
+        ("clipping", fields8, 8),
+        ("randbet", fields8, 8),
+        ("randbet_4bit", fields4, 4),
+    ):
+        trained = model_suite[key]
+        for rate in EVAL_RATES:
+            rerr = rerr_percent(trained, test, rate, fields)
+            report = energy_report(rate, precision=precision, voltage_model=voltage_model)
+            points.append(
+                {
+                    "model": trained.name,
+                    "bit_error_rate": rate,
+                    "robust_error": rerr,
+                    "energy": report.total_energy,
+                    "saving": report.saving,
+                }
+            )
+    return points
+
+
+def test_energy_tradeoff_and_pareto_frontier(
+    benchmark, model_suite, cifar_task, error_fields_8bit, error_fields_4bit
+):
+    _, test = cifar_task
+    voltage_model = VoltageModel()
+
+    points = benchmark.pedantic(
+        lambda: build_operating_points(
+            model_suite, test, error_fields_8bit, error_fields_4bit, voltage_model
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    frontier = pareto_frontier(points)
+
+    table = Table(
+        title="Energy trade-off: Pareto-optimal operating points (RErr vs. energy)",
+        headers=["model", "p (%)", "RErr (%)", "energy (rel.)", "saving (%)"],
+    )
+    for point in frontier:
+        table.add_row(
+            point["model"], 100.0 * point["bit_error_rate"], point["robust_error"],
+            point["energy"], 100.0 * point["saving"],
+        )
+    print_table(table)
+
+    # The paper's qualitative claim: within a modest RErr budget over the
+    # clean baseline, substantial energy savings are available.
+    baseline = min(p["robust_error"] for p in points if p["bit_error_rate"] == 0.0)
+    affordable = [p for p in points if p["robust_error"] <= baseline + ERROR_BUDGET]
+    best_saving = max(p["saving"] for p in affordable)
+    assert best_saving >= 0.15
+    # The frontier is non-empty and contains no strictly dominated points.
+    assert frontier
+    for point in frontier:
+        strictly_dominated = any(
+            other["robust_error"] < point["robust_error"]
+            and other["energy"] < point["energy"]
+            for other in points
+        )
+        assert not strictly_dominated

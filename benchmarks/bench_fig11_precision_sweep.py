@@ -1,0 +1,73 @@
+"""Fig. 11 / Tables 18–21 — RErr curves across quantization precisions.
+
+Evaluates the clipped model re-quantized at m = 8, 6, 4, 3 bits (post-training)
+plus the dedicated 4-bit RandBET model, at increasing bit error rates.  The
+paper's shape: lower precision increases clean error somewhat and RErr rises
+earlier, but the robust recipe keeps curves flat well past p = 0.1%.
+"""
+
+from conftest import NUM_ERROR_FIELDS, print_table
+from repro.biterror import make_error_fields
+from repro.eval import evaluate_robust_error
+from repro.quant import FixedPointQuantizer, rquant
+from repro.utils.tables import Table
+
+RATES = [0.0, 0.005, 0.01]
+PRECISIONS = [8, 6, 4, 3]
+
+
+def test_fig11_precision_sweep(benchmark, model_suite, cifar_task):
+    _, test = cifar_task
+    clipping = model_suite["clipping"]
+    randbet4 = model_suite["randbet_4bit"]
+    num_weights = clipping.result.quantized_weights.num_weights
+
+    def evaluate():
+        rows = []
+        for precision in PRECISIONS:
+            quantizer = FixedPointQuantizer(rquant(precision))
+            fields = make_error_fields(num_weights, precision, NUM_ERROR_FIELDS, seed=500 + precision)
+            series = [
+                100.0
+                * evaluate_robust_error(
+                    clipping.model, quantizer, test, rate, error_fields=fields
+                ).mean_error
+                for rate in RATES
+            ]
+            rows.append((f"CLIPPING, m={precision}", series))
+        fields4 = make_error_fields(
+            randbet4.result.quantized_weights.num_weights, 4, NUM_ERROR_FIELDS, seed=504
+        )
+        rows.append(
+            (
+                "RANDBET (4-bit QAT), m=4",
+                [
+                    100.0
+                    * evaluate_robust_error(
+                        randbet4.model, randbet4.quantizer, test, rate, error_fields=fields4
+                    ).mean_error
+                    for rate in RATES
+                ],
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = Table(
+        title="Fig. 11: RErr (%) vs. bit error rate for different precisions",
+        headers=["model / precision"] + [f"p={100 * r:g}%" for r in RATES],
+    )
+    for name, series in rows:
+        table.add_row(name, *series)
+    print_table(table)
+
+    by_name = dict(rows)
+    # Clean error (p=0 column) does not improve as precision drops.
+    assert by_name["CLIPPING, m=3"][0] >= by_name["CLIPPING, m=8"][0] - 2.0
+    # Every configuration degrades (weakly) monotonically with p.
+    for name, series in rows:
+        assert series[-1] >= series[0] - 2.0
+    # Dedicated 4-bit robust training is in the same ballpark as (or better
+    # than) post-training 4-bit quantization at the highest rate.
+    assert by_name["RANDBET (4-bit QAT), m=4"][-1] <= by_name["CLIPPING, m=4"][-1] + 6.0

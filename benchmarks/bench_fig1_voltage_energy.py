@@ -1,0 +1,40 @@
+"""Fig. 1 — bit error rate and SRAM access energy vs. supply voltage.
+
+Regenerates the voltage sweep of Fig. 1: the bit error rate grows
+exponentially as the (normalized) supply voltage is reduced below V_min while
+energy per access falls roughly quadratically.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.biterror import VoltageModel
+from repro.utils.tables import Table
+
+
+def test_fig1_voltage_energy_sweep(benchmark):
+    model = VoltageModel()
+    voltages = np.linspace(0.75, 1.0, 11)
+
+    rows = benchmark.pedantic(lambda: model.sweep(voltages), rounds=1, iterations=1)
+
+    table = Table(
+        title="Fig. 1: bit error rate and normalized energy vs. voltage (V/Vmin)",
+        headers=["voltage", "bit error rate (%)", "energy / access"],
+        float_digits=4,
+    )
+    for row in rows:
+        table.add_row(row["voltage"], 100.0 * row["bit_error_rate"], row["energy"])
+    print_table(table)
+
+    rates = [row["bit_error_rate"] for row in rows]
+    energies = [row["energy"] for row in rows]
+    # Shape checks: rate decreases and energy increases with voltage.
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    assert all(a <= b for a, b in zip(energies, energies[1:]))
+    # Error-free operation at V_min, several percent of errors at 0.75 V_min.
+    assert rates[-1] == 0.0
+    assert rates[0] > 0.01
+    # Headline numbers of Sec. 1: ~30% saving at p = 1%, ~20% at p = 0.1%.
+    assert 0.2 <= model.energy_saving(0.01) <= 0.4
+    assert 0.1 <= model.energy_saving(0.001) <= 0.3

@@ -1,0 +1,68 @@
+"""Fig. 3 / Fig. 8 / App. C.1 — profiled chip bit error patterns.
+
+Regenerates the statistics the paper reports about its profiled chips: the
+bit error rate at two "voltages" (cell fault rates), the persistence/subset
+property across voltages, the 0-to-1 vs. 1-to-0 flip split, and the column
+alignment that distinguishes chip 2 from chip 1.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.utils.tables import Table
+
+LOW_RATE = 0.0086  # chip 1's higher-voltage operating point in the paper (~0.86%)
+HIGH_RATE = 0.0275  # chip 1's lower-voltage operating point (~2.75%)
+
+
+def chip_statistics(chips):
+    rows = []
+    for name, chip in chips.items():
+        low_map = chip.fault_map(LOW_RATE)
+        high_map = chip.fault_map(HIGH_RATE)
+        p_0to1, p_1to0 = high_map.flip_direction_rates()
+        subset = bool(np.all(high_map.faulty[low_map.faulty]))
+        column_var = float(np.var(chip.column_fault_counts(HIGH_RATE)))
+        rows.append(
+            {
+                "chip": name,
+                "p_low": 100.0 * low_map.empirical_rate(),
+                "p_high": 100.0 * high_map.empirical_rate(),
+                "p_0to1": 100.0 * p_0to1,
+                "p_1to0": 100.0 * p_1to0,
+                "subset": subset,
+                "column_var": column_var,
+            }
+        )
+    return rows
+
+
+def test_fig3_chip_error_patterns(benchmark, profiled_chips):
+    rows = benchmark.pedantic(lambda: chip_statistics(profiled_chips), rounds=1, iterations=1)
+
+    table = Table(
+        title="Fig. 3 / Fig. 8: simulated profiled chips",
+        headers=[
+            "chip", "p low V (%)", "p high V (%)", "p 0-to-1 (%)", "p 1-to-0 (%)",
+            "subset across V", "column variance",
+        ],
+        float_digits=3,
+    )
+    for row in rows:
+        table.add_row(
+            row["chip"], row["p_low"], row["p_high"], row["p_0to1"], row["p_1to0"],
+            str(row["subset"]), row["column_var"],
+        )
+    print_table(table)
+
+    by_chip = {row["chip"]: row for row in rows}
+    # Rates match the requested fault rates.
+    for row in rows:
+        assert abs(row["p_low"] - 100 * LOW_RATE) < 0.1
+        assert abs(row["p_high"] - 100 * HIGH_RATE) < 0.1
+        # Persistence: higher-voltage errors are a subset of lower-voltage errors.
+        assert row["subset"]
+    # Chip 2 is biased towards 0-to-1 flips and strongly column aligned,
+    # chip 1 is balanced and uniform (Fig. 3 / Fig. 8).
+    assert by_chip["chip2"]["p_0to1"] > by_chip["chip2"]["p_1to0"]
+    assert by_chip["chip2"]["column_var"] > 2 * by_chip["chip1"]["column_var"]

@@ -1,0 +1,86 @@
+"""Fig. 4 — the weight error distribution induced by random bit errors.
+
+For each quantization scheme, injects bit errors at p = 2.5% into the trained
+weights and reports the maximum and mean absolute weight error.  The paper's
+observations: with per-layer asymmetric quantization the worst-case error is
+bounded by the (smaller) per-layer range; with clipping the *absolute* errors
+shrink further but the errors *relative to w_max* do not — clipping does not
+trivially help by scaling.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.biterror import inject_into_quantized
+from repro.quant import FixedPointQuantizer, normal_quantization, global_quantization, rquant
+from repro.quant.qat import model_weight_arrays, quantize_model
+from repro.utils.tables import Table
+
+RATE = 0.025
+NUM_DRAWS = 5
+
+
+def weight_error_statistics(model, quantizer, rng):
+    quantized = quantize_model(model, quantizer)
+    clean = np.concatenate([w.reshape(-1) for w in quantizer.dequantize(quantized)])
+    max_abs_weight = float(np.abs(clean).max())
+    abs_errors = []
+    for _ in range(NUM_DRAWS):
+        corrupted = inject_into_quantized(quantized, RATE, rng)
+        perturbed = np.concatenate([w.reshape(-1) for w in quantizer.dequantize(corrupted)])
+        abs_errors.append(np.abs(perturbed - clean))
+    abs_errors = np.stack(abs_errors)
+    return {
+        "max_abs_error": float(abs_errors.max()),
+        "mean_abs_error": float(abs_errors.mean()),
+        "mean_relative_error": float(abs_errors.mean() / max_abs_weight),
+        "max_abs_weight": max_abs_weight,
+    }
+
+
+def test_fig4_quantization_and_bit_errors(benchmark, model_suite):
+    rquant_model = model_suite["rquant"]
+    clipping_model = model_suite["clipping"]
+    rng = np.random.default_rng(2024)
+
+    def evaluate():
+        rows = []
+        schemes = [
+            ("global, q_max = max|w|", rquant_model, FixedPointQuantizer(global_quantization(8))),
+            ("per-layer (NORMAL)", rquant_model, FixedPointQuantizer(normal_quantization(8))),
+            ("per-layer asymmetric (RQUANT)", rquant_model, FixedPointQuantizer(rquant(8))),
+            ("RQUANT + CLIPPING (trained)", clipping_model, clipping_model.quantizer),
+        ]
+        for name, trained, quantizer in schemes:
+            stats = weight_error_statistics(trained.model, quantizer, rng)
+            rows.append((name, stats))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = Table(
+        title=f"Fig. 4: weight errors under p = {100 * RATE:g}% bit errors",
+        headers=["scheme", "max |w|", "max abs error", "mean abs error", "mean rel. error"],
+        float_digits=4,
+    )
+    for name, stats in rows:
+        table.add_row(
+            name, stats["max_abs_weight"], stats["max_abs_error"],
+            stats["mean_abs_error"], stats["mean_relative_error"],
+        )
+    print_table(table)
+
+    stats = dict(rows)
+    # Global quantization has the largest worst-case error (range spans the
+    # whole model); per-layer asymmetric reduces it.
+    assert stats["per-layer asymmetric (RQUANT)"]["max_abs_error"] <= stats[
+        "global, q_max = max|w|"
+    ]["max_abs_error"] + 1e-9
+    # Clipping shrinks the absolute errors (weights are smaller)...
+    assert stats["RQUANT + CLIPPING (trained)"]["mean_abs_error"] <= stats[
+        "per-layer asymmetric (RQUANT)"
+    ]["mean_abs_error"] + 1e-9
+    # ...but not the errors relative to the maximum weight (Sec. 4.2).
+    assert stats["RQUANT + CLIPPING (trained)"]["mean_relative_error"] >= 0.5 * stats[
+        "per-layer asymmetric (RQUANT)"
+    ]["mean_relative_error"]

@@ -1,0 +1,75 @@
+"""Fig. 6 / Fig. 10 — why clipping helps: confidences, logits and redundancy.
+
+Reports, for RQuant, Clipping and RandBET: the clean and perturbed average
+confidence, the logit magnitudes, and the redundancy metrics of Fig. 10
+(relative absolute weight error under bit errors, weight relevance, ReLU
+relevance).  The paper's shape: the clipped model keeps high clean
+confidences, loses much less confidence under bit errors, and uses its
+weights more uniformly (higher weight relevance).
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.biterror import inject_into_quantized
+from repro.eval import confidence_statistics, redundancy_metrics
+from repro.quant.qat import quantize_model
+from repro.utils.tables import Table
+
+RATE = 0.01
+
+
+def evaluate_models(model_suite, test):
+    rows = []
+    rng = np.random.default_rng(99)
+    for key in ("rquant", "clipping", "randbet"):
+        trained = model_suite[key]
+        quantized = quantize_model(trained.model, trained.quantizer)
+        corrupted = inject_into_quantized(quantized, RATE, rng)
+        perturbed_weights = trained.quantizer.dequantize(corrupted)
+        confidence = confidence_statistics(
+            trained.model, trained.quantizer, test, perturbed_weights=perturbed_weights
+        )
+        redundancy = redundancy_metrics(
+            trained.model, trained.quantizer, test, bit_error_rate=RATE, num_samples=3
+        )
+        rows.append((trained.name, confidence, redundancy))
+    return rows
+
+
+def test_fig6_confidences_and_redundancy(benchmark, model_suite, cifar_task):
+    _, test = cifar_task
+    rows = benchmark.pedantic(lambda: evaluate_models(model_suite, test), rounds=1, iterations=1)
+
+    table = Table(
+        title=f"Fig. 6 / Fig. 10: confidences and redundancy (p = {100 * RATE:g}%)",
+        headers=[
+            "model", "conf clean (%)", "conf perturbed (%)", "mean max logit",
+            "rel. abs error", "weight relevance", "ReLU relevance",
+        ],
+        float_digits=3,
+    )
+    for name, confidence, redundancy in rows:
+        table.add_row(
+            name,
+            100.0 * confidence["confidence_clean"],
+            100.0 * confidence["confidence_perturbed"],
+            confidence["clean_mean_max_logit"],
+            redundancy["relative_abs_error"],
+            redundancy["weight_relevance"],
+            redundancy["relu_relevance"],
+        )
+    print_table(table)
+
+    by_name = {name: (conf, red) for name, conf, red in rows}
+    names = list(by_name)
+    rquant_conf, rquant_red = by_name[names[0]]
+    clipping_conf, clipping_red = by_name[names[1]]
+    # The clipped model still produces usable clean confidences (well above
+    # the 10-class chance level of 0.1; the absolute level is lower than the
+    # paper's because the benchmark model is tiny).
+    assert clipping_conf["confidence_clean"] > 0.3
+    # Clipping loses no more confidence under bit errors than RQuant.
+    assert clipping_conf["confidence_gap"] <= rquant_conf["confidence_gap"] + 0.1
+    # Clipping spreads the weight distribution: higher weight relevance.
+    assert clipping_red["weight_relevance"] >= rquant_red["weight_relevance"] - 0.02

@@ -1,0 +1,48 @@
+"""Fig. 9 — weight clipping also improves robustness to random L-inf weight noise.
+
+Evaluates RErr under uniform random noise bounded relative to each tensor's
+weight range, for the unclipped (RQuant) and clipped models.  The paper's
+shape: RErr grows with the noise magnitude and the clipped model degrades
+more slowly.
+"""
+
+from conftest import print_table
+from repro.eval import evaluate_linf_robustness
+from repro.utils.tables import Table
+
+MAGNITUDES = [0.0, 0.02, 0.05, 0.1]
+
+
+def test_fig9_linf_weight_noise(benchmark, model_suite, cifar_task):
+    _, test = cifar_task
+    rquant = model_suite["rquant"]
+    clipping = model_suite["clipping"]
+
+    def evaluate():
+        return {
+            "RQUANT": evaluate_linf_robustness(
+                rquant.model, rquant.quantizer, test, MAGNITUDES, num_samples=4, seed=3
+            ),
+            "CLIPPING": evaluate_linf_robustness(
+                clipping.model, clipping.quantizer, test, MAGNITUDES, num_samples=4, seed=3
+            ),
+        }
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = Table(
+        title="Fig. 9: RErr (%) under relative L-inf weight noise",
+        headers=["model"] + [f"{100 * m:g}%" for m in MAGNITUDES],
+    )
+    for name, rows in results.items():
+        table.add_row(name, *[100.0 * row["mean_error"] for row in rows])
+    print_table(table)
+
+    rquant_series = [row["mean_error"] for row in results["RQUANT"]]
+    clipping_series = [row["mean_error"] for row in results["CLIPPING"]]
+    # Error grows (weakly) with the noise magnitude.
+    assert rquant_series[-1] >= rquant_series[0] - 0.02
+    assert clipping_series[-1] >= clipping_series[0] - 0.02
+    # The clipped model degrades no faster than the unclipped one at the
+    # largest magnitude.
+    assert clipping_series[-1] <= rquant_series[-1] + 0.05

@@ -1,0 +1,96 @@
+"""Table 14 / App. G.7 — clipping and RandBET also work on residual networks.
+
+Trains a small ResNet with RQuant only, with clipping, and with clipping +
+RandBET, and compares RErr.  The paper's shape: the recipe transfers to
+ResNet architectures, with RandBET again giving the lowest RErr at the
+highest bit error rate.
+"""
+
+import pytest
+
+from conftest import (
+    BATCH_SIZE,
+    EPOCHS,
+    START_LOSS_THRESHOLD,
+    TRAIN_BIT_ERROR_RATE,
+    print_table,
+    TrainedModel,
+)
+from repro.biterror import make_error_fields
+from repro.core import train_robust_model
+from repro.eval import evaluate_robust_error
+from repro.utils.tables import Table
+
+RATES = [0.005, 0.025]
+RESNET_KWARGS = dict(model_name="resnet", widths=(8, 16), blocks_per_stage=1)
+# The small ResNet has far fewer channels than the SimpleNet used elsewhere,
+# so the clipping bound is relaxed accordingly (the paper likewise tunes
+# w_max per architecture, App. G.7).
+RESNET_CLIP_WMAX = 0.5
+
+
+def train_resnet(cifar_task, name, **kwargs) -> TrainedModel:
+    train, test = cifar_task
+    result = train_robust_model(
+        train, test, epochs=EPOCHS, batch_size=BATCH_SIZE, seed=17,
+        start_loss_threshold=START_LOSS_THRESHOLD, **RESNET_KWARGS, **kwargs
+    )
+    return TrainedModel(name=name, result=result)
+
+
+@pytest.fixture(scope="module")
+def resnet_models(cifar_task):
+    return {
+        "RQUANT": train_resnet(cifar_task, "ResNet RQUANT", clip_w_max=None, bit_error_rate=None),
+        "CLIPPING": train_resnet(
+            cifar_task,
+            f"ResNet CLIPPING {RESNET_CLIP_WMAX}",
+            clip_w_max=RESNET_CLIP_WMAX,
+            bit_error_rate=None,
+        ),
+        # The tiny ResNet trains less stably under injected bit errors than
+        # SimpleNet, so RandBET uses half the training bit error rate here
+        # (the paper likewise picks the training p per architecture).
+        "RANDBET": train_resnet(
+            cifar_task,
+            f"ResNet RANDBET {RESNET_CLIP_WMAX}",
+            clip_w_max=RESNET_CLIP_WMAX,
+            bit_error_rate=TRAIN_BIT_ERROR_RATE / 2,
+        ),
+    }
+
+
+def test_tab14_resnet_robustness(benchmark, resnet_models, cifar_task):
+    _, test = cifar_task
+    num_weights = resnet_models["RQUANT"].result.quantized_weights.num_weights
+    fields = make_error_fields(num_weights, 8, 5, seed=31)
+
+    def evaluate():
+        rows = []
+        for key in ("RQUANT", "CLIPPING", "RANDBET"):
+            trained = resnet_models[key]
+            rerrs = [
+                100.0
+                * evaluate_robust_error(
+                    trained.model, trained.quantizer, test, rate, error_fields=fields
+                ).mean_error
+                for rate in RATES
+            ]
+            rows.append((trained.name, 100.0 * trained.clean_error, rerrs))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = Table(
+        title="Table 14: ResNet — RQuant vs. Clipping vs. RandBET",
+        headers=["model", "Err (%)"] + [f"RErr p={100 * r:g}%" for r in RATES],
+    )
+    for name, clean, rerrs in rows:
+        table.add_row(name, clean, *rerrs)
+    print_table(table)
+
+    results = {name: rerrs for name, _, rerrs in rows}
+    names = [name for name, _, _ in rows]
+    # Shape at the highest rate: robust training does not hurt and usually helps.
+    assert results[names[2]][-1] <= results[names[0]][-1] + 2.0
+    assert results[names[1]][-1] <= results[names[0]][-1] + 2.0

@@ -1,0 +1,56 @@
+"""Table 17 / App. C.2 — probabilistic guarantee and its empirical stress test.
+
+Computes the Prop. 1 deviation bound for the paper's sample sizes and stress
+tests it empirically: the RErr measured with many error patterns should be
+close to the RErr measured with few patterns (well within the bound's
+excess term).
+"""
+
+import numpy as np
+
+from conftest import NUM_ERROR_FIELDS, print_table
+from repro.biterror import make_error_fields
+from repro.eval import deviation_bound, evaluate_robust_error
+from repro.utils.tables import Table
+
+RATE = 0.01
+MANY_FIELDS = 50
+
+
+def test_tab17_guarantee_stress_test(benchmark, model_suite, cifar_task, error_fields_8bit):
+    _, test = cifar_task
+    trained = model_suite["randbet"]
+    num_weights = trained.result.quantized_weights.num_weights
+    many_fields = make_error_fields(num_weights, 8, MANY_FIELDS, seed=606)
+
+    def evaluate():
+        few = evaluate_robust_error(
+            trained.model, trained.quantizer, test, RATE, error_fields=error_fields_8bit
+        )
+        many = evaluate_robust_error(
+            trained.model, trained.quantizer, test, RATE, error_fields=many_fields
+        )
+        return few, many
+
+    few, many = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    bound_paper_scale = deviation_bound(10**4, 10**6, delta=0.01)
+    bound_bench_scale = deviation_bound(len(test), MANY_FIELDS, delta=0.01)
+
+    table = Table(
+        title="Table 17: Prop. 1 guarantee and empirical stress test",
+        headers=["quantity", "value"],
+        float_digits=4,
+    )
+    table.add_row(f"RErr (%) with l={NUM_ERROR_FIELDS} patterns", 100.0 * few.mean_error)
+    table.add_row(f"RErr (%) with l={MANY_FIELDS} patterns", 100.0 * many.mean_error)
+    table.add_row("std (%) with many patterns", 100.0 * many.std_error)
+    table.add_row("Prop. 1 excess (n=1e4, l=1e6, delta=0.01)", bound_paper_scale)
+    table.add_row(f"Prop. 1 excess (n={len(test)}, l={MANY_FIELDS})", bound_bench_scale)
+    print_table(table)
+
+    # The paper quotes ~4.1% excess at its scale.
+    assert abs(bound_paper_scale - 0.041) < 0.01
+    # Empirically, few-pattern and many-pattern estimates agree well within
+    # the (loose, small-n) bound.
+    assert abs(few.mean_error - many.mean_error) <= bound_bench_scale

@@ -1,0 +1,52 @@
+"""Table 4 / Table 12 — RandBET improves robustness beyond clipping.
+
+Evaluates RQuant, Clipping and RandBET (8 and 4 bit) at increasing bit error
+rates.  The paper's shape: for small rates clipping is sufficient, but at the
+highest rates RandBET gives a clear additional reduction in RErr, and the
+effect is more pronounced at 4-bit precision.
+"""
+
+from conftest import print_table, rerr_percent
+from repro.utils.tables import Table
+
+RATES = [0.005, 0.01, 0.025]
+
+
+def test_tab4_randbet(benchmark, model_suite, cifar_task, error_fields_8bit, error_fields_4bit):
+    _, test = cifar_task
+
+    def evaluate():
+        rows = []
+        for key, fields in (
+            ("rquant", error_fields_8bit),
+            ("clipping", error_fields_8bit),
+            ("randbet", error_fields_8bit),
+            ("clipping_4bit", error_fields_4bit),
+            ("randbet_4bit", error_fields_4bit),
+        ):
+            trained = model_suite[key]
+            rerrs = [rerr_percent(trained, test, rate, fields) for rate in RATES]
+            rows.append((trained.name, 100.0 * trained.clean_error, rerrs))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = Table(
+        title="Table 4: RandBET vs. Clipping vs. RQuant (8 and 4 bit)",
+        headers=["model", "Err (%)"] + [f"RErr p={100 * r:g}%" for r in RATES],
+    )
+    for name, clean, rerrs in rows:
+        table.add_row(name, clean, *rerrs)
+    print_table(table)
+
+    by_name = {name: rerrs for name, _, rerrs in rows}
+    names = [name for name, _, _ in rows]
+    rquant_high = by_name[names[0]][-1]
+    clipping_high = by_name[names[1]][-1]
+    randbet_high = by_name[names[2]][-1]
+    # Shape at the highest rate: RQuant >= Clipping >= RandBET (with slack for
+    # the small scale of the benchmark).
+    assert clipping_high <= rquant_high + 2.0
+    assert randbet_high <= clipping_high + 2.0
+    # RandBET clearly beats plain RQuant at the highest rate.
+    assert randbet_high < rquant_high

@@ -1,0 +1,61 @@
+"""Table 5 / Table 15 — RandBET generalizes to (simulated) profiled chips.
+
+The RandBET model, trained only on uniform random bit errors, is evaluated on
+the simulated profiled chips: chip 1 (uniform errors, matching the error
+model) and chip 2 (column-aligned, 0-to-1 biased errors).  The paper's shape:
+RErr stays moderate on both chips — clearly better than the non-robust RQuant
+baseline — even though chip 2's error distribution differs strongly from the
+training distribution.
+"""
+
+from conftest import print_table
+from repro.biterror import LinearMemoryMap
+from repro.eval import evaluate_profiled_error
+from repro.utils.tables import Table
+
+RATES = [0.005, 0.02]
+NUM_OFFSETS = 4
+
+
+def evaluate_chips(model_suite, test, chips):
+    rows = []
+    for chip_name in ("chip1", "chip2"):
+        chip = chips[chip_name]
+        offsets = LinearMemoryMap.with_even_offsets(chip, NUM_OFFSETS).offsets
+        for key in ("rquant", "randbet"):
+            trained = model_suite[key]
+            rerrs = []
+            for rate in RATES:
+                report = evaluate_profiled_error(
+                    trained.model, trained.quantizer, test, chip, rate, offsets=offsets
+                )
+                rerrs.append(100.0 * report.mean_error)
+            rows.append((chip_name, trained.name, rerrs))
+    return rows
+
+
+def test_tab5_profiled_chip_generalization(
+    benchmark, model_suite, cifar_task, profiled_chips
+):
+    _, test = cifar_task
+    rows = benchmark.pedantic(
+        lambda: evaluate_chips(model_suite, test, profiled_chips), rounds=1, iterations=1
+    )
+
+    table = Table(
+        title="Table 5: generalization to simulated profiled chips",
+        headers=["chip", "model"] + [f"RErr p~{100 * r:g}%" for r in RATES],
+    )
+    for chip_name, model_name, rerrs in rows:
+        table.add_row(chip_name, model_name, *rerrs)
+    print_table(table)
+
+    results = {(chip, model): rerrs for chip, model, rerrs in rows}
+    randbet_name = model_suite["randbet"].name
+    rquant_name = model_suite["rquant"].name
+    for chip_name in ("chip1", "chip2"):
+        # RandBET generalizes: no worse than the non-robust baseline at the
+        # highest profiled rate.
+        assert results[(chip_name, randbet_name)][-1] <= results[(chip_name, rquant_name)][-1] + 2.0
+    # RErr grows (weakly) with the profiled rate for the robust model.
+    assert results[("chip1", randbet_name)][0] <= results[("chip1", randbet_name)][-1] + 2.0

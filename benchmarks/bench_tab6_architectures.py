@@ -1,0 +1,58 @@
+"""Table 6 — architectures, number of weights and expected bit errors.
+
+Builds every registered architecture at the benchmark scale and reports the
+total number of weights W and the expected number of flipped bits p*m*W for a
+range of bit error rates, mirroring Table 6 of the paper.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.biterror import expected_bit_errors
+from repro.models import build_model, list_models, model_summary
+from repro.utils.tables import Table
+
+RATES = [0.001, 0.005, 0.01]
+PRECISION = 8
+
+MODEL_KWARGS = {
+    "mlp": dict(in_features=768, num_classes=10, hidden=(64, 64)),
+    "lenet": dict(in_channels=1, num_classes=10, width=8),
+    "simplenet": dict(in_channels=3, num_classes=10, widths=(12, 24), convs_per_stage=1),
+    "resnet": dict(in_channels=3, num_classes=10, widths=(8, 16), blocks_per_stage=1),
+    "wideresnet": dict(in_channels=3, num_classes=10, base_width=4, widen_factor=2),
+}
+
+
+def build_summaries():
+    rows = []
+    for name in list_models():
+        model = build_model(name, rng=np.random.default_rng(0), **MODEL_KWARGS[name])
+        summary = model_summary(model)
+        expected = [
+            expected_bit_errors(summary["num_parameters"], PRECISION, rate)
+            for rate in RATES
+        ]
+        rows.append((name, summary["num_parameters"], expected))
+    return rows
+
+
+def test_tab6_architectures(benchmark):
+    rows = benchmark.pedantic(build_summaries, rounds=1, iterations=1)
+
+    table = Table(
+        title="Table 6: architectures, weight counts and expected bit errors (m=8)",
+        headers=["model", "W (weights)"] + [f"E[#errors] p={100 * r:g}%" for r in RATES],
+        float_digits=0,
+    )
+    for name, num_weights, expected in rows:
+        table.add_row(name, num_weights, *expected)
+    print_table(table)
+
+    counts = {name: n for name, n, _ in rows}
+    # Every architecture builds and has a non-trivial number of weights.
+    assert all(n > 100 for n in counts.values())
+    # Expected error counts scale linearly with the rate.
+    for _, num_weights, expected in rows:
+        assert np.isclose(expected[-1] / expected[0], RATES[-1] / RATES[0])
+        assert np.isclose(expected[0], RATES[0] * PRECISION * num_weights)

@@ -1,0 +1,57 @@
+"""Table 7 — clean accuracy under quantization-aware training at various precisions.
+
+Reports the clean test error of the trained models when their weights are
+quantized to m = 8, 6, 4, 3, 2 bits (post-training re-quantization of the
+8-bit clipping model, plus the dedicated 4-bit trained models).  The paper's
+shape: 8 and 4 bit are essentially free, lower precisions start to cost
+accuracy.
+"""
+
+from conftest import print_table
+from repro.eval import evaluate_clean_error
+from repro.quant import FixedPointQuantizer, rquant
+from repro.utils.tables import Table
+
+PRECISIONS = [8, 6, 4, 3, 2]
+
+
+def test_tab7_clean_error_vs_precision(benchmark, model_suite, cifar_task):
+    _, test = cifar_task
+    clipping = model_suite["clipping"]
+    clipping_4bit = model_suite["clipping_4bit"]
+
+    def evaluate():
+        rows = []
+        for precision in PRECISIONS:
+            quantizer = FixedPointQuantizer(rquant(precision))
+            error = 100.0 * evaluate_clean_error(clipping.model, quantizer, test)
+            rows.append((f"CLIPPING (8-bit trained), m={precision}", error))
+        rows.append(
+            (
+                "CLIPPING (4-bit QAT), m=4",
+                100.0 * evaluate_clean_error(
+                    clipping_4bit.model, clipping_4bit.quantizer, test
+                ),
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = Table(
+        title="Table 7: clean test error vs. quantization precision",
+        headers=["model / precision", "clean Err (%)"],
+    )
+    for name, error in rows:
+        table.add_row(name, error)
+    print_table(table)
+
+    errors = {name: error for name, error in rows}
+    err_8 = errors["CLIPPING (8-bit trained), m=8"]
+    err_4 = errors["CLIPPING (8-bit trained), m=4"]
+    err_2 = errors["CLIPPING (8-bit trained), m=2"]
+    # 8 -> 4 bit costs little; 2 bit costs (weakly) more than 8 bit.
+    assert err_4 <= err_8 + 10.0
+    assert err_2 >= err_8 - 1e-9
+    # Quantization-aware 4-bit training matches or beats post-training 4 bit.
+    assert errors["CLIPPING (4-bit QAT), m=4"] <= err_4 + 5.0

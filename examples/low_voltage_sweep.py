@@ -1,0 +1,106 @@
+"""Low-voltage operating-point sweep (the Fig. 2 / Fig. 7 scenario).
+
+Compares the four training recipes of the paper — Normal quantization,
+RQuant, RQuant + Clipping, and RQuant + Clipping + RandBET — across a sweep
+of bit error rates, and translates each tolerated rate into a supply voltage
+and energy saving using the Fig. 1 model.  This is the analysis a deployer
+would run to pick an operating voltage for a DNN accelerator.
+
+Run with::
+
+    python examples/low_voltage_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.biterror import VoltageModel, make_error_fields
+from repro.core import train_robust_model
+from repro.data import synthetic_cifar10, train_test_split
+from repro.eval import evaluate_robust_error, pareto_frontier
+from repro.quant import FixedPointQuantizer, normal_quantization
+from repro.utils.tables import Table
+
+EVAL_RATES = [0.0, 0.001, 0.005, 0.01, 0.025]
+EPOCHS = 25
+
+
+def train_variants(train, test):
+    """Train the four recipes on the same data and seed."""
+    common = dict(
+        model_name="simplenet", widths=(12, 24), convs_per_stage=1,
+        epochs=EPOCHS, batch_size=16, seed=11,
+    )
+    return {
+        "NORMAL": train_robust_model(
+            train, test, clip_w_max=None, bit_error_rate=None,
+            quantizer=FixedPointQuantizer(normal_quantization(8)), **common,
+        ),
+        "RQUANT": train_robust_model(
+            train, test, clip_w_max=None, bit_error_rate=None, **common
+        ),
+        "CLIPPING": train_robust_model(
+            train, test, clip_w_max=0.25, bit_error_rate=None, **common
+        ),
+        "RANDBET": train_robust_model(
+            train, test, clip_w_max=0.25, bit_error_rate=0.01,
+            start_loss_threshold=0.75, **common
+        ),
+    }
+
+
+def main() -> None:
+    dataset = synthetic_cifar10(samples_per_class=20, image_size=16)
+    train, test = train_test_split(dataset, test_fraction=0.25, rng=np.random.default_rng(0))
+    voltage_model = VoltageModel()
+
+    print("training the four recipes (Normal / RQuant / Clipping / RandBET)...")
+    variants = train_variants(train, test)
+    num_weights = variants["RQUANT"].quantized_weights.num_weights
+    fields = make_error_fields(num_weights, 8, 5, seed=7)
+
+    # RErr curves (Fig. 7).
+    curve_table = Table(
+        title="Robust test error (%) vs. bit error rate",
+        headers=["model"] + [f"p={100 * r:g}%" for r in EVAL_RATES],
+    )
+    operating_points = []
+    for name, result in variants.items():
+        series = []
+        for rate in EVAL_RATES:
+            report = evaluate_robust_error(
+                result.model, result.quantizer, test, rate, error_fields=fields
+            )
+            series.append(100 * report.mean_error)
+            operating_points.append(
+                {
+                    "model": name,
+                    "bit_error_rate": rate,
+                    "robust_error": 100 * report.mean_error,
+                    "energy": voltage_model.energy_for_rate(rate),
+                }
+            )
+        curve_table.add_row(name, *series)
+    print()
+    print(curve_table.render())
+
+    # Voltage / energy interpretation (Fig. 1) and Pareto frontier.
+    frontier = pareto_frontier(operating_points)
+    pareto_table = Table(
+        title="Pareto-optimal operating points",
+        headers=["model", "p (%)", "RErr (%)", "voltage (V/Vmin)", "energy saving (%)"],
+    )
+    for point in frontier:
+        rate = point["bit_error_rate"]
+        pareto_table.add_row(
+            point["model"], 100 * rate, point["robust_error"],
+            min(voltage_model.voltage_for_rate(rate), 1.0),
+            100 * (1.0 - point["energy"]),
+        )
+    print()
+    print(pareto_table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quantization-scheme ablation (the Table 1 experiment as a script).
+
+Shows how seemingly minor implementation details of fixed-point quantization
+— global vs. per-layer ranges, signed vs. unsigned codes, truncation vs.
+rounding — leave clean accuracy untouched but change robustness to random bit
+errors dramatically.  A trained model is re-quantized under every scheme of
+the paper's ablation ladder and evaluated at two bit error rates.
+
+Run with::
+
+    python examples/quantization_ablation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.biterror import make_error_fields
+from repro.core import train_robust_model
+from repro.data import synthetic_cifar10, train_test_split
+from repro.eval import evaluate_clean_error, evaluate_robust_error
+from repro.quant import FixedPointQuantizer, scheme_ladder
+from repro.utils.tables import Table
+
+EVAL_RATES = [0.005, 0.01]
+
+
+def main() -> None:
+    dataset = synthetic_cifar10(samples_per_class=20, image_size=16)
+    train, test = train_test_split(dataset, test_fraction=0.25, rng=np.random.default_rng(0))
+
+    print("training a reference model with robust quantization (RQuant, 8 bit)...")
+    result = train_robust_model(
+        train, test, model_name="simplenet", widths=(12, 24), convs_per_stage=1,
+        precision=8, clip_w_max=None, bit_error_rate=None, epochs=25, batch_size=16, seed=3,
+    )
+    print(result.summary())
+
+    fields = make_error_fields(result.quantized_weights.num_weights, 8, 5, seed=17)
+    table = Table(
+        title="Table 1 ablation: quantization scheme vs. clean error and RErr",
+        headers=["scheme", "clean Err (%)"] + [f"RErr p={100 * r:g}%" for r in EVAL_RATES],
+    )
+    for name, scheme in scheme_ladder(8).items():
+        quantizer = FixedPointQuantizer(scheme)
+        clean = 100 * evaluate_clean_error(result.model, quantizer, test)
+        rerrs = [
+            100
+            * evaluate_robust_error(
+                result.model, quantizer, test, rate, error_fields=fields
+            ).mean_error
+            for rate in EVAL_RATES
+        ]
+        table.add_row(name, clean, *rerrs)
+    print()
+    print(table.render())
+    print(
+        "\nNote how the clean error barely moves while the robust error collapses "
+        "as the scheme becomes more robust — the paper's motivation for treating "
+        "robustness as a first-class criterion in quantizer design."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Low-voltage bit error models.
+
+Implements the paper's random bit error model (Sec. 3) — every bit of every
+quantized weight flips independently with probability ``p``, with the
+"inherited" subset property across voltages — as well as simulated *profiled*
+chips (App. C.1) with fixed spatial fault maps, column alignment and
+flip-direction bias, and the voltage/energy model behind Fig. 1.
+"""
+
+from repro.biterror.random_errors import (
+    BitErrorField,
+    expected_bit_errors,
+    flip_probability_from_counts,
+    inject_into_quantized,
+    inject_random_bit_errors,
+    make_error_fields,
+)
+from repro.biterror.patterns import ChipProfile, FaultMap, make_profiled_chips
+from repro.biterror.voltage import VoltageModel
+from repro.biterror.mapping import LinearMemoryMap
+from repro.biterror.ecc import (
+    SECDEDConfig,
+    apply_secded_to_codes,
+    ecc_energy_overhead,
+    probability_multi_bit_error,
+    residual_bit_error_rate,
+)
+
+__all__ = [
+    "inject_random_bit_errors",
+    "inject_into_quantized",
+    "BitErrorField",
+    "make_error_fields",
+    "expected_bit_errors",
+    "flip_probability_from_counts",
+    "ChipProfile",
+    "FaultMap",
+    "make_profiled_chips",
+    "VoltageModel",
+    "LinearMemoryMap",
+    "SECDEDConfig",
+    "probability_multi_bit_error",
+    "residual_bit_error_rate",
+    "apply_secded_to_codes",
+    "ecc_energy_overhead",
+]

@@ -1,0 +1,61 @@
+"""Weight-to-memory mapping.
+
+The paper assumes quantized weights are mapped *linearly* to memory — the
+most direct mapping, requiring no knowledge of which bit cells are vulnerable
+(in contrast to the vulnerability-aware mapping of Koppula et al.).  To
+simulate many possible placements of the same weights on the same chip,
+evaluation applies a set of starting offsets (App. C.1); this module provides
+that mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.biterror.patterns import ChipProfile
+from repro.quant.fixed_point import QuantizedWeights
+
+__all__ = ["LinearMemoryMap"]
+
+
+class LinearMemoryMap:
+    """Linear placement of quantized weights onto a chip's bit cells.
+
+    Parameters
+    ----------
+    chip:
+        The memory chip the weights are stored on.
+    offsets:
+        Starting bit-cell offsets to evaluate; each offset simulates a
+        different placement of the model in memory.
+    """
+
+    def __init__(self, chip: ChipProfile, offsets: Sequence[int] = (0,)):
+        if not offsets:
+            raise ValueError("at least one offset is required")
+        self.chip = chip
+        self.offsets: List[int] = [int(o) % chip.capacity for o in offsets]
+
+    @classmethod
+    def with_even_offsets(cls, chip: ChipProfile, num_offsets: int) -> "LinearMemoryMap":
+        """Spread ``num_offsets`` placements evenly over the chip capacity."""
+        if num_offsets <= 0:
+            raise ValueError("num_offsets must be positive")
+        step = chip.capacity // num_offsets
+        return cls(chip, offsets=[i * step for i in range(num_offsets)])
+
+    def corrupted_variants(
+        self, quantized: QuantizedWeights, rate: float
+    ) -> Iterator[QuantizedWeights]:
+        """Yield the corrupted weights for every configured offset."""
+        for offset in self.offsets:
+            yield self.chip.apply_to_quantized(quantized, rate, offset=offset)
+
+    def observed_rates(self, quantized: QuantizedWeights, rate: float) -> List[float]:
+        """Observed (payload-dependent) bit error rate per offset."""
+        return [
+            self.chip.observed_bit_error_rate(quantized, rate, offset=offset)
+            for offset in self.offsets
+        ]

@@ -1,0 +1,250 @@
+"""Simulated profiled memory chips (Fig. 3 / Fig. 8 / App. C.1).
+
+A real accelerator chip has a *fixed* spatial distribution of vulnerable bit
+cells determined by process variation.  The paper profiles such chips and
+shows that (a) the error pattern is fixed per chip and voltage, (b) errors at
+a higher voltage are a subset of those at a lower voltage, (c) some chips
+(chip 2) exhibit strongly column-aligned errors biased towards 0-to-1 flips.
+
+This module simulates chips with exactly these properties so the paper's
+generalization experiments (Table 5 / Table 15 / Table 16) can be run without
+access to the proprietary measurement data:
+
+* every bit cell gets a persistent vulnerability score; thresholding the
+  score at different rates yields nested fault sets (subset property),
+* an optional per-column vulnerability factor aligns faults along columns,
+* each faulty cell has a fixed stuck-at direction, so the 1-to-0 / 0-to-1
+  split of Fig. 8 is reproduced and errors only manifest when the stored bit
+  disagrees with the stuck-at value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.quant.fixed_point import QuantizedWeights
+from repro.utils.rng import as_rng
+
+__all__ = ["FaultMap", "ChipProfile", "make_profiled_chips"]
+
+
+@dataclass
+class FaultMap:
+    """The fault set of a chip at one operating voltage.
+
+    Attributes
+    ----------
+    faulty:
+        Boolean array over bit cells (``rows * columns`` flattened); ``True``
+        marks a vulnerable cell at this voltage.
+    stuck_at_one:
+        For faulty cells, the value the cell reads regardless of what was
+        written (``True`` = stuck at 1, i.e. a potential 0-to-1 flip).
+    rate:
+        The nominal cell fault rate the map was generated for.
+    """
+
+    faulty: np.ndarray
+    stuck_at_one: np.ndarray
+    rate: float
+
+    @property
+    def num_cells(self) -> int:
+        return int(self.faulty.size)
+
+    @property
+    def num_faulty(self) -> int:
+        return int(self.faulty.sum())
+
+    def empirical_rate(self) -> float:
+        """Fraction of faulty cells (matches ``rate`` in expectation)."""
+        return self.num_faulty / max(self.num_cells, 1)
+
+    def flip_direction_rates(self) -> Tuple[float, float]:
+        """Return ``(p_0to1, p_1to0)`` — the split reported in App. C.1."""
+        if self.num_cells == 0:
+            return 0.0, 0.0
+        p_0to1 = float((self.faulty & self.stuck_at_one).sum()) / self.num_cells
+        p_1to0 = float((self.faulty & ~self.stuck_at_one).sum()) / self.num_cells
+        return p_0to1, p_1to0
+
+
+class ChipProfile:
+    """A simulated chip with a fixed spatial distribution of vulnerable cells.
+
+    Parameters
+    ----------
+    rows, columns:
+        Memory array geometry; total capacity is ``rows * columns`` bit cells.
+    column_alignment:
+        Strength in ``[0, 1)`` of the column-aligned vulnerability structure
+        (0 reproduces the uniform chip 1, larger values the chip-2 pattern).
+    stuck_at_one_fraction:
+        Fraction of faulty cells stuck at 1 (chip 2 is biased towards 0-to-1
+        flips, i.e. a fraction well above 0.5).
+    seed:
+        Seed of the chip's process variation; the chip is fully determined by
+        its constructor arguments.
+    name:
+        Label used in benchmark tables.
+    """
+
+    def __init__(
+        self,
+        rows: int = 256,
+        columns: int = 128,
+        column_alignment: float = 0.0,
+        stuck_at_one_fraction: float = 0.5,
+        seed: Optional[int] = 0,
+        name: str = "chip",
+    ):
+        if rows <= 0 or columns <= 0:
+            raise ValueError("rows and columns must be positive")
+        if not 0.0 <= column_alignment < 1.0:
+            raise ValueError("column_alignment must be in [0, 1)")
+        if not 0.0 <= stuck_at_one_fraction <= 1.0:
+            raise ValueError("stuck_at_one_fraction must be in [0, 1]")
+        self.rows = rows
+        self.columns = columns
+        self.column_alignment = column_alignment
+        self.stuck_at_one_fraction = stuck_at_one_fraction
+        self.name = name
+        rng = as_rng(seed)
+
+        # Per-cell vulnerability ranks.  Without column structure these are
+        # i.i.d. uniform; with column structure, a per-column factor lowers
+        # the rank of every cell in a vulnerable column so faults cluster.
+        base = rng.random((rows, columns))
+        if column_alignment > 0.0:
+            column_factor = rng.random(columns)
+            scores = (1.0 - column_alignment) * base + column_alignment * column_factor[None, :]
+        else:
+            scores = base
+        # Convert scores to uniform ranks in (0, 1] so that thresholding the
+        # ranks at ``p`` marks exactly a fraction ``p`` of cells as faulty
+        # while preserving the spatial structure and the subset property.
+        order = np.argsort(scores.reshape(-1))
+        ranks = np.empty(order.size, dtype=np.float64)
+        ranks[order] = (np.arange(order.size) + 1.0) / order.size
+        self._ranks = ranks
+        self._stuck_at_one = rng.random(rows * columns) < stuck_at_one_fraction
+
+    @property
+    def capacity(self) -> int:
+        """Number of bit cells on the chip."""
+        return self.rows * self.columns
+
+    def fault_map(self, rate: float) -> FaultMap:
+        """Return the fault map at cell fault rate ``rate`` (in [0, 1])."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        faulty = self._ranks <= rate
+        return FaultMap(faulty=faulty, stuck_at_one=self._stuck_at_one.copy(), rate=rate)
+
+    def fault_grid(self, rate: float) -> np.ndarray:
+        """Fault map reshaped to the ``(rows, columns)`` geometry (for Fig. 3)."""
+        return self.fault_map(rate).faulty.reshape(self.rows, self.columns)
+
+    def column_fault_counts(self, rate: float) -> np.ndarray:
+        """Number of faulty cells per column (quantifies column alignment)."""
+        return self.fault_grid(rate).sum(axis=0)
+
+    def apply_to_bits(
+        self, bits: np.ndarray, rate: float, offset: int = 0
+    ) -> np.ndarray:
+        """Corrupt a flat bit vector stored on this chip.
+
+        ``bits`` is laid out linearly starting at cell ``offset`` (wrapping
+        around the chip capacity), the paper's linear weight-to-memory mapping
+        with configurable offsets used to simulate different mappings.
+        """
+        bits = np.asarray(bits).astype(np.uint8).reshape(-1)
+        fault = self.fault_map(rate)
+        cell_indices = (offset + np.arange(bits.size)) % self.capacity
+        faulty = fault.faulty[cell_indices]
+        stuck_one = fault.stuck_at_one[cell_indices]
+        corrupted = bits.copy()
+        corrupted[faulty & stuck_one] = 1
+        corrupted[faulty & ~stuck_one] = 0
+        return corrupted
+
+    def apply_to_codes(
+        self, codes: np.ndarray, precision: int, rate: float, offset: int = 0
+    ) -> np.ndarray:
+        """Corrupt ``precision``-bit codes stored linearly on this chip."""
+        codes = np.asarray(codes).reshape(-1)
+        bit_positions = np.arange(precision)
+        bits = ((codes[:, None].astype(np.int64) >> bit_positions) & 1).astype(np.uint8)
+        corrupted_bits = self.apply_to_bits(bits.reshape(-1), rate, offset=offset)
+        corrupted_bits = corrupted_bits.reshape(codes.size, precision).astype(np.int64)
+        corrupted = (corrupted_bits << bit_positions).sum(axis=1)
+        return corrupted.astype(codes.dtype)
+
+    def apply_to_quantized(
+        self, quantized: QuantizedWeights, rate: float, offset: int = 0
+    ) -> QuantizedWeights:
+        """Corrupt a :class:`QuantizedWeights` stored linearly on this chip."""
+        flat = quantized.flat_codes()
+        corrupted = self.apply_to_codes(
+            flat, quantized.scheme.precision, rate, offset=offset
+        )
+        return quantized.with_flat_codes(corrupted)
+
+    def observed_bit_error_rate(
+        self, quantized: QuantizedWeights, rate: float, offset: int = 0
+    ) -> float:
+        """Fraction of stored bits actually flipped for a given payload.
+
+        Because faulty cells are stuck-at, only cells whose stored bit
+        disagrees with the stuck value produce an error; the observed rate is
+        therefore lower than the cell fault rate, as in the paper's profiled
+        measurements.
+        """
+        flat = quantized.flat_codes()
+        corrupted = self.apply_to_codes(
+            flat, quantized.scheme.precision, rate, offset=offset
+        )
+        diff = np.bitwise_xor(flat.astype(np.int64), corrupted.astype(np.int64))
+        flipped = 0
+        for j in range(quantized.scheme.precision):
+            flipped += int(((diff >> j) & 1).sum())
+        return flipped / quantized.num_bits
+
+
+def make_profiled_chips(seed: int = 7, scale: int = 1) -> Dict[str, ChipProfile]:
+    """Create the three simulated chips used throughout the experiments.
+
+    ``chip1`` matches the paper's chip 1 (approximately uniform random
+    errors), ``chip2`` its chip 2 (strong column alignment, biased towards
+    0-to-1 flips) and ``chip3`` an intermediate case.  ``scale`` multiplies
+    the memory geometry for experiments with more weights.
+    """
+    return {
+        "chip1": ChipProfile(
+            rows=256 * scale,
+            columns=128,
+            column_alignment=0.0,
+            stuck_at_one_fraction=0.46,
+            seed=seed,
+            name="chip1",
+        ),
+        "chip2": ChipProfile(
+            rows=256 * scale,
+            columns=128,
+            column_alignment=0.6,
+            stuck_at_one_fraction=0.8,
+            seed=seed + 1,
+            name="chip2",
+        ),
+        "chip3": ChipProfile(
+            rows=256 * scale,
+            columns=128,
+            column_alignment=0.3,
+            stuck_at_one_fraction=0.75,
+            seed=seed + 2,
+            name="chip3",
+        ),
+    }

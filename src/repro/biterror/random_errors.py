@@ -1,0 +1,166 @@
+"""Uniform random bit error injection (the paper's error model, Sec. 3).
+
+For ``W`` weights stored as ``m``-bit codes, every one of the ``W * m`` bits
+flips independently with probability ``p``.  Flips to 0 and to 1 are equally
+likely because a flip simply inverts the stored bit.
+
+The paper additionally assumes the *subset property*: for a fixed chip, the
+bits that are erroneous at rate ``p' <= p`` (higher voltage) are a subset of
+those erroneous at rate ``p`` (lower voltage).  :class:`BitErrorField`
+implements this by drawing one uniform variable per bit once and thresholding
+it at different rates — exactly the construction described in App. F.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.quant.fixed_point import QuantizedWeights
+from repro.utils.rng import as_rng, spawn_rngs
+
+__all__ = [
+    "inject_random_bit_errors",
+    "inject_into_quantized",
+    "BitErrorField",
+    "make_error_fields",
+    "expected_bit_errors",
+    "flip_probability_from_counts",
+]
+
+
+def expected_bit_errors(num_weights: int, precision: int, p: float) -> float:
+    """Expected number of flipped bits, ``p * m * W`` (Table 6)."""
+    return float(p) * precision * num_weights
+
+
+def flip_probability_from_counts(num_flipped: int, num_bits: int) -> float:
+    """Empirical bit error rate given flip counts (used by chip profiling)."""
+    if num_bits <= 0:
+        raise ValueError("num_bits must be positive")
+    return num_flipped / num_bits
+
+
+def _xor_mask_from_bool(mask: np.ndarray, precision: int) -> np.ndarray:
+    """Collapse a per-bit boolean mask ``(..., m)`` into integer XOR values."""
+    weights = (1 << np.arange(precision)).astype(np.int64)
+    return (mask.astype(np.int64) * weights).sum(axis=-1)
+
+
+def inject_random_bit_errors(
+    codes: np.ndarray,
+    p: float,
+    precision: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Flip every bit of ``codes`` independently with probability ``p``.
+
+    Parameters
+    ----------
+    codes:
+        Unsigned integer bit patterns occupying ``precision`` bits each.
+    p:
+        Bit error probability in ``[0, 1]`` (note: a *fraction*, not percent).
+    precision:
+        Number of bits per code; bits above ``precision`` are never touched.
+    rng:
+        Random generator; a fresh draw corresponds to a new chip / new error
+        pattern.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"bit error rate p must be in [0, 1], got {p}")
+    codes = np.asarray(codes)
+    if p == 0.0:
+        return codes.copy()
+    rng = as_rng(rng)
+    mask = rng.random(codes.shape + (precision,)) < p
+    xor_values = _xor_mask_from_bool(mask, precision).astype(codes.dtype)
+    return codes ^ xor_values
+
+
+def inject_into_quantized(
+    quantized: QuantizedWeights,
+    p: float,
+    rng: Optional[np.random.Generator] = None,
+) -> QuantizedWeights:
+    """Return a copy of ``quantized`` with random bit errors at rate ``p``."""
+    flat = quantized.flat_codes()
+    perturbed = inject_random_bit_errors(flat, p, quantized.scheme.precision, rng)
+    return quantized.with_flat_codes(perturbed)
+
+
+class BitErrorField:
+    """A fixed random field of per-bit thresholds implementing the subset property.
+
+    One uniform sample ``u`` is drawn per bit.  Bit ``j`` of weight ``i`` is
+    erroneous at rate ``p`` iff ``u[i, j] <= p``; therefore the error set at a
+    lower rate is always a subset of the error set at a higher rate, matching
+    the persistence of low-voltage bit errors across supply voltages (Fig. 3).
+
+    One :class:`BitErrorField` corresponds to one simulated chip; drawing many
+    fields with :func:`make_error_fields` reproduces the paper's evaluation
+    over 50 pre-determined chips.
+    """
+
+    def __init__(
+        self,
+        num_weights: int,
+        precision: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if num_weights <= 0:
+            raise ValueError("num_weights must be positive")
+        if precision <= 0:
+            raise ValueError("precision must be positive")
+        self.num_weights = num_weights
+        self.precision = precision
+        rng = as_rng(rng)
+        self._thresholds = rng.random((num_weights, precision))
+
+    def error_mask(self, p: float) -> np.ndarray:
+        """Boolean mask of shape ``(num_weights, precision)`` of erroneous bits."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"bit error rate p must be in [0, 1], got {p}")
+        return self._thresholds <= p
+
+    def num_errors(self, p: float) -> int:
+        """Number of erroneous bits at rate ``p``."""
+        return int(self.error_mask(p).sum())
+
+    def apply(self, flat_codes: np.ndarray, p: float) -> np.ndarray:
+        """Flip the erroneous bits of a flat code vector at rate ``p``."""
+        flat_codes = np.asarray(flat_codes)
+        if flat_codes.size != self.num_weights:
+            raise ValueError(
+                f"expected {self.num_weights} codes, got {flat_codes.size}"
+            )
+        mask = self.error_mask(p)
+        xor_values = _xor_mask_from_bool(mask, self.precision).astype(flat_codes.dtype)
+        return flat_codes.reshape(-1) ^ xor_values
+
+    def apply_to_quantized(self, quantized: QuantizedWeights, p: float) -> QuantizedWeights:
+        """Apply this field to a :class:`QuantizedWeights` instance."""
+        if quantized.scheme.precision != self.precision:
+            raise ValueError(
+                f"field precision ({self.precision}) does not match "
+                f"quantization precision ({quantized.scheme.precision})"
+            )
+        perturbed = self.apply(quantized.flat_codes(), p)
+        return quantized.with_flat_codes(perturbed)
+
+
+def make_error_fields(
+    num_weights: int,
+    precision: int,
+    num_fields: int,
+    seed: Optional[int] = 0,
+) -> List[BitErrorField]:
+    """Pre-determine ``num_fields`` independent bit error fields ("chips").
+
+    The fields are a function of the seed only, so every model evaluated
+    against them sees exactly the same error patterns — the paper's protocol
+    for making RErr comparable across models and bit error rates (App. F).
+    """
+    rngs = spawn_rngs(seed, num_fields)
+    return [BitErrorField(num_weights, precision, rng) for rng in rngs]

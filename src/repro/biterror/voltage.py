@@ -1,0 +1,100 @@
+"""SRAM supply voltage, bit error rate and access energy model (Fig. 1).
+
+The paper's Fig. 1 (and App. A) characterizes 32 SRAM arrays of a 14 nm
+accelerator: below the minimal reliable voltage ``V_min`` the bit error rate
+``p`` grows exponentially as voltage decreases, while dynamic energy per
+access scales roughly quadratically with voltage.  This module implements a
+parametric model with defaults calibrated so the headline numbers of the
+paper hold: tolerating ``p ≈ 1%`` bit errors buys roughly 30 % SRAM access
+energy, ``p ≈ 0.1%`` roughly 20 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["VoltageModel"]
+
+
+@dataclass
+class VoltageModel:
+    """Exponential bit-error-rate / quadratic energy model of low-voltage SRAM.
+
+    Voltages are normalized by ``V_min`` (so ``1.0`` is the lowest voltage
+    with error-free operation) and energies by the energy per access at
+    ``V_min``.
+
+    Attributes
+    ----------
+    decades_per_volt:
+        How many decades the bit error rate grows per unit of normalized
+        voltage reduction.
+    reference_rate, reference_voltage:
+        Calibration point: the bit error rate at one normalized voltage.
+    static_energy_fraction:
+        Fraction of access energy that does not scale with voltage.
+    min_rate:
+        Bit error rates below this are reported as 0 (error-free operation).
+    """
+
+    decades_per_volt: float = 17.5
+    reference_rate: float = 0.01
+    reference_voltage: float = 0.837
+    static_energy_fraction: float = 0.05
+    min_rate: float = 1e-4
+
+    def bit_error_rate(self, voltage: float) -> float:
+        """Bit error rate (fraction in [0, 1]) at normalized ``voltage``."""
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        exponent = -self.decades_per_volt * (voltage - self.reference_voltage)
+        rate = self.reference_rate * 10.0**exponent
+        if rate < self.min_rate:
+            return 0.0
+        return float(min(rate, 1.0))
+
+    def voltage_for_rate(self, rate: float) -> float:
+        """Normalized voltage at which the bit error rate equals ``rate``."""
+        if rate <= 0:
+            return 1.0
+        if rate > 1.0:
+            raise ValueError("rate must be at most 1")
+        return float(
+            self.reference_voltage
+            - np.log10(rate / self.reference_rate) / self.decades_per_volt
+        )
+
+    def energy_per_access(self, voltage: float) -> float:
+        """Energy per SRAM access at ``voltage``, normalized to ``V_min``.
+
+        Dynamic power scales quadratically with voltage; a small static
+        fraction does not scale.
+        """
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        dynamic = (1.0 - self.static_energy_fraction) * voltage**2
+        return float(self.static_energy_fraction + dynamic)
+
+    def energy_for_rate(self, rate: float) -> float:
+        """Energy per access when operating at the voltage tolerating ``rate``."""
+        return self.energy_per_access(min(self.voltage_for_rate(rate), 1.0))
+
+    def energy_saving(self, rate: float) -> float:
+        """Relative SRAM access energy saving from tolerating bit error rate ``rate``."""
+        return 1.0 - self.energy_for_rate(rate)
+
+    def sweep(self, voltages: Sequence[float]) -> List[Dict[str, float]]:
+        """Tabulate (voltage, bit error rate, energy) rows — the data of Fig. 1."""
+        rows = []
+        for voltage in voltages:
+            rows.append(
+                {
+                    "voltage": float(voltage),
+                    "bit_error_rate": self.bit_error_rate(voltage),
+                    "energy": self.energy_per_access(voltage),
+                }
+            )
+        return rows

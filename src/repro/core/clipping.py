@@ -1,0 +1,60 @@
+"""Weight clipping (Sec. 4.2).
+
+Weight clipping constrains all weights to ``[-w_max, w_max]`` *during
+training* by projection after every update.  It is independent of the
+quantization range, which always adapts to the weights at hand, but it limits
+the maximum possible quantization range (``q_max <= w_max``).  The paper
+shows that the robustness benefit does not come from the smaller absolute
+errors (relative errors are unchanged, Table 11) but from the redundancy the
+constraint induces: the cross-entropy loss demands large logits, individual
+weights cannot be large, so many weights must contribute.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = [
+    "clip_weights",
+    "clip_model_weights",
+    "scale_model_weights",
+    "max_absolute_weight",
+]
+
+
+def clip_weights(parameters: Iterable[Parameter], w_max: float) -> None:
+    """Project every parameter onto ``[-w_max, w_max]`` in place."""
+    if w_max <= 0:
+        raise ValueError(f"w_max must be positive, got {w_max}")
+    for param in parameters:
+        np.clip(param.data, -w_max, w_max, out=param.data)
+
+
+def clip_model_weights(model: Module, w_max: Optional[float]) -> None:
+    """Clip all model weights; a ``None`` bound is a no-op."""
+    if w_max is None:
+        return
+    clip_weights(model.parameters(), w_max)
+
+
+def max_absolute_weight(model: Module) -> float:
+    """The largest absolute weight value of the model (across all parameters)."""
+    return max(float(np.abs(p.data).max()) for p in model.parameters())
+
+
+def scale_model_weights(model: Module, factor: float) -> None:
+    """Multiply every weight by ``factor`` (Table 11 scaling experiment).
+
+    With fixed (non-reparameterized) normalization layers the models are
+    scale-invariant in their weights, so this changes the quantization range
+    without changing predictions — the paper uses it to show that a smaller
+    weight range alone does not provide robustness.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    for param in model.parameters():
+        param.data *= factor

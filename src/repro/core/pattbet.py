@@ -1,0 +1,104 @@
+"""Fixed-pattern bit error training (PattBET, the co-design baseline).
+
+PattBET reproduces the approach of Kim et al. (2018) / Koppula et al. (2019):
+training injects bit errors from one *fixed* pattern — either a pre-drawn
+random field or a profiled chip — instead of fresh random errors every step.
+The paper (Table 3 / Table 16) shows that the resulting robustness does not
+generalize, neither to lower bit error rates of the same pattern nor to
+different (random or other-chip) patterns, which is the motivation for
+RandBET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.biterror.patterns import ChipProfile
+from repro.biterror.random_errors import BitErrorField
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
+from repro.quant.qat import model_weight_arrays, swap_weights
+
+__all__ = ["PattBETConfig", "PattBETTrainer"]
+
+
+@dataclass
+class PattBETConfig(TrainerConfig):
+    """PattBET hyper-parameters.
+
+    Attributes
+    ----------
+    bit_error_rate:
+        The (cell fault or bit error) rate at which the fixed pattern is
+        instantiated during training.
+    start_loss_threshold:
+        As for RandBET, errors are injected only once the clean loss is low.
+    memory_offset:
+        Placement offset used when the pattern is a :class:`ChipProfile`.
+    """
+
+    bit_error_rate: float = 0.01
+    start_loss_threshold: float = 1.75
+    memory_offset: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.bit_error_rate <= 1.0:
+            raise ValueError("bit_error_rate must be in [0, 1]")
+
+
+class PattBETTrainer(Trainer):
+    """Trainer that injects the *same* bit error pattern every step."""
+
+    def __init__(
+        self,
+        model: Module,
+        quantizer: FixedPointQuantizer,
+        config: PattBETConfig,
+        pattern: Union[BitErrorField, ChipProfile],
+        augment: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+    ):
+        if quantizer is None:
+            raise ValueError("PattBET requires a quantizer")
+        super().__init__(model, quantizer, config, augment=augment)
+        self.config: PattBETConfig = config
+        self.pattern = pattern
+        self._errors_active = False
+
+    @property
+    def bit_errors_active(self) -> bool:
+        return self._errors_active
+
+    def _apply_pattern(self, quantized: QuantizedWeights) -> QuantizedWeights:
+        """Corrupt ``quantized`` with the fixed training pattern."""
+        if isinstance(self.pattern, BitErrorField):
+            return self.pattern.apply_to_quantized(quantized, self.config.bit_error_rate)
+        return self.pattern.apply_to_quantized(
+            quantized, self.config.bit_error_rate, offset=self.config.memory_offset
+        )
+
+    def compute_gradients(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        quantized = self.quantizer.quantize(model_weight_arrays(self.model))
+        clean_weights = self.quantizer.dequantize(quantized)
+
+        with swap_weights(self.model, clean_weights):
+            logits = self.model(inputs)
+            clean_loss, grad = self.loss_fn(logits, labels)
+            self.model.backward(grad)
+
+        if not self._errors_active and clean_loss < self.config.start_loss_threshold:
+            self._errors_active = True
+        if not self._errors_active or self.config.bit_error_rate <= 0.0:
+            return clean_loss
+
+        perturbed = self._apply_pattern(quantized)
+        perturbed_weights = self.quantizer.dequantize(perturbed)
+        with swap_weights(self.model, perturbed_weights):
+            logits = self.model(inputs)
+            _, grad = self.loss_fn(logits, labels)
+            self.model.backward(grad)
+        return clean_loss

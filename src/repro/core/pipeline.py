@@ -1,0 +1,142 @@
+"""High-level API: train a bit-error-robust model in one call.
+
+``train_robust_model`` wires together the pieces the paper combines — robust
+quantization (RQuant), weight clipping and RandBET — and returns the trained
+model together with its quantized representation and the training history.
+This is the recommended entry point for downstream users; the examples in
+``examples/`` are built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.randbet import RandBETConfig, RandBETTrainer
+from repro.core.trainer import Trainer, TrainerConfig, TrainingHistory
+from repro.data.datasets import ArrayDataset
+from repro.models.registry import build_model
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
+from repro.quant.qat import quantize_model
+from repro.quant.schemes import rquant
+from repro.utils.rng import new_rng
+
+__all__ = ["RobustTrainingResult", "train_robust_model"]
+
+
+@dataclass
+class RobustTrainingResult:
+    """Everything produced by :func:`train_robust_model`."""
+
+    model: Module
+    quantizer: FixedPointQuantizer
+    quantized_weights: QuantizedWeights
+    history: TrainingHistory
+    clean_error: float
+    config: TrainerConfig
+
+    def summary(self) -> str:
+        """One-line summary of the training outcome."""
+        return (
+            f"{type(self.model).__name__}: clean error {100 * self.clean_error:.2f}%, "
+            f"{self.quantized_weights.num_weights} weights at "
+            f"{self.quantizer.precision} bits ({self.quantizer.scheme.describe()})"
+        )
+
+
+def train_robust_model(
+    train_dataset: ArrayDataset,
+    test_dataset: Optional[ArrayDataset] = None,
+    model: Optional[Module] = None,
+    model_name: str = "simplenet",
+    precision: int = 8,
+    clip_w_max: Optional[float] = 0.1,
+    bit_error_rate: Optional[float] = 0.01,
+    epochs: int = 20,
+    batch_size: int = 32,
+    learning_rate: float = 0.05,
+    label_smoothing: float = 0.0,
+    start_loss_threshold: float = 1.75,
+    seed: int = 0,
+    norm: str = "gn",
+    augment: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+    quantizer: Optional[FixedPointQuantizer] = None,
+    **model_kwargs,
+) -> RobustTrainingResult:
+    """Train a bit-error-robust classifier with the paper's full recipe.
+
+    Parameters
+    ----------
+    train_dataset, test_dataset:
+        Training and (optional) held-out data.
+    model:
+        A pre-built model; if ``None`` one is constructed from ``model_name``
+        and ``model_kwargs`` (input shape inferred from the dataset).
+    precision:
+        Quantization precision ``m`` in bits (ignored if ``quantizer`` given).
+    clip_w_max:
+        Weight clipping bound ``w_max``; ``None`` disables clipping.
+    bit_error_rate:
+        RandBET training bit error rate ``p`` (a fraction); ``None`` or 0
+        disables RandBET and trains with clipping/RQuant only.
+    quantizer:
+        Custom quantizer; defaults to the paper's RQuant at ``precision``.
+
+    Returns
+    -------
+    RobustTrainingResult
+        The trained model, its quantized weights, history and clean error.
+    """
+    rng = new_rng(seed)
+    if model is None:
+        input_shape = train_dataset.input_shape
+        if len(input_shape) == 3:
+            model_kwargs.setdefault("in_channels", input_shape[0])
+        elif len(input_shape) == 1 and model_name == "mlp":
+            model_kwargs.setdefault("in_features", input_shape[0])
+        model_kwargs.setdefault("num_classes", train_dataset.num_classes)
+        if model_name != "mlp":
+            model_kwargs.setdefault("norm", norm)
+        model = build_model(model_name, rng=rng, **model_kwargs)
+
+    if quantizer is None:
+        quantizer = FixedPointQuantizer(rquant(precision))
+
+    use_randbet = bit_error_rate is not None and bit_error_rate > 0.0
+    if use_randbet:
+        config: TrainerConfig = RandBETConfig(
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            clip_w_max=clip_w_max,
+            label_smoothing=label_smoothing,
+            bit_error_rate=float(bit_error_rate),
+            start_loss_threshold=start_loss_threshold,
+            seed=seed,
+        )
+        trainer: Trainer = RandBETTrainer(model, quantizer, config, augment=augment)
+    else:
+        config = TrainerConfig(
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            clip_w_max=clip_w_max,
+            label_smoothing=label_smoothing,
+            seed=seed,
+        )
+        trainer = Trainer(model, quantizer, config, augment=augment)
+
+    history = trainer.train(train_dataset, test_dataset)
+    evaluation = trainer.evaluate(test_dataset if test_dataset is not None else train_dataset)
+    quantized = quantize_model(model, quantizer)
+    return RobustTrainingResult(
+        model=model,
+        quantizer=quantizer,
+        quantized_weights=quantized,
+        history=history,
+        clean_error=evaluation.error,
+        config=config,
+    )

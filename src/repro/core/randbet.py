@@ -1,0 +1,177 @@
+"""Random Bit Error Training (RandBET, Alg. 1 / Sec. 4.3).
+
+Each training step quantizes the current weights, injects *fresh* random bit
+errors with rate ``p`` into the integer codes, and averages the gradient of
+the clean forward/backward pass with the gradient of the perturbed pass
+(Eq. (2)); the update itself is applied to the clean floating-point weights.
+Bit errors are only injected once the clean cross-entropy loss has dropped
+below a threshold (1.75 on MNIST/CIFAR10 in the paper), otherwise training
+may fail to converge.
+
+Two variants discussed in App. G.4 are also implemented:
+
+* ``curricular`` — the training bit error rate is ramped from ``p / 20`` to
+  ``p`` over the first half of training (the Koppula et al. schedule); the
+  paper finds it slightly *worse* than plain RandBET.
+* ``alternating`` — the clean and perturbed gradients are applied as two
+  separate updates, and the perturbed update is projected so it cannot grow
+  the per-tensor quantization range; also slightly worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.biterror.random_errors import inject_into_quantized
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointQuantizer
+from repro.quant.qat import model_weight_arrays, swap_weights
+from repro.utils.rng import as_rng
+
+__all__ = ["RandBETConfig", "RandBETTrainer"]
+
+VARIANTS = ("standard", "curricular", "alternating")
+
+
+@dataclass
+class RandBETConfig(TrainerConfig):
+    """RandBET hyper-parameters on top of :class:`TrainerConfig`.
+
+    Attributes
+    ----------
+    bit_error_rate:
+        Training bit error rate ``p`` (a fraction, e.g. ``0.01`` for 1 %).
+    start_loss_threshold:
+        Bit errors are injected only once the running clean loss drops below
+        this value (1.75 in the paper for 10-class tasks).
+    variant:
+        ``"standard"``, ``"curricular"`` or ``"alternating"`` (App. G.4).
+    bit_error_seed:
+        Seed of the RNG used for drawing training bit errors.
+    """
+
+    bit_error_rate: float = 0.01
+    start_loss_threshold: float = 1.75
+    variant: str = "standard"
+    bit_error_seed: int = 101
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.bit_error_rate <= 1.0:
+            raise ValueError("bit_error_rate must be in [0, 1]")
+        if self.variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {self.variant!r}")
+
+
+class RandBETTrainer(Trainer):
+    """Trainer implementing Alg. 1 (random bit error training)."""
+
+    def __init__(
+        self,
+        model: Module,
+        quantizer: FixedPointQuantizer,
+        config: RandBETConfig,
+        augment: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+    ):
+        if quantizer is None:
+            raise ValueError("RandBET requires a quantizer")
+        super().__init__(model, quantizer, config, augment=augment)
+        self.config: RandBETConfig = config
+        self.bit_error_rng = as_rng(config.bit_error_seed)
+        self._current_bit_error_rate = config.bit_error_rate
+        self._errors_active = False
+
+    # -- schedule hooks ------------------------------------------------------
+    def on_epoch_start(self, epoch: int) -> None:
+        if self.config.variant == "curricular":
+            # Ramp p from p/20 to p over the first half of training.
+            half = max(1, self.config.epochs // 2)
+            fraction = min(1.0, epoch / half)
+            low = self.config.bit_error_rate / 20.0
+            self._current_bit_error_rate = low + fraction * (
+                self.config.bit_error_rate - low
+            )
+        else:
+            self._current_bit_error_rate = self.config.bit_error_rate
+
+    @property
+    def bit_errors_active(self) -> bool:
+        """Whether bit error injection has been switched on yet."""
+        return self._errors_active
+
+    def _update_activation(self, clean_loss: float) -> None:
+        if not self._errors_active and clean_loss < self.config.start_loss_threshold:
+            self._errors_active = True
+
+    # -- gradient computation (Alg. 1 lines 7–16) ----------------------------
+    def compute_gradients(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        quantized = self.quantizer.quantize(model_weight_arrays(self.model))
+        clean_weights = self.quantizer.dequantize(quantized)
+
+        # Clean forward/backward pass.
+        with swap_weights(self.model, clean_weights):
+            logits = self.model(inputs)
+            clean_loss, grad = self.loss_fn(logits, labels)
+            self.model.backward(grad)
+
+        self._update_activation(clean_loss)
+        if not self._errors_active or self._current_bit_error_rate <= 0.0:
+            return clean_loss
+
+        if self.config.variant == "alternating":
+            # Apply the clean update now; the perturbed update happens
+            # separately in train_step via _alternating_perturbed_update.
+            return clean_loss
+
+        # Perturbed forward/backward pass on freshly injected bit errors;
+        # gradients accumulate on top of the clean ones (sum as in Alg. 1).
+        perturbed = inject_into_quantized(
+            quantized, self._current_bit_error_rate, self.bit_error_rng
+        )
+        perturbed_weights = self.quantizer.dequantize(perturbed)
+        with swap_weights(self.model, perturbed_weights):
+            logits = self.model(inputs)
+            _, grad = self.loss_fn(logits, labels)
+            self.model.backward(grad)
+        return clean_loss
+
+    def _alternating_perturbed_update(
+        self, inputs: np.ndarray, labels: np.ndarray
+    ) -> None:
+        """Second update of the "alternating" variant (App. G.4).
+
+        The perturbed-gradient update is projected so that it cannot increase
+        the per-tensor maximum absolute weight, i.e. cannot grow the
+        quantization range.
+        """
+        pre_update_max = [
+            float(np.abs(param.data).max()) for param in self.model.parameters()
+        ]
+        quantized = self.quantizer.quantize(model_weight_arrays(self.model))
+        perturbed = inject_into_quantized(
+            quantized, self._current_bit_error_rate, self.bit_error_rng
+        )
+        perturbed_weights = self.quantizer.dequantize(perturbed)
+        self.optimizer.zero_grad()
+        with swap_weights(self.model, perturbed_weights):
+            logits = self.model(inputs)
+            _, grad = self.loss_fn(logits, labels)
+            self.model.backward(grad)
+        self.optimizer.step()
+        for param, bound in zip(self.model.parameters(), pre_update_max):
+            if bound > 0:
+                np.clip(param.data, -bound, bound, out=param.data)
+
+    def train_step(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        loss = super().train_step(inputs, labels)
+        if (
+            self.config.variant == "alternating"
+            and self._errors_active
+            and self._current_bit_error_rate > 0.0
+        ):
+            self._alternating_perturbed_update(inputs, labels)
+        return loss

@@ -1,0 +1,43 @@
+"""Datasets and data loading.
+
+The paper evaluates on MNIST, CIFAR10 and CIFAR100.  Those datasets are not
+available in this offline environment, so this package provides procedurally
+generated image-classification tasks with an easy regime (MNIST-like), a
+harder regime (CIFAR10-like) and a many-class regime (CIFAR100-like), plus a
+simple vector "blobs" task for fast unit tests.  See DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.data.datasets import ArrayDataset, DataLoader, train_test_split
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    make_blob_dataset,
+    make_synthetic_images,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+)
+from repro.data.augmentation import (
+    cutout,
+    horizontal_flip,
+    normalize_images,
+    random_crop,
+    standard_augmentation,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "SyntheticImageConfig",
+    "make_synthetic_images",
+    "make_blob_dataset",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "random_crop",
+    "horizontal_flip",
+    "cutout",
+    "normalize_images",
+    "standard_augmentation",
+]

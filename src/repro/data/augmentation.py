@@ -1,0 +1,112 @@
+"""Training-time data augmentation.
+
+The paper whitens CIFAR inputs and applies AutoAugment + Cutout + random
+cropping; at our synthetic scale the analogous operations are per-dataset
+normalization, random pad-and-crop, horizontal flips and cutout.  All
+functions operate on batches of shape ``(N, C, H, W)`` and take an explicit
+RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "random_crop",
+    "horizontal_flip",
+    "cutout",
+    "normalize_images",
+    "standard_augmentation",
+]
+
+
+def random_crop(
+    images: np.ndarray, padding: int = 2, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Zero-pad by ``padding`` and crop back to the original size at a random offset."""
+    rng = as_rng(rng)
+    if padding <= 0:
+        return images
+    n, c, h, w = images.shape
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    out = np.empty_like(images)
+    offsets_y = rng.integers(0, 2 * padding + 1, size=n)
+    offsets_x = rng.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        oy, ox = offsets_y[i], offsets_x[i]
+        out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+    return out
+
+
+def horizontal_flip(
+    images: np.ndarray, probability: float = 0.5, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    rng = as_rng(rng)
+    flips = rng.random(images.shape[0]) < probability
+    out = images.copy()
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def cutout(
+    images: np.ndarray,
+    size: int = 4,
+    fill: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Erase a random square window of side ``size`` from every image.
+
+    ``fill`` defaults to the per-image mean, matching the paper's use of the
+    mean image colour to fill cut-out regions.
+    """
+    rng = as_rng(rng)
+    n, c, h, w = images.shape
+    out = images.copy()
+    size = min(size, h, w)
+    if size <= 0:
+        return out
+    ys = rng.integers(0, h - size + 1, size=n)
+    xs = rng.integers(0, w - size + 1, size=n)
+    for i in range(n):
+        value = fill if fill is not None else float(out[i].mean())
+        out[i, :, ys[i] : ys[i] + size, xs[i] : xs[i] + size] = value
+    return out
+
+
+def normalize_images(
+    images: np.ndarray, mean: Optional[np.ndarray] = None, std: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-channel standardization (the paper's input whitening analogue).
+
+    Returns the normalized images along with the mean and std used so test
+    data can be normalized consistently.
+    """
+    if mean is None:
+        mean = images.mean(axis=(0, 2, 3))
+    if std is None:
+        std = images.std(axis=(0, 2, 3)) + 1e-8
+    normalized = (images - mean[None, :, None, None]) / std[None, :, None, None]
+    return normalized, mean, std
+
+
+def standard_augmentation(
+    padding: int = 2,
+    flip_probability: float = 0.5,
+    cutout_size: int = 4,
+) -> Callable[[np.ndarray, np.random.Generator], np.ndarray]:
+    """Compose crop + flip + cutout into a DataLoader-compatible callable."""
+
+    def augment(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = random_crop(images, padding=padding, rng=rng)
+        out = horizontal_flip(out, probability=flip_probability, rng=rng)
+        out = cutout(out, size=cutout_size, rng=rng)
+        return out
+
+    return augment

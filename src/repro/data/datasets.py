@@ -1,0 +1,132 @@
+"""In-memory datasets and mini-batch loading."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["ArrayDataset", "DataLoader", "train_test_split"]
+
+
+class ArrayDataset:
+    """A dataset backed by in-memory arrays.
+
+    Parameters
+    ----------
+    inputs:
+        Either images ``(N, C, H, W)`` or feature vectors ``(N, D)``.
+    labels:
+        Integer class labels ``(N,)``.
+    num_classes:
+        Number of classes; inferred from the labels if omitted.
+    """
+
+    def __init__(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        num_classes: Optional[int] = None,
+    ):
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if inputs.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"inputs ({inputs.shape[0]}) and labels ({labels.shape[0]}) "
+                "must have the same number of examples"
+            )
+        self.inputs = inputs
+        self.labels = labels
+        self.num_classes = (
+            int(num_classes) if num_classes is not None else int(labels.max()) + 1
+        )
+
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.labels[index]
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        return ArrayDataset(
+            self.inputs[indices], self.labels[indices], num_classes=self.num_classes
+        )
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        """Shape of a single example (without the batch dimension)."""
+        return tuple(self.inputs.shape[1:])
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Split a dataset into train and test parts by random permutation."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = as_rng(rng)
+    n = len(dataset)
+    permutation = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx = permutation[:n_test]
+    train_idx = permutation[n_test:]
+    return dataset.subset(train_idx), dataset.subset(test_idx)
+
+
+class DataLoader:
+    """Mini-batch iterator over an :class:`ArrayDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate.
+    batch_size:
+        Number of examples per batch (the final batch may be smaller unless
+        ``drop_last`` is set).
+    shuffle:
+        Shuffle example order each epoch using ``rng``.
+    augment:
+        Optional callable ``(inputs, rng) -> inputs`` applied to every batch
+        (used for training-time data augmentation).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        augment: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = as_rng(rng)
+        self.augment = augment
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and idx.shape[0] < self.batch_size:
+                break
+            inputs, labels = self.dataset[idx]
+            if self.augment is not None:
+                inputs = self.augment(inputs, self.rng)
+            yield inputs, labels

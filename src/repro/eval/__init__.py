@@ -1,0 +1,43 @@
+"""Evaluation: robust test error, confidences, redundancy, guarantees, energy."""
+
+from repro.eval.robust_error import (
+    RobustErrorResult,
+    evaluate_clean_error,
+    evaluate_profiled_error,
+    evaluate_robust_error,
+)
+from repro.eval.confidence import confidence_statistics, logit_statistics
+from repro.eval.redundancy import (
+    redundancy_metrics,
+    relative_absolute_error,
+    relu_relevance,
+    weight_relevance,
+)
+from repro.eval.linf import evaluate_linf_robustness
+from repro.eval.guarantees import deviation_bound, required_samples
+from repro.eval.energy import EnergyReport, energy_report, precision_energy_factor
+from repro.eval.pareto import pareto_frontier
+from repro.eval.sweeps import RErrCurve, compare_models, rerr_sweep
+
+__all__ = [
+    "RobustErrorResult",
+    "evaluate_clean_error",
+    "evaluate_robust_error",
+    "evaluate_profiled_error",
+    "confidence_statistics",
+    "logit_statistics",
+    "weight_relevance",
+    "relu_relevance",
+    "relative_absolute_error",
+    "redundancy_metrics",
+    "evaluate_linf_robustness",
+    "deviation_bound",
+    "required_samples",
+    "energy_report",
+    "EnergyReport",
+    "precision_energy_factor",
+    "pareto_frontier",
+    "RErrCurve",
+    "rerr_sweep",
+    "compare_models",
+]

@@ -1,0 +1,80 @@
+"""Energy accounting for low-voltage, low-precision operation.
+
+Combines the voltage/energy model of Fig. 1 with the robustness results: a
+model that keeps RErr acceptable at bit error rate ``p`` can operate its
+weight memory at the voltage inducing ``p``, saving the corresponding access
+energy; lower precision ``m`` additionally reduces the number of stored bits
+(and hence accesses) proportionally, which is how the paper combines
+"20 % savings at 8 bit" with "30 % at 4 bit" (Sec. 1, Sec. 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.biterror.voltage import VoltageModel
+
+__all__ = ["EnergyReport", "precision_energy_factor", "energy_report"]
+
+
+def precision_energy_factor(precision: int, reference_precision: int = 8) -> float:
+    """Relative memory traffic of ``precision``-bit weights vs. the reference.
+
+    Memory energy is dominated by access energy times the number of bits
+    moved; halving the precision halves the bits per weight.
+    """
+    if precision <= 0 or reference_precision <= 0:
+        raise ValueError("precisions must be positive")
+    return precision / reference_precision
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting for one operating point.
+
+    Attributes
+    ----------
+    bit_error_rate:
+        Tolerated bit error rate ``p``.
+    voltage:
+        Normalized supply voltage inducing ``p``.
+    access_energy:
+        Energy per memory access at that voltage (normalized to ``V_min``).
+    precision:
+        Weight precision ``m``.
+    total_energy:
+        Access energy scaled by the precision factor — the quantity whose
+        savings the paper headlines.
+    """
+
+    bit_error_rate: float
+    voltage: float
+    access_energy: float
+    precision: int
+    total_energy: float
+
+    @property
+    def saving(self) -> float:
+        """Relative saving versus 8-bit operation at ``V_min``."""
+        return 1.0 - self.total_energy
+
+
+def energy_report(
+    bit_error_rate: float,
+    precision: int = 8,
+    voltage_model: Optional[VoltageModel] = None,
+    reference_precision: int = 8,
+) -> EnergyReport:
+    """Energy report for operating at ``bit_error_rate`` with ``precision`` bits."""
+    model = voltage_model or VoltageModel()
+    voltage = min(model.voltage_for_rate(bit_error_rate), 1.0)
+    access_energy = model.energy_per_access(voltage)
+    factor = precision_energy_factor(precision, reference_precision)
+    return EnergyReport(
+        bit_error_rate=bit_error_rate,
+        voltage=voltage,
+        access_energy=access_energy,
+        precision=precision,
+        total_energy=access_energy * factor,
+    )

@@ -1,0 +1,78 @@
+"""Probabilistic guarantee of Prop. 1 (App. C.2).
+
+The paper bounds how far the *empirical* robust test error (averaged over
+``l`` random bit error patterns and ``n`` test examples) can deviate from the
+*expected* robust error.  With probability at least ``1 - delta``:
+
+    P(f(x; w') != y)  <  RErr_empirical + sqrt(log((n+1)/delta) / n)
+                                           * (sqrt(l) + sqrt(n)) / sqrt(l)
+
+These helpers compute that excess term and invert it (how many test examples
+are needed for a target deviation), matching the numeric examples given in
+the paper (4.1 % for n = 10^4, 1.7 % for n = 10^5 with delta = 0.99... the
+paper's delta convention is "with probability 1 - delta", here delta = 0.01
+gives the same numbers).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["deviation_bound", "required_samples", "two_sided_failure_probability"]
+
+
+def deviation_bound(num_test_examples: int, num_error_patterns: int, delta: float) -> float:
+    """Excess term of Prop. 1.
+
+    Parameters
+    ----------
+    num_test_examples:
+        ``n``, the number of i.i.d. test examples.
+    num_error_patterns:
+        ``l``, the number of independently drawn bit error patterns.
+    delta:
+        Failure probability; the bound holds with probability ``1 - delta``.
+    """
+    if num_test_examples <= 0 or num_error_patterns <= 0:
+        raise ValueError("sample counts must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    n = float(num_test_examples)
+    l = float(num_error_patterns)
+    return math.sqrt(math.log((n + 1.0) / delta) / n) * (math.sqrt(l) + math.sqrt(n)) / math.sqrt(l)
+
+
+def two_sided_failure_probability(
+    num_test_examples: int, num_error_patterns: int, epsilon: float
+) -> float:
+    """Probability that the empirical RErr deviates from its expectation by ``epsilon``.
+
+    This is the right-hand side of the first form of Prop. 1:
+    ``(n + 1) * exp(-n * eps^2 * l / (sqrt(l) + sqrt(n))^2)``.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    n = float(num_test_examples)
+    l = float(num_error_patterns)
+    exponent = -n * epsilon**2 * l / (math.sqrt(l) + math.sqrt(n)) ** 2
+    return min(1.0, (n + 1.0) * math.exp(exponent))
+
+
+def required_samples(
+    target_deviation: float, num_error_patterns: int, delta: float, max_power: int = 9
+) -> int:
+    """Smallest power-of-ten test set size achieving ``target_deviation``.
+
+    Returns the smallest ``n`` in ``{10, 100, ...}`` for which
+    :func:`deviation_bound` is at most ``target_deviation``; raises if no
+    ``n <= 10**max_power`` suffices.
+    """
+    if target_deviation <= 0:
+        raise ValueError("target_deviation must be positive")
+    for power in range(1, max_power + 1):
+        n = 10**power
+        if deviation_bound(n, num_error_patterns, delta) <= target_deviation:
+            return n
+    raise ValueError(
+        f"no test set size up to 10^{max_power} achieves deviation {target_deviation}"
+    )

@@ -1,0 +1,43 @@
+"""Pareto frontier over (robust error, energy) operating points (Fig. 2).
+
+The paper's headline figure shows, per bit error rate, the best model's RErr;
+the trade-off a deployer faces is between robust error and energy, and the
+Pareto-optimal frontier identifies the models worth operating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["pareto_frontier"]
+
+
+def pareto_frontier(
+    points: Sequence[Dict[str, float]],
+    minimize_keys: Tuple[str, str] = ("robust_error", "energy"),
+) -> List[Dict[str, float]]:
+    """Return the Pareto-optimal subset of ``points`` (both keys minimized).
+
+    A point is Pareto optimal if no other point is at least as good in both
+    objectives and strictly better in one.  The result is sorted by the first
+    key.
+    """
+    key_a, key_b = minimize_keys
+    optimal: List[Dict[str, float]] = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            better_or_equal = (
+                other[key_a] <= candidate[key_a] and other[key_b] <= candidate[key_b]
+            )
+            strictly_better = (
+                other[key_a] < candidate[key_a] or other[key_b] < candidate[key_b]
+            )
+            if better_or_equal and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            optimal.append(dict(candidate))
+    return sorted(optimal, key=lambda point: point[key_a])

@@ -1,0 +1,191 @@
+"""Robust test error (RErr) evaluation.
+
+RErr is the paper's central metric: the test error of the quantized model
+after injecting bit errors into its weights, averaged over many independent
+error draws (50 simulated chips in the paper).  Errors are injected into the
+integer codes; the corrupted codes are de-quantized and evaluated — exactly
+the data flow of Fig. 5 at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.biterror.patterns import ChipProfile
+from repro.biterror.random_errors import BitErrorField, make_error_fields
+from repro.data.datasets import ArrayDataset
+from repro.nn.losses import confidences
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
+from repro.quant.qat import model_weight_arrays, quantize_model, swap_weights
+
+__all__ = [
+    "RobustErrorResult",
+    "evaluate_clean_error",
+    "evaluate_robust_error",
+    "evaluate_profiled_error",
+]
+
+
+@dataclass
+class RobustErrorResult:
+    """Result of a robust-error evaluation at one bit error rate.
+
+    Attributes
+    ----------
+    bit_error_rate:
+        The evaluated rate ``p`` (fraction).
+    clean_error:
+        Test error of the un-perturbed quantized model.
+    errors:
+        Per-draw robust test errors (one per simulated chip / error pattern).
+    confidence_clean, confidence_perturbed:
+        Average maximum-softmax confidences without / with bit errors.
+    """
+
+    bit_error_rate: float
+    clean_error: float
+    errors: List[float] = field(default_factory=list)
+    confidence_clean: float = float("nan")
+    confidence_perturbed: float = float("nan")
+
+    @property
+    def mean_error(self) -> float:
+        """Average RErr over all error draws."""
+        return float(np.mean(self.errors)) if self.errors else self.clean_error
+
+    @property
+    def std_error(self) -> float:
+        """Standard deviation of RErr over all error draws."""
+        return float(np.std(self.errors)) if len(self.errors) > 1 else 0.0
+
+    @property
+    def max_error(self) -> float:
+        return float(np.max(self.errors)) if self.errors else self.clean_error
+
+
+def _model_error_and_confidence(
+    model: Module,
+    weights: Sequence[np.ndarray],
+    dataset: ArrayDataset,
+    batch_size: int,
+) -> tuple:
+    """Error rate and average confidence of ``model`` with ``weights``."""
+    errors = 0
+    total = 0
+    confidence_sum = 0.0
+    was_training = model.training
+    model.eval()
+    with swap_weights(model, weights):
+        for start in range(0, len(dataset), batch_size):
+            index = np.arange(start, min(start + batch_size, len(dataset)))
+            inputs, labels = dataset[index]
+            logits = model(inputs)
+            predictions = logits.argmax(axis=1)
+            errors += int((predictions != labels).sum())
+            total += labels.shape[0]
+            confidence_sum += float(confidences(logits).sum())
+    model.train(was_training)
+    return errors / max(total, 1), confidence_sum / max(total, 1)
+
+
+def evaluate_clean_error(
+    model: Module,
+    quantizer: Optional[FixedPointQuantizer],
+    dataset: ArrayDataset,
+    batch_size: int = 64,
+) -> float:
+    """Test error of the quantized (or raw, if ``quantizer`` is None) model."""
+    weights = model_weight_arrays(model)
+    if quantizer is not None:
+        weights = quantizer.quantize_dequantize(weights)
+    error, _ = _model_error_and_confidence(model, weights, dataset, batch_size)
+    return error
+
+
+def evaluate_robust_error(
+    model: Module,
+    quantizer: FixedPointQuantizer,
+    dataset: ArrayDataset,
+    bit_error_rate: float,
+    num_samples: int = 10,
+    error_fields: Optional[Sequence[BitErrorField]] = None,
+    seed: int = 0,
+    batch_size: int = 64,
+) -> RobustErrorResult:
+    """Average RErr of ``model`` under random bit errors at ``bit_error_rate``.
+
+    Parameters
+    ----------
+    num_samples:
+        Number of independent error patterns ("chips"); ignored when
+        ``error_fields`` is supplied.
+    error_fields:
+        Pre-determined :class:`BitErrorField` instances.  Passing the same
+        fields for every model and every rate reproduces the paper's protocol
+        (fixed patterns, subset property across rates).
+    """
+    quantized = quantize_model(model, quantizer)
+    clean_weights = quantizer.dequantize(quantized)
+    clean_error, clean_confidence = _model_error_and_confidence(
+        model, clean_weights, dataset, batch_size
+    )
+    result = RobustErrorResult(
+        bit_error_rate=bit_error_rate,
+        clean_error=clean_error,
+        confidence_clean=clean_confidence,
+    )
+    if bit_error_rate <= 0.0:
+        result.errors = [clean_error]
+        result.confidence_perturbed = clean_confidence
+        return result
+
+    if error_fields is None:
+        error_fields = make_error_fields(
+            quantized.num_weights, quantizer.precision, num_samples, seed=seed
+        )
+    perturbed_confidences = []
+    for fld in error_fields:
+        corrupted = fld.apply_to_quantized(quantized, bit_error_rate)
+        weights = quantizer.dequantize(corrupted)
+        error, confidence = _model_error_and_confidence(model, weights, dataset, batch_size)
+        result.errors.append(error)
+        perturbed_confidences.append(confidence)
+    result.confidence_perturbed = float(np.mean(perturbed_confidences))
+    return result
+
+
+def evaluate_profiled_error(
+    model: Module,
+    quantizer: FixedPointQuantizer,
+    dataset: ArrayDataset,
+    chip: ChipProfile,
+    rate: float,
+    offsets: Sequence[int] = (0,),
+    batch_size: int = 64,
+) -> RobustErrorResult:
+    """RErr of ``model`` whose weights are stored on a (simulated) profiled chip.
+
+    ``offsets`` simulates different weight-to-memory mappings; the result
+    averages over them as in App. C.1.
+    """
+    quantized = quantize_model(model, quantizer)
+    clean_weights = quantizer.dequantize(quantized)
+    clean_error, clean_confidence = _model_error_and_confidence(
+        model, clean_weights, dataset, batch_size
+    )
+    result = RobustErrorResult(
+        bit_error_rate=rate, clean_error=clean_error, confidence_clean=clean_confidence
+    )
+    perturbed_confidences = []
+    for offset in offsets:
+        corrupted = chip.apply_to_quantized(quantized, rate, offset=offset)
+        weights = quantizer.dequantize(corrupted)
+        error, confidence = _model_error_and_confidence(model, weights, dataset, batch_size)
+        result.errors.append(error)
+        perturbed_confidences.append(confidence)
+    result.confidence_perturbed = float(np.mean(perturbed_confidences))
+    return result

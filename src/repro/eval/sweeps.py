@@ -1,0 +1,107 @@
+"""Reusable experiment sweeps.
+
+Convenience wrappers used by the examples and benchmark harnesses: evaluate
+one model's RErr across a range of bit error rates (a "curve" of Fig. 7), or
+compare several models on the same pre-determined error fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.biterror.random_errors import BitErrorField, make_error_fields
+from repro.data.datasets import ArrayDataset
+from repro.eval.robust_error import RobustErrorResult, evaluate_robust_error
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointQuantizer
+from repro.quant.qat import quantize_model
+
+__all__ = ["RErrCurve", "rerr_sweep", "compare_models"]
+
+
+@dataclass
+class RErrCurve:
+    """RErr evaluated across a sweep of bit error rates for one model."""
+
+    name: str
+    rates: List[float]
+    results: List[RobustErrorResult] = field(default_factory=list)
+
+    @property
+    def clean_error(self) -> float:
+        """Clean error of the underlying quantized model."""
+        return self.results[0].clean_error if self.results else float("nan")
+
+    def mean_errors(self) -> List[float]:
+        """Average RErr per rate (fractions)."""
+        return [result.mean_error for result in self.results]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """One dictionary per rate, convenient for tables and Pareto analysis."""
+        return [
+            {
+                "model": self.name,
+                "bit_error_rate": rate,
+                "robust_error": result.mean_error,
+                "robust_error_std": result.std_error,
+                "clean_error": result.clean_error,
+            }
+            for rate, result in zip(self.rates, self.results)
+        ]
+
+
+def rerr_sweep(
+    model: Module,
+    quantizer: FixedPointQuantizer,
+    dataset: ArrayDataset,
+    rates: Sequence[float],
+    error_fields: Optional[Sequence[BitErrorField]] = None,
+    num_fields: int = 5,
+    seed: int = 0,
+    name: str = "model",
+) -> RErrCurve:
+    """Evaluate RErr at every rate in ``rates`` using shared error fields."""
+    if error_fields is None:
+        num_weights = quantize_model(model, quantizer).num_weights
+        error_fields = make_error_fields(num_weights, quantizer.precision, num_fields, seed=seed)
+    curve = RErrCurve(name=name, rates=list(rates))
+    for rate in rates:
+        curve.results.append(
+            evaluate_robust_error(
+                model, quantizer, dataset, rate, error_fields=error_fields
+            )
+        )
+    return curve
+
+
+def compare_models(
+    models: Dict[str, tuple],
+    dataset: ArrayDataset,
+    rates: Sequence[float],
+    num_fields: int = 5,
+    seed: int = 0,
+) -> Dict[str, RErrCurve]:
+    """Sweep several ``{name: (model, quantizer)}`` pairs over the same rates.
+
+    Models sharing a precision share the same pre-determined error fields so
+    their curves are directly comparable (the paper's protocol).
+    """
+    fields_by_precision: Dict[int, List[BitErrorField]] = {}
+    curves: Dict[str, RErrCurve] = {}
+    for name, (model, quantizer) in models.items():
+        precision = quantizer.precision
+        if precision not in fields_by_precision:
+            num_weights = quantize_model(model, quantizer).num_weights
+            fields_by_precision[precision] = make_error_fields(
+                num_weights, precision, num_fields, seed=seed + precision
+            )
+        curves[name] = rerr_sweep(
+            model,
+            quantizer,
+            dataset,
+            rates,
+            error_fields=fields_by_precision[precision],
+            name=name,
+        )
+    return curves

@@ -1,0 +1,26 @@
+"""Model architectures used in the paper, at reduced scale.
+
+All constructors accept a ``norm`` argument selecting group normalization
+(``"gn"``, the paper's default), batch normalization (``"bn"``, shown in
+Table 10 to be fragile under bit errors) or no normalization (``"none"``).
+"""
+
+from repro.models.mlp import MLP
+from repro.models.lenet import LeNet
+from repro.models.simplenet import SimpleNet
+from repro.models.resnet import ResNet, ResidualBlock
+from repro.models.wideresnet import WideResNet
+from repro.models.registry import build_model, list_models, model_summary, register_model
+
+__all__ = [
+    "MLP",
+    "LeNet",
+    "SimpleNet",
+    "ResNet",
+    "ResidualBlock",
+    "WideResNet",
+    "build_model",
+    "list_models",
+    "register_model",
+    "model_summary",
+]

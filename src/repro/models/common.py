@@ -1,0 +1,44 @@
+"""Shared building blocks for the model zoo."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import BatchNorm2d, GroupNorm, Identity, Module
+
+__all__ = ["make_norm", "NORM_CHOICES"]
+
+NORM_CHOICES = ("gn", "bn", "bn-batchstats", "none")
+
+
+def make_norm(
+    norm: str,
+    num_channels: int,
+    groups: int = 4,
+    reparameterize: bool = True,
+) -> Module:
+    """Construct the normalization layer selected by ``norm``.
+
+    ``"gn"`` — group normalization (paper default, App. G.1).
+    ``"bn"`` — batch normalization with running statistics at test time.
+    ``"bn-batchstats"`` — batch normalization that keeps using batch
+    statistics at test time (the Table 10 variant).
+    ``"none"`` — identity.
+    """
+    norm = norm.lower()
+    if norm == "gn":
+        groups = min(groups, num_channels)
+        while num_channels % groups != 0:
+            groups -= 1
+        return GroupNorm(groups, num_channels, reparameterize=reparameterize)
+    if norm == "bn":
+        return BatchNorm2d(num_channels, reparameterize=reparameterize)
+    if norm == "bn-batchstats":
+        return BatchNorm2d(
+            num_channels, reparameterize=reparameterize, use_batch_stats_at_eval=True
+        )
+    if norm == "none":
+        return Identity()
+    raise ValueError(f"unknown norm {norm!r}; expected one of {NORM_CHOICES}")

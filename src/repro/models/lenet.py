@@ -1,0 +1,67 @@
+"""A small LeNet-style CNN for the MNIST-like synthetic task."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.common import make_norm
+from repro.nn import (
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["LeNet"]
+
+
+class LeNet(Module):
+    """Two convolutional stages followed by a linear classifier.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of input image channels.
+    num_classes:
+        Number of output classes.
+    width:
+        Base channel width (first stage uses ``width``, second ``2 * width``).
+    norm:
+        Normalization type, see :func:`repro.models.common.make_norm`.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        num_classes: int = 10,
+        width: int = 8,
+        norm: str = "gn",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        self.body = Sequential(
+            Conv2d(in_channels, width, kernel_size=3, padding=1, rng=rng),
+            make_norm(norm, width),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(width, 2 * width, kernel_size=3, padding=1, rng=rng),
+            make_norm(norm, 2 * width),
+            ReLU(),
+            MaxPool2d(2),
+            GlobalAvgPool2d(),
+            Flatten(),
+            Linear(2 * width, num_classes, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.body(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_output)

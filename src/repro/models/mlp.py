@@ -1,0 +1,43 @@
+"""Multi-layer perceptron for vector inputs (fast tests and ablations)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import Linear, Module, ReLU, Sequential
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """A plain ReLU MLP: ``in -> hidden[0] -> ... -> num_classes``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (64, 64),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.num_classes = num_classes
+        layers = []
+        previous = in_features
+        for width in hidden:
+            layers.append(Linear(previous, width, rng=rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Linear(previous, num_classes, rng=rng))
+        self.body = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.body(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_output)

@@ -1,0 +1,62 @@
+"""Model registry mapping names to constructors (Table 6 style inventory)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.models.lenet import LeNet
+from repro.models.mlp import MLP
+from repro.models.resnet import ResNet
+from repro.models.simplenet import SimpleNet
+from repro.models.wideresnet import WideResNet
+from repro.nn.module import Module
+
+__all__ = ["register_model", "build_model", "list_models", "model_summary"]
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str, factory: Callable[..., Module]) -> None:
+    """Register a model constructor under ``name``."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"model {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def list_models() -> List[str]:
+    """Return the names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate the registered model ``name`` with ``kwargs``."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {list_models()}")
+    return _REGISTRY[key](**kwargs)
+
+
+def model_summary(model: Module) -> Dict[str, object]:
+    """Summarize a model: per-parameter shapes and the total weight count ``W``.
+
+    Mirrors Table 6 of the paper, which lists every architecture with its
+    total number of weights (used to compute the expected number of bit
+    errors ``p * m * W``).
+    """
+    parameters = {name: tuple(p.shape) for name, p in model.named_parameters()}
+    return {
+        "class": type(model).__name__,
+        "num_parameters": model.num_parameters(),
+        "parameters": parameters,
+    }
+
+
+# Default registry entries.
+register_model("mlp", MLP)
+register_model("lenet", LeNet)
+register_model("simplenet", SimpleNet)
+register_model("resnet", ResNet)
+register_model("wideresnet", WideResNet)

@@ -1,0 +1,81 @@
+"""SimpleNet (HasanPour et al., 2016), scaled down.
+
+The paper's main CIFAR10 model is SimpleNet with ~5.5 M weights (Table 6);
+here the same topology — stacks of 3x3 Conv + Norm + ReLU with interleaved
+max pooling, a global average pool and a final linear classifier — is built
+at configurable width so experiments run on CPU in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.common import make_norm
+from repro.nn import (
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["SimpleNet"]
+
+
+class SimpleNet(Module):
+    """A scaled-down SimpleNet.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of input image channels.
+    num_classes:
+        Number of output classes.
+    widths:
+        Channel width of each convolutional stage.  A max-pooling layer is
+        inserted between consecutive stages, so the spatial resolution must be
+        divisible by ``2 ** (len(widths) - 1)``.
+    convs_per_stage:
+        Number of Conv+Norm+ReLU blocks per stage.
+    norm:
+        Normalization type (``"gn"`` by default, as in the paper).
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        widths: Sequence[int] = (16, 32, 64),
+        convs_per_stage: int = 2,
+        norm: str = "gn",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(widths) < 1:
+            raise ValueError("widths must contain at least one stage")
+        self.num_classes = num_classes
+        layers = []
+        previous = in_channels
+        for stage, width in enumerate(widths):
+            for _ in range(convs_per_stage):
+                layers.append(Conv2d(previous, width, kernel_size=3, padding=1, rng=rng))
+                layers.append(make_norm(norm, width))
+                layers.append(ReLU())
+                previous = width
+            if stage < len(widths) - 1:
+                layers.append(MaxPool2d(2))
+        layers.append(GlobalAvgPool2d())
+        layers.append(Flatten())
+        layers.append(Linear(widths[-1], num_classes, rng=rng))
+        self.body = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.body(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_output)

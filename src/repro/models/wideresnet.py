@@ -1,0 +1,55 @@
+"""Wide ResNet (Zagoruyko & Komodakis, 2016), scaled down.
+
+The paper uses a WRN with reduced base channels on CIFAR100; this module
+builds the same structure — a widened ResNet — on top of
+:class:`repro.models.resnet.ResidualBlock`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.resnet import ResNet
+
+__all__ = ["WideResNet"]
+
+
+class WideResNet(ResNet):
+    """A ResNet whose stage widths are multiplied by a widening factor.
+
+    Parameters
+    ----------
+    in_channels, num_classes, norm, rng:
+        As for :class:`ResNet`.
+    base_width:
+        Width of the first stage before widening (the paper uses 12 base
+        channels for its reduced WRN).
+    widen_factor:
+        Multiplier applied to every stage width.
+    blocks_per_stage:
+        Residual blocks per stage.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        base_width: int = 8,
+        widen_factor: int = 2,
+        blocks_per_stage: int = 1,
+        norm: str = "gn",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        widths = tuple(base_width * widen_factor * (2**i) for i in range(3))
+        super().__init__(
+            in_channels=in_channels,
+            num_classes=num_classes,
+            widths=widths,
+            blocks_per_stage=blocks_per_stage,
+            norm=norm,
+            rng=rng,
+        )
+        self.base_width = base_width
+        self.widen_factor = widen_factor

@@ -1,0 +1,168 @@
+"""2D convolution implemented via im2col / col2im.
+
+The im2col transformation unrolls every receptive field into a column so that
+convolution becomes a single matrix multiplication — the standard vectorized
+NumPy formulation.  ``im2col`` / ``col2im`` are exposed as module-level
+functions so pooling layers and tests can reuse them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Conv2d", "im2col", "col2im", "conv_output_size"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unroll sliding windows of ``x`` into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, C * kernel_h * kernel_w, out_h * out_w)``.
+    out_h, out_w:
+        Spatial output size.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"im2col produced non-positive output size for input {x.shape} "
+            f"with kernel ({kernel_h},{kernel_w}), stride {stride}, padding {padding}"
+        )
+    x_padded = np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x_padded[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.reshape(n, c * kernel_h * kernel_w, out_h * out_w), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` (scatter-add of overlapping windows)."""
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    cols = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+class Conv2d(Module):
+    """2D convolution with square kernels.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Side length of the (square) convolution kernel.
+    stride, padding:
+        Stride and zero padding applied symmetrically.
+    bias:
+        Whether to learn a per-output-channel additive bias.
+    rng:
+        Generator used for He initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.he_normal((out_channels, in_channels, kernel_size, kernel_size), rng)
+        )
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros((out_channels,)))
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected input (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, out_h, out_w = im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        n = x.shape[0]
+        weight_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = np.einsum("ok,nkp->nop", weight_mat, cols)
+        if self.has_bias:
+            out = out + self.bias.data[None, :, None]
+        self._cache = (cols, x.shape)
+        return out.reshape(n, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        cols, input_shape = self._cache
+        n, _, out_h, out_w = grad_output.shape
+        grad_mat = np.asarray(grad_output, dtype=np.float64).reshape(
+            n, self.out_channels, out_h * out_w
+        )
+        weight_mat = self.weight.data.reshape(self.out_channels, -1)
+        # Parameter gradients.
+        grad_weight = np.einsum("nop,nkp->ok", grad_mat, cols)
+        self.weight.grad += grad_weight.reshape(self.weight.data.shape)
+        if self.has_bias:
+            self.bias.grad += grad_mat.sum(axis=(0, 2))
+        # Input gradient.
+        grad_cols = np.einsum("ok,nop->nkp", weight_mat, grad_mat)
+        return col2im(
+            grad_cols,
+            input_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )

@@ -1,0 +1,61 @@
+"""Weight initialization schemes.
+
+The paper follows He et al. (2015) initialization; the helpers here implement
+the fan-in variants used for convolutional and linear layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["he_normal", "he_uniform", "zeros", "compute_fans"]
+
+
+def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor of ``shape``.
+
+    For linear weights of shape ``(in, out)``, ``fan_in = in``.  For
+    convolutional weights of shape ``(out_channels, in_channels, kh, kw)``,
+    ``fan_in = in_channels * kh * kw``.
+    """
+    if len(shape) == 2:
+        fan_in, fan_out = shape[0], shape[1]
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        size = int(np.prod(shape))
+        fan_in = fan_out = size
+    return int(fan_in), int(fan_out)
+
+
+def he_normal(
+    shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """He-normal initialization: ``N(0, sqrt(2 / fan_in))``."""
+    rng = as_rng(rng)
+    fan_in, _ = compute_fans(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(
+    shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """He-uniform initialization: ``U(-b, b)`` with ``b = sqrt(6 / fan_in)``."""
+    rng = as_rng(rng)
+    fan_in, _ = compute_fans(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

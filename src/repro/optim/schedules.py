@@ -1,0 +1,65 @@
+"""Learning-rate schedules.
+
+The paper multiplies the initial learning rate by 0.1 after 2/5, 3/5 and 4/5
+of the epochs; :class:`MultiStepLR` reproduces exactly that behaviour and
+exposes a convenience constructor, :meth:`MultiStepLR.paper_schedule`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = ["ConstantLR", "MultiStepLR", "CosineLR"]
+
+
+class ConstantLR:
+    """A schedule that keeps the learning rate fixed."""
+
+    def __init__(self, base_lr: float):
+        self.base_lr = base_lr
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate to use during ``epoch`` (0-indexed)."""
+        return self.base_lr
+
+
+class MultiStepLR:
+    """Multiply the learning rate by ``gamma`` at the given epoch milestones."""
+
+    def __init__(self, base_lr: float, milestones: Sequence[int], gamma: float = 0.1):
+        self.base_lr = base_lr
+        self.milestones: List[int] = sorted(int(m) for m in milestones)
+        self.gamma = gamma
+
+    @classmethod
+    def paper_schedule(cls, base_lr: float, total_epochs: int) -> "MultiStepLR":
+        """Decay at 2/5, 3/5 and 4/5 of ``total_epochs`` as in App. F."""
+        milestones = [
+            int(total_epochs * 2 / 5),
+            int(total_epochs * 3 / 5),
+            int(total_epochs * 4 / 5),
+        ]
+        return cls(base_lr, milestones=milestones, gamma=0.1)
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate to use during ``epoch`` (0-indexed)."""
+        decays = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * (self.gamma**decays)
+
+
+class CosineLR:
+    """Cosine annealing from ``base_lr`` down to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, base_lr: float, total_epochs: int, min_lr: float = 0.0):
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.base_lr = base_lr
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate to use during ``epoch`` (0-indexed)."""
+        epoch = min(max(epoch, 0), self.total_epochs)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * epoch / self.total_epochs))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

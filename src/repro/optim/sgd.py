@@ -1,0 +1,87 @@
+"""Stochastic gradient descent with momentum and weight decay.
+
+The paper trains all models with SGD, momentum 0.9 and weight decay 5e-4
+(App. F); this implementation mirrors PyTorch's update rule so the training
+dynamics match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """SGD with (optionally Nesterov) momentum and decoupled-from-loss L2 decay.
+
+    Parameters
+    ----------
+    parameters:
+        The parameters to optimize.
+    lr:
+        Learning rate (can be changed between steps via :attr:`lr`).
+    momentum:
+        Classical momentum coefficient.
+    weight_decay:
+        L2 penalty coefficient, added to the gradient as ``wd * w``.
+    nesterov:
+        Use Nesterov momentum.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("SGD received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if momentum < 0:
+            raise ValueError("momentum must be non-negative")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        """Reset the gradient of every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        for param in self.parameters:
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                if self.nesterov:
+                    grad = grad + self.momentum * velocity
+                else:
+                    grad = velocity
+            param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict[str, object]:
+        """Return optimizer hyper-parameters (velocities are not serialized)."""
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "nesterov": self.nesterov,
+        }

@@ -1,0 +1,61 @@
+"""Fixed-point quantization of DNN weights.
+
+Implements the generic deterministic fixed-point quantization of Sec. 4.1,
+parameterized along the axes the paper ablates (Table 1 / Table 8):
+
+* global vs. per-layer quantization ranges,
+* symmetric ``[-q_max, q_max]`` vs. asymmetric ``[q_min, q_max]`` ranges,
+* signed (two's complement) vs. unsigned integer codes,
+* float-to-integer truncation vs. proper rounding.
+
+The robust scheme the paper proposes (RQuant) is per-layer + asymmetric +
+unsigned + rounding.
+"""
+
+from repro.quant.fixed_point import (
+    FixedPointQuantizer,
+    QuantizationScheme,
+    QuantizedWeights,
+    decode_array,
+    encode_array,
+    weight_range,
+)
+from repro.quant.schemes import (
+    SCHEME_LADDER,
+    asymmetric_signed_quantization,
+    asymmetric_unsigned_quantization,
+    global_quantization,
+    normal_quantization,
+    rquant,
+    scheme_ladder,
+)
+from repro.quant.qat import (
+    dequantize_into,
+    model_weight_arrays,
+    quantize_dequantize_model,
+    quantize_model,
+    set_model_weights,
+    swap_weights,
+)
+
+__all__ = [
+    "QuantizationScheme",
+    "FixedPointQuantizer",
+    "QuantizedWeights",
+    "encode_array",
+    "decode_array",
+    "weight_range",
+    "global_quantization",
+    "normal_quantization",
+    "asymmetric_signed_quantization",
+    "asymmetric_unsigned_quantization",
+    "rquant",
+    "scheme_ladder",
+    "SCHEME_LADDER",
+    "quantize_model",
+    "quantize_dequantize_model",
+    "model_weight_arrays",
+    "set_model_weights",
+    "dequantize_into",
+    "swap_weights",
+]

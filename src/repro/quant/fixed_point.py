@@ -1,0 +1,317 @@
+"""Fixed-point quantization primitives.
+
+Weights ``w`` in a quantization range ``[q_min, q_max]`` are represented by
+``m``-bit integer codes.  Codes are stored as unsigned integers holding the
+raw *bit pattern*: for signed (two's complement) schemes the pattern is
+``v mod 2**m`` — this is exactly the representation random bit errors act on
+(Sec. 3), so the bit-error model of :mod:`repro.biterror` operates directly on
+the arrays produced here.
+
+Following Eq. (1) and Eq. (4) of the paper, with ``L = 2**(m-1) - 1`` levels:
+
+* symmetric, signed:   ``v = Q(w) = clip(round_or_trunc(w / Delta), -L, L)``
+  with ``Delta = q_max / L`` and bit pattern ``v mod 2**m``.
+* asymmetric schemes first map ``[q_min, q_max]`` linearly onto ``[-1, 1]``
+  (Eq. (3)) and then quantize with ``q_max = 1``.
+* unsigned variants add ``L`` to the integer so codes live in ``{0 .. 2L}``
+  (Eq. (4)); the MSB then no longer acts as a sign bit, which is what makes
+  the scheme robust for asymmetric ranges (App. G.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QuantizationScheme",
+    "QuantizedWeights",
+    "FixedPointQuantizer",
+    "weight_range",
+    "encode_array",
+    "decode_array",
+]
+
+
+def _code_dtype(precision: int) -> np.dtype:
+    """Smallest unsigned dtype able to hold ``precision``-bit codes."""
+    if precision <= 8:
+        return np.dtype(np.uint8)
+    if precision <= 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+@dataclass(frozen=True)
+class QuantizationScheme:
+    """Configuration of a fixed-point quantization scheme.
+
+    Attributes
+    ----------
+    precision:
+        Number of bits ``m`` per weight (2–16).
+    per_layer:
+        Compute quantization ranges per weight tensor (the paper treats the
+        weights and biases of every layer separately); ``False`` uses one
+        global range for the whole model.
+    asymmetric:
+        Use the actual ``[min, max]`` of the weights instead of a symmetric
+        range around zero.
+    unsigned:
+        Store codes as unsigned integers with an additive offset instead of
+        two's complement signed integers.
+    rounding:
+        Use proper rounding instead of float-to-integer truncation.
+    """
+
+    precision: int = 8
+    per_layer: bool = True
+    asymmetric: bool = True
+    unsigned: bool = True
+    rounding: bool = True
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.precision <= 16:
+            raise ValueError(f"precision must be in [2, 16], got {self.precision}")
+
+    @property
+    def levels(self) -> int:
+        """Number of positive quantization levels, ``2**(m-1) - 1``."""
+        return 2 ** (self.precision - 1) - 1
+
+    @property
+    def num_codes(self) -> int:
+        """Number of representable bit patterns, ``2**m``."""
+        return 2**self.precision
+
+    def describe(self) -> str:
+        """Short human-readable description used in benchmark tables."""
+        parts = [f"m={self.precision}"]
+        parts.append("per-layer" if self.per_layer else "global")
+        parts.append("asymmetric" if self.asymmetric else "symmetric")
+        parts.append("unsigned" if self.unsigned else "signed")
+        parts.append("round" if self.rounding else "floor")
+        return ", ".join(parts)
+
+    def with_precision(self, precision: int) -> "QuantizationScheme":
+        """Return a copy of the scheme at a different precision."""
+        return replace(self, precision=precision)
+
+
+def weight_range(
+    weights: np.ndarray, asymmetric: bool, epsilon: float = 1e-12
+) -> Tuple[float, float]:
+    """Quantization range for a weight tensor.
+
+    Symmetric: ``[-max|w|, max|w|]``.  Asymmetric: ``[min(w), max(w)]``.
+    Degenerate (constant) tensors get a tiny non-zero range so ``Delta > 0``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if asymmetric:
+        lo = float(weights.min())
+        hi = float(weights.max())
+    else:
+        hi = float(np.abs(weights).max())
+        lo = -hi
+    if hi - lo < epsilon:
+        hi = lo + epsilon
+    return lo, hi
+
+
+def _normalize(weights: np.ndarray, q_min: float, q_max: float) -> np.ndarray:
+    """Map ``[q_min, q_max]`` linearly onto ``[-1, 1]`` (Eq. (3))."""
+    return (weights - q_min) / (q_max - q_min) * 2.0 - 1.0
+
+
+def _denormalize(values: np.ndarray, q_min: float, q_max: float) -> np.ndarray:
+    """Inverse of :func:`_normalize`."""
+    return (values + 1.0) / 2.0 * (q_max - q_min) + q_min
+
+
+def encode_array(
+    weights: np.ndarray, q_min: float, q_max: float, scheme: QuantizationScheme
+) -> np.ndarray:
+    """Quantize ``weights`` into ``m``-bit codes (returned as unsigned ints)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    levels = scheme.levels
+    if scheme.asymmetric:
+        normalized = _normalize(weights, q_min, q_max)
+    else:
+        scale = max(abs(q_min), abs(q_max))
+        normalized = weights / scale
+    normalized = np.clip(normalized, -1.0, 1.0)
+    scaled = normalized * levels
+    if scheme.rounding:
+        integers = np.rint(scaled)
+    else:
+        integers = np.trunc(scaled)
+    integers = np.clip(integers, -levels, levels).astype(np.int64)
+    if scheme.unsigned:
+        codes = integers + levels
+    else:
+        codes = np.mod(integers, scheme.num_codes)
+    return codes.astype(_code_dtype(scheme.precision))
+
+
+def decode_array(
+    codes: np.ndarray, q_min: float, q_max: float, scheme: QuantizationScheme
+) -> np.ndarray:
+    """De-quantize ``m``-bit codes back into floating-point weights.
+
+    Codes outside the nominal range (possible only after bit errors) decode to
+    values slightly outside ``[q_min, q_max]``, exactly as the hardware would
+    interpret the corrupted bit pattern.
+    """
+    codes = np.asarray(codes).astype(np.int64)
+    levels = scheme.levels
+    if scheme.unsigned:
+        integers = codes - levels
+    else:
+        integers = np.where(codes >= 2 ** (scheme.precision - 1), codes - scheme.num_codes, codes)
+    values = integers.astype(np.float64) / levels
+    if scheme.asymmetric:
+        return _denormalize(values, q_min, q_max)
+    scale = max(abs(q_min), abs(q_max))
+    return values * scale
+
+
+@dataclass
+class QuantizedWeights:
+    """The quantized representation of a set of weight tensors.
+
+    Attributes
+    ----------
+    codes:
+        One unsigned-integer array of bit patterns per weight tensor.
+    ranges:
+        The ``(q_min, q_max)`` range used for each tensor.
+    scheme:
+        The quantization scheme that produced the codes.
+    names:
+        Optional tensor names (parameter names when produced from a model).
+    """
+
+    codes: List[np.ndarray]
+    ranges: List[Tuple[float, float]]
+    scheme: QuantizationScheme
+    names: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.codes) != len(self.ranges):
+            raise ValueError("codes and ranges must have the same length")
+        if self.names and len(self.names) != len(self.codes):
+            raise ValueError("names must match the number of tensors")
+
+    @property
+    def num_tensors(self) -> int:
+        return len(self.codes)
+
+    @property
+    def num_weights(self) -> int:
+        """Total number of quantized weights ``W``."""
+        return int(sum(c.size for c in self.codes))
+
+    @property
+    def num_bits(self) -> int:
+        """Total number of stored bits, ``m * W``."""
+        return self.num_weights * self.scheme.precision
+
+    def copy(self) -> "QuantizedWeights":
+        """Deep copy (codes are copied, ranges/scheme are immutable)."""
+        return QuantizedWeights(
+            codes=[c.copy() for c in self.codes],
+            ranges=list(self.ranges),
+            scheme=self.scheme,
+            names=list(self.names),
+        )
+
+    def flat_codes(self) -> np.ndarray:
+        """All codes concatenated in linear memory order.
+
+        This is the paper's "linear weight-to-memory mapping": weights are
+        laid out one after another without any vulnerability-aware placement.
+        """
+        return np.concatenate([c.reshape(-1) for c in self.codes])
+
+    def with_flat_codes(self, flat: np.ndarray) -> "QuantizedWeights":
+        """Rebuild a :class:`QuantizedWeights` from a flat code vector."""
+        flat = np.asarray(flat)
+        if flat.size != self.num_weights:
+            raise ValueError(
+                f"expected {self.num_weights} codes, got {flat.size}"
+            )
+        codes: List[np.ndarray] = []
+        offset = 0
+        for original in self.codes:
+            size = original.size
+            codes.append(
+                flat[offset : offset + size].astype(original.dtype).reshape(original.shape)
+            )
+            offset += size
+        return QuantizedWeights(
+            codes=codes, ranges=list(self.ranges), scheme=self.scheme, names=list(self.names)
+        )
+
+
+class FixedPointQuantizer:
+    """Quantize / de-quantize collections of weight tensors under a scheme."""
+
+    def __init__(self, scheme: QuantizationScheme):
+        self.scheme = scheme
+
+    @property
+    def precision(self) -> int:
+        return self.scheme.precision
+
+    def compute_ranges(
+        self, arrays: Sequence[np.ndarray]
+    ) -> List[Tuple[float, float]]:
+        """Quantization range per tensor (identical for all tensors if global)."""
+        if self.scheme.per_layer:
+            return [weight_range(a, self.scheme.asymmetric) for a in arrays]
+        stacked = np.concatenate([np.asarray(a, dtype=np.float64).reshape(-1) for a in arrays])
+        global_range = weight_range(stacked, self.scheme.asymmetric)
+        return [global_range for _ in arrays]
+
+    def quantize(
+        self, arrays: Sequence[np.ndarray], names: Optional[Sequence[str]] = None
+    ) -> QuantizedWeights:
+        """Quantize every tensor in ``arrays``."""
+        arrays = list(arrays)
+        if not arrays:
+            raise ValueError("quantize() requires at least one tensor")
+        ranges = self.compute_ranges(arrays)
+        codes = [
+            encode_array(array, lo, hi, self.scheme)
+            for array, (lo, hi) in zip(arrays, ranges)
+        ]
+        return QuantizedWeights(
+            codes=codes,
+            ranges=ranges,
+            scheme=self.scheme,
+            names=list(names) if names is not None else [],
+        )
+
+    def dequantize(self, quantized: QuantizedWeights) -> List[np.ndarray]:
+        """De-quantize every tensor of ``quantized`` back to floats."""
+        return [
+            decode_array(codes, lo, hi, quantized.scheme)
+            for codes, (lo, hi) in zip(quantized.codes, quantized.ranges)
+        ]
+
+    def quantize_dequantize(self, arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """``Q^{-1}(Q(w))`` — the "fake quantization" used during QAT."""
+        return self.dequantize(self.quantize(arrays))
+
+    def quantization_error(self, arrays: Sequence[np.ndarray]) -> float:
+        """Mean absolute approximation error over all weights."""
+        arrays = list(arrays)
+        reconstructed = self.quantize_dequantize(arrays)
+        total_error = 0.0
+        total_count = 0
+        for original, recon in zip(arrays, reconstructed):
+            total_error += float(np.abs(np.asarray(original) - recon).sum())
+            total_count += np.asarray(original).size
+        return total_error / max(total_count, 1)

@@ -1,0 +1,93 @@
+"""Quantization-aware training helpers.
+
+Quantization-aware training in the paper is "fake quantization": before every
+forward pass the floating-point weights are quantized and de-quantized
+(``w_q = Q^{-1}(Q(w))``) while the gradient update is applied to the clean
+floating-point weights (a straight-through estimator).  The helpers here
+translate between a :class:`repro.nn.Module` and the quantizer's list-of-
+arrays representation and provide a context manager to run forward/backward
+passes under temporarily swapped (quantized and/or bit-error-perturbed)
+weights — the mechanism behind Alg. 1.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
+
+__all__ = [
+    "model_weight_arrays",
+    "model_weight_names",
+    "set_model_weights",
+    "quantize_model",
+    "quantize_dequantize_model",
+    "dequantize_into",
+    "swap_weights",
+]
+
+
+def model_weight_arrays(model: Module) -> List[np.ndarray]:
+    """Return references to every parameter tensor of ``model`` in order."""
+    return [param.data for param in model.parameters()]
+
+
+def model_weight_names(model: Module) -> List[str]:
+    """Return the qualified names of every parameter in order."""
+    return [name for name, _ in model.named_parameters()]
+
+
+def set_model_weights(model: Module, arrays: Sequence[np.ndarray]) -> None:
+    """Overwrite model parameters in place with ``arrays`` (shape-checked)."""
+    parameters = model.parameters()
+    if len(parameters) != len(arrays):
+        raise ValueError(
+            f"model has {len(parameters)} parameters but {len(arrays)} arrays were given"
+        )
+    for param, array in zip(parameters, arrays):
+        array = np.asarray(array, dtype=np.float64)
+        if param.data.shape != array.shape:
+            raise ValueError(
+                f"shape mismatch for {param.name}: {param.data.shape} vs {array.shape}"
+            )
+        param.data[...] = array
+
+
+def quantize_model(model: Module, quantizer: FixedPointQuantizer) -> QuantizedWeights:
+    """Quantize every parameter of ``model``."""
+    return quantizer.quantize(model_weight_arrays(model), names=model_weight_names(model))
+
+
+def quantize_dequantize_model(
+    model: Module, quantizer: FixedPointQuantizer
+) -> List[np.ndarray]:
+    """Return the fake-quantized (``Q^{-1}(Q(w))``) copy of the model weights."""
+    return quantizer.quantize_dequantize(model_weight_arrays(model))
+
+
+def dequantize_into(
+    model: Module, quantized: QuantizedWeights, quantizer: FixedPointQuantizer
+) -> None:
+    """De-quantize ``quantized`` and write the result into ``model`` in place."""
+    set_model_weights(model, quantizer.dequantize(quantized))
+
+
+@contextmanager
+def swap_weights(model: Module, arrays: Sequence[np.ndarray]) -> Iterator[Module]:
+    """Temporarily replace the model's weights with ``arrays``.
+
+    The original floating-point weights are restored on exit, so gradients
+    accumulated inside the context can be applied to the clean weights — the
+    forward/backward structure of Alg. 1 and of RErr evaluation.
+    """
+    originals = [param.data.copy() for param in model.parameters()]
+    try:
+        set_model_weights(model, arrays)
+        yield model
+    finally:
+        for param, original in zip(model.parameters(), originals):
+            param.data[...] = original

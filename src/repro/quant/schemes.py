@@ -1,0 +1,99 @@
+"""Quantization scheme presets.
+
+These correspond one-to-one to the rows of Table 1 / Table 8 of the paper:
+the "ladder" from global symmetric quantization to the proposed robust
+scheme (RQuant), each step changing exactly one aspect.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.quant.fixed_point import QuantizationScheme
+
+__all__ = [
+    "global_quantization",
+    "normal_quantization",
+    "asymmetric_signed_quantization",
+    "asymmetric_unsigned_quantization",
+    "rquant",
+    "scheme_ladder",
+    "SCHEME_LADDER",
+]
+
+
+def global_quantization(precision: int = 8) -> QuantizationScheme:
+    """Eq. (1) with a single global symmetric range (Table 1, row 1)."""
+    return QuantizationScheme(
+        precision=precision,
+        per_layer=False,
+        asymmetric=False,
+        unsigned=False,
+        rounding=False,
+    )
+
+
+def normal_quantization(precision: int = 8) -> QuantizationScheme:
+    """Eq. (1) per-layer, symmetric, signed, truncation — the paper's NORMAL."""
+    return QuantizationScheme(
+        precision=precision,
+        per_layer=True,
+        asymmetric=False,
+        unsigned=False,
+        rounding=False,
+    )
+
+
+def asymmetric_signed_quantization(precision: int = 8) -> QuantizationScheme:
+    """NORMAL + asymmetric ranges, still signed two's complement (Table 1, row 3).
+
+    The paper shows this *hurts* robustness at high bit error rates because
+    MSB flips are no longer meaningful when the range is not symmetric.
+    """
+    return QuantizationScheme(
+        precision=precision,
+        per_layer=True,
+        asymmetric=True,
+        unsigned=False,
+        rounding=False,
+    )
+
+
+def asymmetric_unsigned_quantization(precision: int = 8) -> QuantizationScheme:
+    """Asymmetric + unsigned integer codes, still truncation (Table 1, row 4)."""
+    return QuantizationScheme(
+        precision=precision,
+        per_layer=True,
+        asymmetric=True,
+        unsigned=True,
+        rounding=False,
+    )
+
+
+def rquant(precision: int = 8) -> QuantizationScheme:
+    """The paper's robust quantization: per-layer, asymmetric, unsigned, rounding."""
+    return QuantizationScheme(
+        precision=precision,
+        per_layer=True,
+        asymmetric=True,
+        unsigned=True,
+        rounding=True,
+    )
+
+
+def scheme_ladder(precision: int = 8) -> "OrderedDict[str, QuantizationScheme]":
+    """The ordered ablation ladder of Table 1, from least to most robust."""
+    return OrderedDict(
+        [
+            ("Eq. (1), global", global_quantization(precision)),
+            ("Eq. (1), per-layer (= NORMAL)", normal_quantization(precision)),
+            ("+asymmetric", asymmetric_signed_quantization(precision)),
+            ("+unsigned", asymmetric_unsigned_quantization(precision)),
+            ("+rounding (= RQUANT)", rquant(precision)),
+        ]
+    )
+
+
+#: The default 8-bit ladder, importable as a constant for benchmarks.
+SCHEME_LADDER: Dict[str, QuantizationScheme] = scheme_ladder(8)

@@ -1,0 +1,15 @@
+"""Shared utilities: seeded RNG helpers, table formatting, serialization."""
+
+from repro.utils.rng import SeedSequence, new_rng, spawn_rngs
+from repro.utils.tables import Table, format_table
+from repro.utils.serialization import load_state_dict, save_state_dict
+
+__all__ = [
+    "SeedSequence",
+    "new_rng",
+    "spawn_rngs",
+    "Table",
+    "format_table",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,30 @@
+"""Model state serialization.
+
+Models expose ``state_dict`` / ``load_state_dict`` (see
+:class:`repro.nn.module.Module`); these helpers persist such dictionaries to
+``.npz`` archives so trained models can be shared between the examples,
+benchmarks and evaluation scripts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["save_state_dict", "load_state_dict"]
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Save a ``{name: array}`` state dictionary as a compressed ``.npz`` file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dictionary previously written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}

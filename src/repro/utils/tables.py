@@ -1,0 +1,74 @@
+"""Plain-text table formatting for benchmark harness output.
+
+The benchmark harnesses print the same rows the paper's tables report; this
+module renders them as aligned, monospace tables so the output of
+``pytest benchmarks/`` can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "format_table", "format_float"]
+
+
+def format_float(value: Any, digits: int = 2) -> str:
+    """Format a float with a fixed number of decimals; pass strings through."""
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [
+        [format_float(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """An incrementally built table with a title, headers and rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    float_digits: int = 2
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; the number of cells should match ``headers``."""
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        return format_table(
+            self.headers, self.rows, title=self.title, float_digits=self.float_digits
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()

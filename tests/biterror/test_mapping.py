@@ -1,0 +1,55 @@
+"""Tests for the linear weight-to-memory mapping."""
+
+import numpy as np
+import pytest
+
+from repro.biterror import ChipProfile, LinearMemoryMap
+from repro.quant import FixedPointQuantizer, rquant
+
+
+@pytest.fixture
+def chip():
+    return ChipProfile(rows=64, columns=64, seed=0)
+
+
+@pytest.fixture
+def quantized(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    return quantizer.quantize([rng.normal(size=200)])
+
+
+def test_requires_at_least_one_offset(chip):
+    with pytest.raises(ValueError):
+        LinearMemoryMap(chip, offsets=[])
+
+
+def test_offsets_wrap_around_capacity(chip):
+    mapping = LinearMemoryMap(chip, offsets=[chip.capacity + 5])
+    assert mapping.offsets == [5]
+
+
+def test_with_even_offsets(chip):
+    mapping = LinearMemoryMap.with_even_offsets(chip, 4)
+    assert len(mapping.offsets) == 4
+    assert mapping.offsets[0] == 0
+    assert mapping.offsets[1] == chip.capacity // 4
+
+
+def test_with_even_offsets_invalid(chip):
+    with pytest.raises(ValueError):
+        LinearMemoryMap.with_even_offsets(chip, 0)
+
+
+def test_corrupted_variants_one_per_offset(chip, quantized):
+    mapping = LinearMemoryMap.with_even_offsets(chip, 3)
+    variants = list(mapping.corrupted_variants(quantized, 0.05))
+    assert len(variants) == 3
+    # Different offsets generally give different corruptions.
+    assert not np.array_equal(variants[0].flat_codes(), variants[1].flat_codes())
+
+
+def test_observed_rates_bounded(chip, quantized):
+    mapping = LinearMemoryMap.with_even_offsets(chip, 3)
+    rates = mapping.observed_rates(quantized, 0.05)
+    assert len(rates) == 3
+    assert all(0.0 <= r <= 0.05 + 1e-9 for r in rates)

@@ -1,0 +1,121 @@
+"""Tests for the simulated profiled chips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.biterror import ChipProfile, make_profiled_chips
+from repro.quant import FixedPointQuantizer, rquant
+
+
+def test_fault_map_rate_is_exact():
+    chip = ChipProfile(rows=64, columns=64, seed=0)
+    for rate in (0.01, 0.1, 0.5):
+        fault_map = chip.fault_map(rate)
+        assert abs(fault_map.empirical_rate() - rate) < 1.0 / chip.capacity + 1e-9
+
+
+def test_fault_maps_are_nested_across_rates():
+    chip = ChipProfile(rows=64, columns=64, seed=1)
+    low = chip.fault_map(0.01).faulty
+    high = chip.fault_map(0.05).faulty
+    assert np.all(high[low])
+
+
+@given(rate_low=st.floats(0.0, 0.5), extra=st.floats(0.0, 0.5))
+@settings(max_examples=25, deadline=None)
+def test_subset_property_hypothesis(rate_low, extra):
+    chip = ChipProfile(rows=32, columns=32, seed=2)
+    low = chip.fault_map(rate_low).faulty
+    high = chip.fault_map(min(1.0, rate_low + extra)).faulty
+    assert np.all(high[low])
+
+
+def test_column_alignment_concentrates_faults():
+    uniform = ChipProfile(rows=128, columns=64, column_alignment=0.0, seed=3)
+    aligned = ChipProfile(rows=128, columns=64, column_alignment=0.8, seed=3)
+    rate = 0.05
+    var_uniform = np.var(uniform.column_fault_counts(rate))
+    var_aligned = np.var(aligned.column_fault_counts(rate))
+    assert var_aligned > 2 * var_uniform
+
+
+def test_flip_direction_bias():
+    chip = ChipProfile(rows=128, columns=64, stuck_at_one_fraction=0.9, seed=4)
+    p_0to1, p_1to0 = chip.fault_map(0.2).flip_direction_rates()
+    assert p_0to1 > p_1to0
+    assert abs((p_0to1 + p_1to0) - 0.2) < 1e-3
+
+
+def test_stuck_at_semantics_on_known_payload():
+    chip = ChipProfile(rows=32, columns=32, stuck_at_one_fraction=1.0, seed=5)
+    zeros = np.zeros(chip.capacity, dtype=np.uint8)
+    ones = np.ones(chip.capacity, dtype=np.uint8)
+    corrupted_zeros = chip.apply_to_bits(zeros, 0.3)
+    corrupted_ones = chip.apply_to_bits(ones, 0.3)
+    # All cells are stuck at 1: zeros get flipped to 1 at faulty cells,
+    # ones are never altered.
+    assert corrupted_zeros.sum() == chip.fault_map(0.3).num_faulty
+    np.testing.assert_array_equal(corrupted_ones, ones)
+
+
+def test_apply_to_codes_respects_precision(rng):
+    chip = ChipProfile(rows=64, columns=64, seed=6)
+    codes = rng.integers(0, 16, size=200).astype(np.uint8)
+    corrupted = chip.apply_to_codes(codes, precision=4, rate=0.2)
+    assert corrupted.shape == codes.shape
+    assert corrupted.max() < 16
+
+
+def test_offsets_change_the_corruption(rng):
+    chip = ChipProfile(rows=64, columns=64, seed=7)
+    codes = rng.integers(0, 256, size=300).astype(np.uint8)
+    a = chip.apply_to_codes(codes, 8, 0.05, offset=0)
+    b = chip.apply_to_codes(codes, 8, 0.05, offset=1000)
+    assert not np.array_equal(a, b)
+
+
+def test_apply_to_quantized_and_observed_rate(rng):
+    chip = ChipProfile(rows=128, columns=128, seed=8)
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=500)])
+    corrupted = chip.apply_to_quantized(quantized, 0.05)
+    assert corrupted.codes[0].shape == quantized.codes[0].shape
+    observed = chip.observed_bit_error_rate(quantized, 0.05)
+    # Stuck-at faults only manifest when the stored bit disagrees.
+    assert 0.0 < observed <= 0.05 + 1e-9
+
+
+def test_zero_rate_is_identity(rng):
+    chip = ChipProfile(rows=32, columns=32, seed=9)
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=100)])
+    corrupted = chip.apply_to_quantized(quantized, 0.0)
+    np.testing.assert_array_equal(corrupted.flat_codes(), quantized.flat_codes())
+
+
+def test_chip_is_deterministic_given_seed():
+    a = ChipProfile(rows=32, columns=32, seed=11)
+    b = ChipProfile(rows=32, columns=32, seed=11)
+    np.testing.assert_array_equal(a.fault_map(0.1).faulty, b.fault_map(0.1).faulty)
+
+
+def test_make_profiled_chips_properties():
+    chips = make_profiled_chips(seed=1)
+    assert set(chips) == {"chip1", "chip2", "chip3"}
+    assert chips["chip1"].column_alignment == 0.0
+    assert chips["chip2"].column_alignment > chips["chip3"].column_alignment > 0.0
+    assert chips["chip2"].stuck_at_one_fraction > 0.5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ChipProfile(rows=0, columns=8)
+    with pytest.raises(ValueError):
+        ChipProfile(column_alignment=1.5)
+    with pytest.raises(ValueError):
+        ChipProfile(stuck_at_one_fraction=-0.1)
+    chip = ChipProfile(rows=8, columns=8)
+    with pytest.raises(ValueError):
+        chip.fault_map(1.5)

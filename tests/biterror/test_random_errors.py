@@ -1,0 +1,126 @@
+"""Tests for random bit error injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.biterror import (
+    BitErrorField,
+    expected_bit_errors,
+    inject_into_quantized,
+    inject_random_bit_errors,
+    make_error_fields,
+)
+from repro.quant import FixedPointQuantizer, rquant
+
+
+def count_bit_flips(a, b, precision):
+    diff = np.bitwise_xor(a.astype(np.int64), b.astype(np.int64))
+    return sum(int(((diff >> j) & 1).sum()) for j in range(precision))
+
+
+def test_p_zero_is_identity(rng):
+    codes = rng.integers(0, 256, size=100).astype(np.uint8)
+    out = inject_random_bit_errors(codes, 0.0, 8, rng)
+    np.testing.assert_array_equal(out, codes)
+
+
+def test_p_one_flips_every_bit(rng):
+    codes = rng.integers(0, 256, size=100).astype(np.uint8)
+    out = inject_random_bit_errors(codes, 1.0, 8, rng)
+    np.testing.assert_array_equal(out, codes ^ 0xFF)
+
+
+def test_flip_count_matches_expectation(rng):
+    codes = np.zeros(20000, dtype=np.uint8)
+    p = 0.01
+    out = inject_random_bit_errors(codes, p, 8, np.random.default_rng(0))
+    flips = count_bit_flips(codes, out, 8)
+    expected = expected_bit_errors(codes.size, 8, p)
+    assert abs(flips - expected) < 4 * np.sqrt(expected)
+
+
+def test_only_low_precision_bits_are_touched(rng):
+    codes = np.zeros(5000, dtype=np.uint8)
+    out = inject_random_bit_errors(codes, 0.5, 4, np.random.default_rng(0))
+    assert out.max() < 2**4
+
+
+def test_invalid_rate_raises(rng):
+    with pytest.raises(ValueError):
+        inject_random_bit_errors(np.zeros(4, dtype=np.uint8), 1.5, 8, rng)
+
+
+def test_inject_into_quantized_preserves_structure(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(4, 5)), rng.normal(size=9)])
+    perturbed = inject_into_quantized(quantized, 0.1, np.random.default_rng(1))
+    assert perturbed.num_tensors == quantized.num_tensors
+    assert perturbed.codes[0].shape == quantized.codes[0].shape
+    assert not np.array_equal(perturbed.flat_codes(), quantized.flat_codes())
+
+
+def test_error_field_subset_property():
+    field = BitErrorField(num_weights=2000, precision=8, rng=np.random.default_rng(0))
+    low = field.error_mask(0.005)
+    high = field.error_mask(0.02)
+    # Every error at the lower rate also occurs at the higher rate.
+    assert np.all(high[low])
+    assert low.sum() < high.sum()
+
+
+@given(p_low=st.floats(0.0, 0.5), p_extra=st.floats(0.0, 0.5))
+@settings(max_examples=30, deadline=None)
+def test_error_field_subset_property_hypothesis(p_low, p_extra):
+    field = BitErrorField(num_weights=300, precision=4, rng=np.random.default_rng(3))
+    p_high = min(1.0, p_low + p_extra)
+    low = field.error_mask(p_low)
+    high = field.error_mask(p_high)
+    assert np.all(high[low])
+
+
+def test_error_field_apply_flips_masked_bits():
+    field = BitErrorField(num_weights=500, precision=8, rng=np.random.default_rng(2))
+    codes = np.zeros(500, dtype=np.uint8)
+    out = field.apply(codes, 0.05)
+    flips = count_bit_flips(codes, out, 8)
+    assert flips == field.num_errors(0.05)
+
+
+def test_error_field_apply_wrong_size_raises():
+    field = BitErrorField(num_weights=10, precision=8)
+    with pytest.raises(ValueError):
+        field.apply(np.zeros(5, dtype=np.uint8), 0.1)
+
+
+def test_error_field_precision_mismatch_raises(rng):
+    quantizer = FixedPointQuantizer(rquant(4))
+    quantized = quantizer.quantize([rng.normal(size=10)])
+    field = BitErrorField(num_weights=10, precision=8)
+    with pytest.raises(ValueError):
+        field.apply_to_quantized(quantized, 0.1)
+
+
+def test_make_error_fields_deterministic():
+    a = make_error_fields(100, 8, 3, seed=5)
+    b = make_error_fields(100, 8, 3, seed=5)
+    for fa, fb in zip(a, b):
+        np.testing.assert_array_equal(fa.error_mask(0.1), fb.error_mask(0.1))
+    c = make_error_fields(100, 8, 3, seed=6)
+    assert not np.array_equal(a[0].error_mask(0.1), c[0].error_mask(0.1))
+
+
+def test_make_error_fields_are_independent():
+    fields = make_error_fields(1000, 8, 2, seed=0)
+    assert not np.array_equal(fields[0].error_mask(0.1), fields[1].error_mask(0.1))
+
+
+def test_field_validation():
+    with pytest.raises(ValueError):
+        BitErrorField(0, 8)
+    with pytest.raises(ValueError):
+        BitErrorField(10, 0)
+    field = BitErrorField(10, 8)
+    with pytest.raises(ValueError):
+        field.error_mask(2.0)

@@ -1,0 +1,74 @@
+"""Tests for the voltage / bit error rate / energy model (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.biterror import VoltageModel
+
+
+def test_rate_increases_as_voltage_decreases():
+    model = VoltageModel()
+    voltages = np.linspace(0.75, 1.0, 20)
+    rates = [model.bit_error_rate(v) for v in voltages]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+def test_rate_is_negligible_at_vmin():
+    model = VoltageModel()
+    assert model.bit_error_rate(1.0) == 0.0
+
+
+def test_rate_bounded_by_one():
+    model = VoltageModel()
+    assert model.bit_error_rate(0.1) <= 1.0
+
+
+def test_voltage_for_rate_inverts_rate():
+    model = VoltageModel()
+    for rate in (0.001, 0.01, 0.05):
+        voltage = model.voltage_for_rate(rate)
+        assert np.isclose(model.bit_error_rate(voltage), rate, rtol=1e-6)
+
+
+def test_voltage_for_zero_rate_is_vmin():
+    assert VoltageModel().voltage_for_rate(0.0) == 1.0
+
+
+def test_energy_is_quadratic_like():
+    model = VoltageModel(static_energy_fraction=0.0)
+    assert np.isclose(model.energy_per_access(1.0), 1.0)
+    assert np.isclose(model.energy_per_access(0.5), 0.25)
+
+
+def test_energy_with_static_fraction():
+    model = VoltageModel(static_energy_fraction=0.2)
+    assert np.isclose(model.energy_per_access(1.0), 1.0)
+    assert model.energy_per_access(0.5) > 0.25
+
+
+def test_headline_energy_savings():
+    """Tolerating p = 1% buys roughly 30% energy; p = 0.1% roughly 20% (Sec. 1)."""
+    model = VoltageModel()
+    saving_1pct = model.energy_saving(0.01)
+    saving_01pct = model.energy_saving(0.001)
+    assert 0.20 <= saving_1pct <= 0.40
+    assert 0.10 <= saving_01pct <= 0.30
+    assert saving_1pct > saving_01pct
+
+
+def test_sweep_rows():
+    model = VoltageModel()
+    rows = model.sweep([0.8, 0.9, 1.0])
+    assert len(rows) == 3
+    assert set(rows[0]) == {"voltage", "bit_error_rate", "energy"}
+    assert rows[0]["bit_error_rate"] > rows[1]["bit_error_rate"]
+
+
+def test_invalid_inputs_raise():
+    model = VoltageModel()
+    with pytest.raises(ValueError):
+        model.bit_error_rate(0.0)
+    with pytest.raises(ValueError):
+        model.energy_per_access(-1.0)
+    with pytest.raises(ValueError):
+        model.voltage_for_rate(2.0)

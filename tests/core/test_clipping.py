@@ -1,0 +1,46 @@
+"""Tests for weight clipping utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import clip_model_weights, clip_weights, max_absolute_weight, scale_model_weights
+from repro.models import MLP
+
+
+@pytest.fixture
+def model():
+    return MLP(in_features=8, num_classes=3, hidden=(16,), rng=np.random.default_rng(0))
+
+
+def test_clip_weights_projects_into_range(model):
+    for param in model.parameters():
+        param.data += 1.0
+    clip_weights(model.parameters(), 0.1)
+    assert max_absolute_weight(model) <= 0.1 + 1e-12
+
+
+def test_clip_model_weights_none_is_noop(model):
+    before = [p.data.copy() for p in model.parameters()]
+    clip_model_weights(model, None)
+    for param, original in zip(model.parameters(), before):
+        np.testing.assert_array_equal(param.data, original)
+
+
+def test_clip_invalid_bound_raises(model):
+    with pytest.raises(ValueError):
+        clip_weights(model.parameters(), 0.0)
+    with pytest.raises(ValueError):
+        clip_weights(model.parameters(), -1.0)
+
+
+def test_max_absolute_weight(model):
+    model.parameters()[0].data[0, 0] = 42.0
+    assert max_absolute_weight(model) == 42.0
+
+
+def test_scale_model_weights(model):
+    before = max_absolute_weight(model)
+    scale_model_weights(model, 0.5)
+    assert np.isclose(max_absolute_weight(model), before * 0.5)
+    with pytest.raises(ValueError):
+        scale_model_weights(model, 0.0)

@@ -1,0 +1,75 @@
+"""Tests for fixed-pattern bit error training (PattBET)."""
+
+import numpy as np
+import pytest
+
+from repro.biterror import BitErrorField, ChipProfile
+from repro.core import PattBETConfig, PattBETTrainer
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+
+
+def make_trainer(blob_data, pattern, **config_kwargs):
+    train, _ = blob_data
+    model = MLP(
+        in_features=train.input_shape[0],
+        num_classes=train.num_classes,
+        hidden=(24,),
+        rng=np.random.default_rng(0),
+    )
+    defaults = dict(
+        epochs=10, batch_size=16, learning_rate=0.05, seed=1,
+        bit_error_rate=0.02, clip_w_max=0.2,
+    )
+    defaults.update(config_kwargs)
+    config = PattBETConfig(**defaults)
+    quantizer = FixedPointQuantizer(rquant(8))
+    return PattBETTrainer(model, quantizer, config, pattern=pattern), model
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PattBETConfig(bit_error_rate=-0.1)
+
+
+def test_requires_quantizer(blob_data):
+    train, _ = blob_data
+    model = MLP(in_features=train.input_shape[0], num_classes=train.num_classes, hidden=(8,))
+    with pytest.raises(ValueError):
+        PattBETTrainer(model, None, PattBETConfig(), pattern=BitErrorField(10, 8))
+
+
+def test_trains_on_fixed_random_field(blob_data):
+    train, test = blob_data
+    model_size = MLP(
+        in_features=train.input_shape[0], num_classes=train.num_classes, hidden=(24,)
+    ).num_parameters()
+    field = BitErrorField(model_size, 8, rng=np.random.default_rng(5))
+    trainer, _ = make_trainer(blob_data, field)
+    history = trainer.train(train, test)
+    assert trainer.bit_errors_active
+    assert history.final_test_error <= 0.25
+
+
+def test_trains_on_profiled_chip(blob_data):
+    train, test = blob_data
+    chip = ChipProfile(rows=128, columns=128, column_alignment=0.5, seed=3)
+    trainer, _ = make_trainer(blob_data, chip, memory_offset=64)
+    history = trainer.train(train, test)
+    assert history.final_test_error <= 0.25
+
+
+def test_pattern_is_deterministic_across_steps(blob_data):
+    """The same pattern must be injected every step (that is the point of PattBET)."""
+    train, _ = blob_data
+    model_size = MLP(
+        in_features=train.input_shape[0], num_classes=train.num_classes, hidden=(24,)
+    ).num_parameters()
+    field = BitErrorField(model_size, 8, rng=np.random.default_rng(5))
+    trainer, model = make_trainer(blob_data, field, start_loss_threshold=100.0)
+    from repro.quant.qat import quantize_model
+
+    quantized = quantize_model(model, trainer.quantizer)
+    a = trainer._apply_pattern(quantized).flat_codes()
+    b = trainer._apply_pattern(quantized).flat_codes()
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,61 @@
+"""Tests for the high-level training pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import train_robust_model
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, normal_quantization
+
+
+def test_pipeline_with_mlp_and_randbet(blob_data):
+    train, test = blob_data
+    result = train_robust_model(
+        train,
+        test,
+        model_name="mlp",
+        hidden=(24,),
+        clip_w_max=0.2,
+        bit_error_rate=0.01,
+        epochs=12,
+        batch_size=16,
+        precision=8,
+        seed=0,
+    )
+    assert result.clean_error <= 0.15
+    assert result.quantized_weights.num_weights == result.model.num_parameters()
+    assert "MLP" in result.summary()
+    assert len(result.history.epoch_losses) == 12
+
+
+def test_pipeline_without_randbet_uses_plain_trainer(blob_data):
+    train, test = blob_data
+    result = train_robust_model(
+        train, test, model_name="mlp", hidden=(16,), clip_w_max=None,
+        bit_error_rate=None, epochs=6, batch_size=16,
+    )
+    # Plain TrainerConfig, not RandBETConfig.
+    assert not hasattr(result.config, "bit_error_rate")
+
+
+def test_pipeline_accepts_prebuilt_model_and_quantizer(blob_data):
+    train, test = blob_data
+    model = MLP(in_features=train.input_shape[0], num_classes=train.num_classes,
+                hidden=(16,), rng=np.random.default_rng(0))
+    quantizer = FixedPointQuantizer(normal_quantization(8))
+    result = train_robust_model(
+        train, test, model=model, quantizer=quantizer, epochs=5,
+        bit_error_rate=None, clip_w_max=None, batch_size=16,
+    )
+    assert result.model is model
+    assert result.quantizer is quantizer
+
+
+def test_pipeline_low_precision(blob_data):
+    train, test = blob_data
+    result = train_robust_model(
+        train, test, model_name="mlp", hidden=(16,), precision=4,
+        clip_w_max=0.2, bit_error_rate=0.01, epochs=8, batch_size=16,
+    )
+    assert result.quantizer.precision == 4
+    assert result.quantized_weights.scheme.precision == 4

@@ -1,0 +1,118 @@
+"""Tests for random bit error training (RandBET)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RandBETConfig, RandBETTrainer
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+
+
+def make_trainer(blob_data, **config_kwargs):
+    train, _ = blob_data
+    model = MLP(
+        in_features=train.input_shape[0],
+        num_classes=train.num_classes,
+        hidden=(24,),
+        rng=np.random.default_rng(0),
+    )
+    defaults = dict(
+        epochs=12,
+        batch_size=16,
+        learning_rate=0.05,
+        seed=1,
+        bit_error_rate=0.01,
+        start_loss_threshold=1.75,
+        clip_w_max=0.2,
+    )
+    defaults.update(config_kwargs)
+    config = RandBETConfig(**defaults)
+    quantizer = FixedPointQuantizer(rquant(8))
+    return RandBETTrainer(model, quantizer, config), model
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RandBETConfig(bit_error_rate=1.5)
+    with pytest.raises(ValueError):
+        RandBETConfig(variant="unknown")
+
+
+def test_requires_quantizer(blob_data):
+    train, _ = blob_data
+    model = MLP(in_features=train.input_shape[0], num_classes=train.num_classes, hidden=(8,))
+    with pytest.raises(ValueError):
+        RandBETTrainer(model, None, RandBETConfig())
+
+
+def test_bit_errors_activate_after_loss_threshold(blob_data):
+    train, _ = blob_data
+    trainer, _ = make_trainer(blob_data, epochs=8)
+    assert not trainer.bit_errors_active
+    trainer.train(train)
+    assert trainer.bit_errors_active
+
+
+def test_high_threshold_never_activates(blob_data):
+    train, _ = blob_data
+    trainer, _ = make_trainer(blob_data, epochs=2, start_loss_threshold=-1.0)
+    trainer.train(train)
+    assert not trainer.bit_errors_active
+
+
+def test_randbet_trains_to_low_error(blob_data):
+    train, test = blob_data
+    trainer, _ = make_trainer(blob_data)
+    history = trainer.train(train, test)
+    assert history.final_test_error <= 0.15
+
+
+def test_curricular_variant_ramps_rate(blob_data):
+    trainer, _ = make_trainer(blob_data, variant="curricular", epochs=10)
+    trainer.on_epoch_start(0)
+    early = trainer._current_bit_error_rate
+    trainer.on_epoch_start(5)
+    late = trainer._current_bit_error_rate
+    assert early < late
+    assert np.isclose(late, 0.01)
+
+
+def test_standard_variant_keeps_rate_constant(blob_data):
+    trainer, _ = make_trainer(blob_data, variant="standard")
+    trainer.on_epoch_start(0)
+    assert trainer._current_bit_error_rate == 0.01
+    trainer.on_epoch_start(7)
+    assert trainer._current_bit_error_rate == 0.01
+
+
+@pytest.mark.parametrize("variant", ["curricular", "alternating"])
+def test_variants_train_successfully(blob_data, variant):
+    train, test = blob_data
+    trainer, _ = make_trainer(blob_data, variant=variant, epochs=10)
+    history = trainer.train(train, test)
+    assert history.final_test_error <= 0.25
+
+
+def test_alternating_variant_does_not_grow_quantization_range(blob_data):
+    train, _ = blob_data
+    trainer, model = make_trainer(blob_data, variant="alternating", epochs=6, clip_w_max=None)
+    trainer.train(train)
+    # Weights remain finite and bounded by a sane value.
+    assert all(np.isfinite(p.data).all() for p in model.parameters())
+
+
+def test_perturbed_gradients_differ_from_clean_only_training(blob_data):
+    """With bit errors active the accumulated gradient includes the perturbed term."""
+    train, _ = blob_data
+    trainer, model = make_trainer(blob_data, epochs=1, start_loss_threshold=100.0)
+    inputs, labels = train[np.arange(16)]
+    model.zero_grad()
+    trainer.compute_gradients(inputs, labels)
+    grad_with_errors = np.concatenate([p.grad.reshape(-1).copy() for p in model.parameters()])
+
+    trainer_clean, model_clean = make_trainer(blob_data, epochs=1, start_loss_threshold=-1.0)
+    model_clean.load_state_dict(model.state_dict())
+    model_clean.zero_grad()
+    trainer_clean.compute_gradients(inputs, labels)
+    grad_clean = np.concatenate([p.grad.reshape(-1).copy() for p in model_clean.parameters()])
+    assert not np.allclose(grad_with_errors, grad_clean)

@@ -1,0 +1,104 @@
+"""Tests for the quantization-aware trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, TrainerConfig
+from repro.core.clipping import max_absolute_weight
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+
+
+def make_trainer(blob_data, **config_kwargs):
+    train, _ = blob_data
+    model = MLP(
+        in_features=train.input_shape[0],
+        num_classes=train.num_classes,
+        hidden=(24,),
+        rng=np.random.default_rng(0),
+    )
+    defaults = dict(epochs=15, batch_size=16, learning_rate=0.05, seed=1)
+    defaults.update(config_kwargs)
+    config = TrainerConfig(**defaults)
+    quantizer = FixedPointQuantizer(rquant(8))
+    return Trainer(model, quantizer, config), model
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TrainerConfig(epochs=0)
+    with pytest.raises(ValueError):
+        TrainerConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        TrainerConfig(clip_w_max=-0.1)
+    with pytest.raises(ValueError):
+        Trainer(
+            MLP(4, 2, hidden=(4,)), FixedPointQuantizer(rquant(8)),
+            TrainerConfig(lr_schedule="bogus"),
+        )
+
+
+def test_training_reaches_low_error(blob_data):
+    train, test = blob_data
+    trainer, _ = make_trainer(blob_data)
+    history = trainer.train(train, test)
+    assert len(history.epoch_losses) == 15
+    assert len(history.epoch_test_errors) == 15
+    assert history.epoch_losses[-1] < history.epoch_losses[0]
+    assert history.final_test_error <= 0.1
+
+
+def test_history_without_test_set(blob_data):
+    train, _ = blob_data
+    trainer, _ = make_trainer(blob_data, epochs=2)
+    history = trainer.train(train)
+    assert history.epoch_test_errors == []
+    assert len(history.epoch_train_errors) == 2
+
+
+def test_clipping_constraint_holds_after_training(blob_data):
+    train, _ = blob_data
+    trainer, model = make_trainer(blob_data, epochs=5, clip_w_max=0.2)
+    trainer.train(train)
+    assert max_absolute_weight(model) <= 0.2 + 1e-12
+
+
+def test_evaluate_returns_consistent_fields(blob_data):
+    train, test = blob_data
+    trainer, _ = make_trainer(blob_data, epochs=5)
+    trainer.train(train)
+    result = trainer.evaluate(test)
+    assert 0.0 <= result.error <= 1.0
+    assert np.isclose(result.accuracy, 1.0 - result.error)
+    assert 0.0 < result.average_confidence <= 1.0
+    assert result.loss >= 0.0
+
+
+def test_quantization_aware_vs_post_training(blob_data):
+    train, test = blob_data
+    trainer_qat, _ = make_trainer(blob_data, epochs=8)
+    trainer_post, _ = make_trainer(blob_data, epochs=8, quantization_aware=False)
+    err_qat = trainer_qat.train(train, test).final_test_error
+    err_post = trainer_post.train(train, test).final_test_error
+    # Both should learn the easy blob task.
+    assert err_qat <= 0.15 and err_post <= 0.15
+
+
+def test_label_smoothing_reduces_confidence(blob_data):
+    train, test = blob_data
+    trainer_plain, _ = make_trainer(blob_data, epochs=10)
+    trainer_ls, _ = make_trainer(blob_data, epochs=10, label_smoothing=0.1)
+    trainer_plain.train(train)
+    trainer_ls.train(train)
+    conf_plain = trainer_plain.evaluate(test).average_confidence
+    conf_ls = trainer_ls.evaluate(test).average_confidence
+    assert conf_ls < conf_plain
+
+
+def test_learning_rate_schedule_applied(blob_data):
+    train, _ = blob_data
+    trainer, _ = make_trainer(blob_data, epochs=10)
+    trainer.train(train)
+    lrs = trainer.history.learning_rates
+    assert lrs[0] == 0.05
+    assert lrs[-1] < lrs[0]

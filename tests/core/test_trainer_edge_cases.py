@@ -1,0 +1,63 @@
+"""Additional trainer edge cases: augmentation hook, image models, history."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, TrainerConfig
+from repro.data import SyntheticImageConfig, make_synthetic_images, standard_augmentation, train_test_split
+from repro.models import LeNet
+from repro.quant import FixedPointQuantizer, rquant
+
+
+@pytest.fixture(scope="module")
+def tiny_image_task():
+    config = SyntheticImageConfig(
+        num_classes=3, samples_per_class=12, image_size=8, channels=1,
+        noise_std=0.05, max_shift=1, seed=21,
+    )
+    dataset = make_synthetic_images(config)
+    return train_test_split(dataset, test_fraction=0.25, rng=np.random.default_rng(0))
+
+
+def test_trainer_with_augmentation_runs(tiny_image_task):
+    train, test = tiny_image_task
+    model = LeNet(in_channels=1, num_classes=3, width=4, rng=np.random.default_rng(0))
+    trainer = Trainer(
+        model,
+        FixedPointQuantizer(rquant(8)),
+        TrainerConfig(epochs=3, batch_size=8, seed=0),
+        augment=standard_augmentation(padding=1, cutout_size=2),
+    )
+    history = trainer.train(train, test)
+    assert len(history.epoch_losses) == 3
+    assert all(np.isfinite(loss) for loss in history.epoch_losses)
+
+
+def test_trainer_without_quantizer(tiny_image_task):
+    train, _ = tiny_image_task
+    model = LeNet(in_channels=1, num_classes=3, width=4, rng=np.random.default_rng(1))
+    trainer = Trainer(model, None, TrainerConfig(epochs=2, batch_size=8, seed=0))
+    history = trainer.train(train)
+    assert len(history.epoch_train_errors) == 2
+    result = trainer.evaluate(train)
+    assert 0.0 <= result.error <= 1.0
+
+
+def test_history_defaults_are_nan_safe():
+    from repro.core.trainer import TrainingHistory
+
+    history = TrainingHistory()
+    assert np.isnan(history.final_loss)
+    assert np.isnan(history.final_test_error)
+
+
+def test_constant_lr_schedule_option(tiny_image_task):
+    train, _ = tiny_image_task
+    model = LeNet(in_channels=1, num_classes=3, width=4, rng=np.random.default_rng(2))
+    trainer = Trainer(
+        model,
+        FixedPointQuantizer(rquant(8)),
+        TrainerConfig(epochs=2, batch_size=8, lr_schedule="constant", seed=0),
+    )
+    trainer.train(train)
+    assert trainer.history.learning_rates == [0.05, 0.05]

@@ -1,0 +1,67 @@
+"""Tests for data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import cutout, horizontal_flip, normalize_images, random_crop, standard_augmentation
+
+
+@pytest.fixture
+def images(rng):
+    return rng.random((8, 3, 12, 12))
+
+
+def test_random_crop_preserves_shape(images):
+    out = random_crop(images, padding=2, rng=np.random.default_rng(0))
+    assert out.shape == images.shape
+
+
+def test_random_crop_zero_padding_is_identity(images):
+    np.testing.assert_array_equal(random_crop(images, padding=0), images)
+
+
+def test_horizontal_flip_flips_some_images(images):
+    out = horizontal_flip(images, probability=1.0, rng=np.random.default_rng(0))
+    np.testing.assert_array_equal(out, images[:, :, :, ::-1])
+    unchanged = horizontal_flip(images, probability=0.0, rng=np.random.default_rng(0))
+    np.testing.assert_array_equal(unchanged, images)
+
+
+def test_cutout_erases_a_window(images):
+    out = cutout(images, size=4, fill=0.0, rng=np.random.default_rng(0))
+    assert out.shape == images.shape
+    # Some pixels must have been set to the fill value.
+    assert (out == 0.0).sum() >= 8 * 3 * 4 * 4
+
+
+def test_cutout_default_fill_is_image_mean(images):
+    out = cutout(images, size=12, rng=np.random.default_rng(0))
+    for i in range(images.shape[0]):
+        np.testing.assert_allclose(out[i], images[i].mean())
+
+
+def test_cutout_zero_size_is_identity(images):
+    np.testing.assert_array_equal(cutout(images, size=0), images)
+
+
+def test_normalize_images_standardizes_channels(images):
+    normalized, mean, std = normalize_images(images)
+    np.testing.assert_allclose(normalized.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+    np.testing.assert_allclose(normalized.std(axis=(0, 2, 3)), 1.0, atol=1e-6)
+    assert mean.shape == (3,) and std.shape == (3,)
+
+
+def test_normalize_images_with_given_statistics(images):
+    mean = np.zeros(3)
+    std = np.ones(3)
+    normalized, _, _ = normalize_images(images, mean=mean, std=std)
+    np.testing.assert_allclose(normalized, images)
+
+
+def test_standard_augmentation_composes(images):
+    augment = standard_augmentation(padding=1, flip_probability=0.5, cutout_size=3)
+    out = augment(images, np.random.default_rng(0))
+    assert out.shape == images.shape
+    # Deterministic given the same RNG seed.
+    out2 = augment(images, np.random.default_rng(0))
+    np.testing.assert_array_equal(out, out2)

@@ -1,0 +1,81 @@
+"""Tests for ArrayDataset, DataLoader and train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader, train_test_split
+
+
+@pytest.fixture
+def dataset(rng):
+    inputs = rng.normal(size=(50, 2, 4, 4))
+    labels = rng.integers(0, 3, size=50)
+    return ArrayDataset(inputs, labels, num_classes=3)
+
+
+def test_dataset_length_and_indexing(dataset):
+    assert len(dataset) == 50
+    x, y = dataset[np.array([0, 1, 2])]
+    assert x.shape == (3, 2, 4, 4)
+    assert y.shape == (3,)
+
+
+def test_dataset_mismatched_lengths_raise(rng):
+    with pytest.raises(ValueError):
+        ArrayDataset(rng.normal(size=(5, 3)), np.zeros(4, dtype=int))
+
+
+def test_num_classes_inferred(rng):
+    dataset = ArrayDataset(rng.normal(size=(6, 3)), np.array([0, 1, 2, 2, 1, 0]))
+    assert dataset.num_classes == 3
+
+
+def test_subset_and_input_shape(dataset):
+    subset = dataset.subset(np.array([1, 3, 5]))
+    assert len(subset) == 3
+    assert subset.num_classes == 3
+    assert dataset.input_shape == (2, 4, 4)
+
+
+def test_train_test_split_sizes_and_disjointness(dataset):
+    train, test = train_test_split(dataset, test_fraction=0.2, rng=np.random.default_rng(0))
+    assert len(train) + len(test) == len(dataset)
+    assert len(test) == 10
+
+
+def test_train_test_split_invalid_fraction(dataset):
+    with pytest.raises(ValueError):
+        train_test_split(dataset, test_fraction=1.5)
+
+
+def test_dataloader_covers_all_examples(dataset):
+    loader = DataLoader(dataset, batch_size=16, shuffle=True, rng=np.random.default_rng(0))
+    total = sum(labels.shape[0] for _, labels in loader)
+    assert total == len(dataset)
+    assert len(loader) == 4
+
+
+def test_dataloader_drop_last(dataset):
+    loader = DataLoader(dataset, batch_size=16, drop_last=True, rng=np.random.default_rng(0))
+    batches = list(loader)
+    assert len(batches) == 3
+    assert all(labels.shape[0] == 16 for _, labels in batches)
+
+
+def test_dataloader_applies_augmentation(dataset):
+    calls = []
+
+    def augment(inputs, rng):
+        calls.append(inputs.shape[0])
+        return inputs + 1.0
+
+    loader = DataLoader(dataset, batch_size=25, shuffle=False, augment=augment,
+                        rng=np.random.default_rng(0))
+    first_inputs, _ = next(iter(loader))
+    assert calls and calls[0] == 25
+    assert first_inputs.mean() > dataset.inputs.mean()
+
+
+def test_dataloader_invalid_batch_size(dataset):
+    with pytest.raises(ValueError):
+        DataLoader(dataset, batch_size=0)

@@ -1,0 +1,89 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticImageConfig,
+    make_blob_dataset,
+    make_synthetic_images,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+)
+
+
+def test_make_synthetic_images_shapes_and_labels():
+    config = SyntheticImageConfig(num_classes=5, samples_per_class=8, image_size=12, channels=3)
+    dataset = make_synthetic_images(config)
+    assert len(dataset) == 40
+    assert dataset.inputs.shape == (40, 3, 12, 12)
+    assert dataset.num_classes == 5
+    assert set(np.unique(dataset.labels)) == set(range(5))
+    counts = np.bincount(dataset.labels)
+    assert np.all(counts == 8)
+
+
+def test_images_are_in_unit_interval():
+    dataset = make_synthetic_images(SyntheticImageConfig(samples_per_class=4))
+    assert dataset.inputs.min() >= 0.0
+    assert dataset.inputs.max() <= 1.0
+
+
+def test_same_seed_reproduces_dataset():
+    config = SyntheticImageConfig(samples_per_class=4, seed=42)
+    a = make_synthetic_images(config)
+    b = make_synthetic_images(config)
+    np.testing.assert_array_equal(a.inputs, b.inputs)
+    np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def test_different_seeds_differ():
+    a = make_synthetic_images(SyntheticImageConfig(samples_per_class=4, seed=1))
+    b = make_synthetic_images(SyntheticImageConfig(samples_per_class=4, seed=2))
+    assert not np.array_equal(a.inputs, b.inputs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_classes": 1},
+        {"samples_per_class": 0},
+        {"image_size": 2},
+        {"channels": 0},
+        {"noise_std": -1.0},
+    ],
+)
+def test_invalid_config_raises(kwargs):
+    with pytest.raises(ValueError):
+        SyntheticImageConfig(**kwargs)
+
+
+def test_presets_have_expected_shapes():
+    mnist = synthetic_mnist(samples_per_class=3)
+    assert mnist.inputs.shape[1] == 1
+    assert mnist.num_classes == 10
+    cifar10 = synthetic_cifar10(samples_per_class=3)
+    assert cifar10.inputs.shape[1] == 3
+    cifar100 = synthetic_cifar100(samples_per_class=2)
+    assert cifar100.num_classes == 20
+
+
+def test_blob_dataset_shapes_and_determinism():
+    a = make_blob_dataset(num_classes=3, samples_per_class=10, num_features=6, rng=np.random.default_rng(5))
+    b = make_blob_dataset(num_classes=3, samples_per_class=10, num_features=6, rng=np.random.default_rng(5))
+    assert a.inputs.shape == (30, 6)
+    np.testing.assert_array_equal(a.inputs, b.inputs)
+
+
+def test_blob_dataset_is_learnable_by_nearest_centroid():
+    dataset = make_blob_dataset(
+        num_classes=3, samples_per_class=30, num_features=8, separation=4.0,
+        rng=np.random.default_rng(0),
+    )
+    centroids = np.stack(
+        [dataset.inputs[dataset.labels == c].mean(axis=0) for c in range(3)]
+    )
+    distances = ((dataset.inputs[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+    predictions = distances.argmin(axis=1)
+    assert (predictions == dataset.labels).mean() > 0.9

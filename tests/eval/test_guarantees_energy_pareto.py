@@ -1,0 +1,91 @@
+"""Tests for the Prop. 1 bound, energy accounting and Pareto frontier."""
+
+import numpy as np
+import pytest
+
+from repro.biterror import VoltageModel
+from repro.eval import (
+    deviation_bound,
+    energy_report,
+    pareto_frontier,
+    precision_energy_factor,
+    required_samples,
+)
+from repro.eval.guarantees import two_sided_failure_probability
+
+
+def test_deviation_bound_matches_paper_examples():
+    """The paper quotes ~4.1% for n=1e4 and ~1.7% for n=1e5 (l=1e6, delta=0.99)."""
+    assert abs(deviation_bound(10**4, 10**6, 0.01) - 0.041) < 0.005
+    assert abs(deviation_bound(10**5, 10**6, 0.01) - 0.017) < 0.005
+
+
+def test_deviation_bound_decreases_with_more_samples():
+    assert deviation_bound(10**5, 100, 0.05) < deviation_bound(10**3, 100, 0.05)
+    assert deviation_bound(10**4, 10**4, 0.05) < deviation_bound(10**4, 10, 0.05)
+
+
+def test_deviation_bound_validation():
+    with pytest.raises(ValueError):
+        deviation_bound(0, 10, 0.1)
+    with pytest.raises(ValueError):
+        deviation_bound(10, 10, 1.5)
+
+
+def test_failure_probability_decreases_with_epsilon():
+    assert two_sided_failure_probability(1000, 1000, 0.2) < two_sided_failure_probability(
+        1000, 1000, 0.05
+    )
+    with pytest.raises(ValueError):
+        two_sided_failure_probability(10, 10, 0.0)
+
+
+def test_required_samples():
+    n = required_samples(0.05, num_error_patterns=10**6, delta=0.01)
+    assert deviation_bound(n, 10**6, 0.01) <= 0.05
+    assert deviation_bound(n // 10, 10**6, 0.01) > 0.05
+    with pytest.raises(ValueError):
+        required_samples(1e-9, 10, 0.01, max_power=3)
+
+
+def test_precision_energy_factor():
+    assert precision_energy_factor(8) == 1.0
+    assert precision_energy_factor(4) == 0.5
+    with pytest.raises(ValueError):
+        precision_energy_factor(0)
+
+
+def test_energy_report_8bit_vs_4bit():
+    report_8 = energy_report(0.01, precision=8)
+    report_4 = energy_report(0.01, precision=4)
+    assert report_4.total_energy < report_8.total_energy
+    assert report_4.saving > report_8.saving
+    assert 0.0 < report_8.voltage <= 1.0
+
+
+def test_energy_report_headline_numbers():
+    """8-bit at p=1% saves roughly 30%; adding 4-bit pushes savings higher (Sec. 1)."""
+    report = energy_report(0.01, precision=8, voltage_model=VoltageModel())
+    assert 0.2 <= report.saving <= 0.45
+    report_4bit = energy_report(0.01, precision=4)
+    assert report_4bit.saving > 0.5
+
+
+def test_pareto_frontier_removes_dominated_points():
+    points = [
+        {"robust_error": 0.05, "energy": 0.8, "name": "a"},
+        {"robust_error": 0.06, "energy": 0.9, "name": "dominated"},
+        {"robust_error": 0.10, "energy": 0.6, "name": "b"},
+        {"robust_error": 0.04, "energy": 0.95, "name": "c"},
+    ]
+    frontier = pareto_frontier(points)
+    names = [p["name"] for p in frontier]
+    assert "dominated" not in names
+    assert set(names) == {"a", "b", "c"}
+    # Sorted by robust error.
+    assert names == sorted(names, key=lambda n: next(p["robust_error"] for p in points if p["name"] == n))
+
+
+def test_pareto_frontier_single_point():
+    frontier = pareto_frontier([{"robust_error": 0.1, "energy": 0.5}])
+    assert len(frontier) == 1

@@ -1,0 +1,45 @@
+"""Tests for L-infinity weight-noise robustness evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, TrainerConfig
+from repro.eval import evaluate_linf_robustness
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+
+
+@pytest.fixture(scope="module")
+def trained(blob_data):
+    train, _ = blob_data
+    model = MLP(
+        in_features=train.input_shape[0], num_classes=train.num_classes,
+        hidden=(24,), rng=np.random.default_rng(0),
+    )
+    quantizer = FixedPointQuantizer(rquant(8))
+    Trainer(model, quantizer, TrainerConfig(epochs=10, batch_size=16, seed=1)).train(train)
+    return model, quantizer
+
+
+def test_zero_magnitude_equals_clean_error(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    rows = evaluate_linf_robustness(model, quantizer, test, [0.0], num_samples=3)
+    assert rows[0]["std_error"] == 0.0
+
+
+def test_one_row_per_magnitude_and_monotone_trend(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    rows = evaluate_linf_robustness(
+        model, quantizer, test, [0.0, 0.05, 0.5], num_samples=4, seed=2
+    )
+    assert len(rows) == 3
+    assert rows[-1]["mean_error"] >= rows[0]["mean_error"]
+
+
+def test_negative_magnitude_raises(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    with pytest.raises(ValueError):
+        evaluate_linf_robustness(model, quantizer, test, [-0.1])

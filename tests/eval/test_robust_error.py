@@ -1,0 +1,82 @@
+"""Tests for robust test error (RErr) evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.biterror import ChipProfile, make_error_fields
+from repro.core import Trainer, TrainerConfig
+from repro.eval import evaluate_clean_error, evaluate_profiled_error, evaluate_robust_error
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+
+
+@pytest.fixture(scope="module")
+def trained(blob_data):
+    train, _ = blob_data
+    model = MLP(
+        in_features=train.input_shape[0], num_classes=train.num_classes,
+        hidden=(24,), rng=np.random.default_rng(0),
+    )
+    quantizer = FixedPointQuantizer(rquant(8))
+    trainer = Trainer(model, quantizer, TrainerConfig(epochs=12, batch_size=16, seed=1))
+    trainer.train(train)
+    return model, quantizer
+
+
+def test_clean_error_matches_zero_rate_result(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    clean = evaluate_clean_error(model, quantizer, test)
+    result = evaluate_robust_error(model, quantizer, test, bit_error_rate=0.0)
+    assert np.isclose(result.clean_error, clean)
+    assert result.mean_error == result.clean_error
+    assert result.std_error == 0.0
+
+
+def test_robust_error_fields_and_statistics(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    result = evaluate_robust_error(
+        model, quantizer, test, bit_error_rate=0.01, num_samples=6, seed=3
+    )
+    assert len(result.errors) == 6
+    assert result.mean_error >= 0.0
+    assert result.max_error >= result.mean_error
+    assert 0.0 < result.confidence_clean <= 1.0
+    assert 0.0 < result.confidence_perturbed <= 1.0
+
+
+def test_robust_error_increases_with_rate(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    fields = make_error_fields(model.num_parameters(), 8, 8, seed=11)
+    low = evaluate_robust_error(model, quantizer, test, 0.001, error_fields=fields)
+    high = evaluate_robust_error(model, quantizer, test, 0.1, error_fields=fields)
+    assert high.mean_error >= low.mean_error
+
+
+def test_shared_fields_give_reproducible_results(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    fields = make_error_fields(model.num_parameters(), 8, 4, seed=5)
+    a = evaluate_robust_error(model, quantizer, test, 0.02, error_fields=fields)
+    b = evaluate_robust_error(model, quantizer, test, 0.02, error_fields=fields)
+    np.testing.assert_allclose(a.errors, b.errors)
+
+
+def test_profiled_evaluation_over_offsets(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    chip = ChipProfile(rows=256, columns=128, column_alignment=0.5, seed=9)
+    result = evaluate_profiled_error(
+        model, quantizer, test, chip, rate=0.02, offsets=(0, 1000, 2000)
+    )
+    assert len(result.errors) == 3
+    assert result.mean_error >= 0.0
+
+
+def test_no_quantizer_clean_error(trained, blob_data):
+    _, test = blob_data
+    model, _ = trained
+    error = evaluate_clean_error(model, None, test)
+    assert 0.0 <= error <= 1.0

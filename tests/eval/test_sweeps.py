@@ -1,0 +1,58 @@
+"""Tests for the RErr sweep helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, TrainerConfig
+from repro.eval import compare_models, rerr_sweep
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+
+
+@pytest.fixture(scope="module")
+def trained(blob_data):
+    train, _ = blob_data
+    model = MLP(
+        in_features=train.input_shape[0], num_classes=train.num_classes,
+        hidden=(24,), rng=np.random.default_rng(0),
+    )
+    quantizer = FixedPointQuantizer(rquant(8))
+    Trainer(model, quantizer, TrainerConfig(epochs=10, batch_size=16, seed=1)).train(train)
+    return model, quantizer
+
+
+def test_rerr_sweep_structure(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    rates = [0.0, 0.01, 0.05]
+    curve = rerr_sweep(model, quantizer, test, rates, num_fields=3, seed=2, name="m")
+    assert curve.rates == rates
+    assert len(curve.results) == 3
+    assert len(curve.mean_errors()) == 3
+    assert 0.0 <= curve.clean_error <= 1.0
+    rows = curve.as_rows()
+    assert len(rows) == 3
+    assert rows[1]["bit_error_rate"] == 0.01
+    assert rows[0]["model"] == "m"
+
+
+def test_rerr_sweep_zero_rate_matches_clean(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    curve = rerr_sweep(model, quantizer, test, [0.0], num_fields=2)
+    assert curve.mean_errors()[0] == curve.clean_error
+
+
+def test_compare_models_shares_fields_per_precision(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    curves = compare_models(
+        {"a": (model, quantizer), "b": (model, quantizer)},
+        test,
+        rates=[0.02],
+        num_fields=3,
+        seed=5,
+    )
+    assert set(curves) == {"a", "b"}
+    # Identical model + identical shared fields -> identical results.
+    np.testing.assert_allclose(curves["a"].mean_errors(), curves["b"].mean_errors())

@@ -1,0 +1,21 @@
+"""Tests for shared model building blocks."""
+
+import pytest
+
+from repro.models.common import NORM_CHOICES, make_norm
+from repro.nn import GroupNorm
+
+
+def test_norm_choices_constant():
+    assert "gn" in NORM_CHOICES and "bn" in NORM_CHOICES and "none" in NORM_CHOICES
+
+
+@pytest.mark.parametrize("channels", [2, 3, 5, 7, 8, 12])
+def test_group_count_always_divides(channels):
+    norm = make_norm("gn", channels)
+    assert isinstance(norm, GroupNorm)
+    assert channels % norm.num_groups == 0
+
+
+def test_case_insensitive_norm_names():
+    assert isinstance(make_norm("GN", 8), GroupNorm)

@@ -1,0 +1,64 @@
+"""Tests for activation layers."""
+
+import numpy as np
+import pytest
+
+from helpers import check_layer_gradients
+from repro.nn import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.flatten import Flatten
+
+
+def test_relu_forward():
+    x = np.array([[-1.0, 0.0, 2.0]])
+    np.testing.assert_array_equal(ReLU()(x), [[0.0, 0.0, 2.0]])
+
+
+def test_relu_backward_masks_negative():
+    layer = ReLU()
+    layer(np.array([[-1.0, 3.0]]))
+    grad = layer.backward(np.array([[5.0, 5.0]]))
+    np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+
+def test_leaky_relu_forward():
+    layer = LeakyReLU(0.1)
+    np.testing.assert_allclose(layer(np.array([[-2.0, 4.0]])), [[-0.2, 4.0]])
+
+
+def test_sigmoid_range(rng):
+    out = Sigmoid()(rng.normal(size=(10, 4)) * 5)
+    assert np.all(out > 0) and np.all(out < 1)
+
+
+def test_tanh_matches_numpy(rng):
+    x = rng.normal(size=(3, 3))
+    np.testing.assert_allclose(Tanh()(x), np.tanh(x))
+
+
+def test_identity_passthrough(rng):
+    x = rng.normal(size=(2, 2))
+    layer = Identity()
+    np.testing.assert_array_equal(layer(x), x)
+    np.testing.assert_array_equal(layer.backward(x), x)
+
+
+@pytest.mark.parametrize(
+    "layer", [ReLU(), LeakyReLU(0.2), Sigmoid(), Tanh()], ids=lambda l: type(l).__name__
+)
+def test_activation_gradients(layer, rng):
+    check_layer_gradients(layer, (4, 6), rng, input_scale=2.0, atol=1e-5)
+
+
+def test_flatten_round_trip(rng):
+    layer = Flatten()
+    x = rng.normal(size=(3, 2, 4, 4))
+    out = layer(x)
+    assert out.shape == (3, 32)
+    grad = layer.backward(out)
+    assert grad.shape == x.shape
+
+
+def test_backward_before_forward_raises():
+    for layer in (ReLU(), Sigmoid(), Tanh(), LeakyReLU(), Flatten()):
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1)))

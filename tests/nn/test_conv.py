@@ -1,0 +1,81 @@
+"""Tests for Conv2d and the im2col/col2im primitives."""
+
+import numpy as np
+import pytest
+
+from helpers import check_layer_gradients
+from repro.nn import Conv2d
+from repro.nn.conv import col2im, conv_output_size, im2col
+
+
+def naive_conv2d(x, weight, bias, stride, padding):
+    """Reference convolution with explicit loops."""
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    x_padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, c_out, out_h, out_w))
+    for b in range(n):
+        for o in range(c_out):
+            for i in range(out_h):
+                for j in range(out_w):
+                    window = x_padded[
+                        b, :, i * stride : i * stride + kh, j * stride : j * stride + kw
+                    ]
+                    out[b, o, i, j] = (window * weight[o]).sum() + bias[o]
+    return out
+
+
+def test_conv_output_size():
+    assert conv_output_size(8, 3, 1, 1) == 8
+    assert conv_output_size(8, 3, 2, 1) == 4
+    assert conv_output_size(7, 3, 1, 0) == 5
+
+
+def test_im2col_shapes(rng):
+    x = rng.normal(size=(2, 3, 8, 8))
+    cols, out_h, out_w = im2col(x, 3, 3, 1, 1)
+    assert cols.shape == (2, 3 * 9, out_h * out_w)
+    assert (out_h, out_w) == (8, 8)
+
+
+def test_im2col_col2im_adjoint(rng):
+    """col2im is the transpose of im2col: <im2col(x), y> == <x, col2im(y)>."""
+    x = rng.normal(size=(1, 2, 6, 6))
+    cols, _, _ = im2col(x, 3, 3, 1, 1)
+    y = rng.normal(size=cols.shape)
+    lhs = float((cols * y).sum())
+    rhs = float((x * col2im(y, x.shape, 3, 3, 1, 1)).sum())
+    assert np.isclose(lhs, rhs)
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 1), (1, 0), (2, 1)])
+def test_forward_matches_naive(rng, stride, padding):
+    layer = Conv2d(3, 4, kernel_size=3, stride=stride, padding=padding, rng=rng)
+    x = rng.normal(size=(2, 3, 8, 8))
+    expected = naive_conv2d(x, layer.weight.data, layer.bias.data, stride, padding)
+    np.testing.assert_allclose(layer(x), expected, atol=1e-10)
+
+
+def test_forward_wrong_channels_raises(rng):
+    layer = Conv2d(3, 4, kernel_size=3, rng=rng)
+    with pytest.raises(ValueError):
+        layer(rng.normal(size=(1, 2, 8, 8)))
+
+
+def test_gradients_match_finite_differences(rng):
+    layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=rng)
+    check_layer_gradients(layer, (2, 2, 5, 5), rng, atol=1e-4)
+
+
+def test_gradients_with_stride(rng):
+    layer = Conv2d(2, 2, kernel_size=3, stride=2, padding=1, rng=rng)
+    check_layer_gradients(layer, (1, 2, 6, 6), rng, atol=1e-4)
+
+
+def test_conv_without_bias(rng):
+    layer = Conv2d(1, 1, kernel_size=3, padding=1, bias=False, rng=rng)
+    assert len(layer.parameters()) == 1
+    out = layer(rng.normal(size=(1, 1, 4, 4)))
+    assert out.shape == (1, 1, 4, 4)

@@ -1,0 +1,49 @@
+"""Tests for the Linear layer."""
+
+import numpy as np
+import pytest
+
+from helpers import check_layer_gradients
+from repro.nn import Linear
+
+
+def test_forward_matches_matmul(rng):
+    layer = Linear(6, 3, rng=rng)
+    x = rng.normal(size=(4, 6))
+    expected = x @ layer.weight.data + layer.bias.data
+    np.testing.assert_allclose(layer(x), expected)
+
+
+def test_forward_without_bias(rng):
+    layer = Linear(5, 2, bias=False, rng=rng)
+    x = rng.normal(size=(3, 5))
+    np.testing.assert_allclose(layer(x), x @ layer.weight.data)
+    assert len(layer.parameters()) == 1
+
+
+def test_wrong_input_shape_raises(rng):
+    layer = Linear(5, 2, rng=rng)
+    with pytest.raises(ValueError):
+        layer(rng.normal(size=(3, 4)))
+
+
+def test_backward_before_forward_raises(rng):
+    layer = Linear(5, 2, rng=rng)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.zeros((3, 2)))
+
+
+def test_gradients_match_finite_differences(rng):
+    layer = Linear(4, 3, rng=rng)
+    check_layer_gradients(layer, (5, 4), rng)
+
+
+def test_gradients_accumulate_across_batches(rng):
+    layer = Linear(3, 2, rng=rng)
+    x = rng.normal(size=(2, 3))
+    layer(x)
+    layer.backward(np.ones((2, 2)))
+    first = layer.weight.grad.copy()
+    layer(x)
+    layer.backward(np.ones((2, 2)))
+    np.testing.assert_allclose(layer.weight.grad, 2 * first)

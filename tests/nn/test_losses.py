@@ -1,0 +1,98 @@
+"""Tests for losses and classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from helpers import numerical_gradient
+from repro.nn.losses import CrossEntropyLoss, accuracy, confidences, log_softmax, softmax
+
+
+def test_softmax_rows_sum_to_one(rng):
+    probs = softmax(rng.normal(size=(6, 5)) * 3)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+    assert np.all(probs >= 0)
+
+
+@given(
+    logits=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+        elements=st.floats(-50, 50),
+    ),
+    shift=st.floats(-100, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_softmax_shift_invariance(logits, shift):
+    np.testing.assert_allclose(softmax(logits), softmax(logits + shift), atol=1e-9)
+
+
+def test_log_softmax_matches_log_of_softmax(rng):
+    logits = rng.normal(size=(4, 7))
+    np.testing.assert_allclose(log_softmax(logits), np.log(softmax(logits)), atol=1e-12)
+
+
+def test_cross_entropy_matches_manual():
+    logits = np.array([[2.0, 0.0, -1.0], [0.0, 3.0, 0.0]])
+    labels = np.array([0, 1])
+    loss, _ = CrossEntropyLoss()(logits, labels)
+    manual = -np.mean(
+        [np.log(softmax(logits)[0, 0]), np.log(softmax(logits)[1, 1])]
+    )
+    assert np.isclose(loss, manual)
+
+
+def test_cross_entropy_gradient_matches_finite_differences(rng):
+    logits = rng.normal(size=(3, 4))
+    labels = np.array([1, 0, 3])
+    loss_fn = CrossEntropyLoss()
+
+    def objective(values):
+        return loss_fn(values, labels)[0]
+
+    _, grad = loss_fn(logits, labels)
+    numeric = numerical_gradient(objective, logits.copy())
+    np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+
+def test_label_smoothing_target_distribution():
+    loss_fn = CrossEntropyLoss(label_smoothing=0.1)
+    targets = loss_fn.target_distribution(np.array([2]), num_classes=10)
+    # The paper's variant: 0.9 for the true class, 0.1 / 9 for the others.
+    assert np.isclose(targets[0, 2], 0.9)
+    np.testing.assert_allclose(np.delete(targets[0], 2), 0.1 / 9)
+    assert np.isclose(targets.sum(), 1.0)
+
+
+def test_label_smoothing_increases_loss_on_confident_predictions():
+    logits = np.array([[10.0, -10.0]])
+    labels = np.array([0])
+    plain, _ = CrossEntropyLoss()(logits, labels)
+    smoothed, _ = CrossEntropyLoss(label_smoothing=0.1)(logits, labels)
+    assert smoothed > plain
+
+
+def test_invalid_label_smoothing_raises():
+    with pytest.raises(ValueError):
+        CrossEntropyLoss(label_smoothing=1.0)
+
+
+def test_cross_entropy_validates_shapes(rng):
+    loss_fn = CrossEntropyLoss()
+    with pytest.raises(ValueError):
+        loss_fn(rng.normal(size=(3,)), np.array([0, 1, 2]))
+    with pytest.raises(ValueError):
+        loss_fn(rng.normal(size=(3, 2)), np.array([0, 1]))
+    with pytest.raises(ValueError):
+        loss_fn(rng.normal(size=(2, 2)), np.array([0, 5]))
+
+
+def test_accuracy_and_confidences():
+    logits = np.array([[5.0, 0.0], [0.0, 5.0], [5.0, 0.0]])
+    labels = np.array([0, 1, 1])
+    assert np.isclose(accuracy(logits, labels), 2 / 3)
+    conf = confidences(logits)
+    assert conf.shape == (3,)
+    assert np.all(conf > 0.5)

@@ -1,0 +1,113 @@
+"""Tests for the Module/Parameter base classes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+
+
+class ToyModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 3)))
+        self.child = Linear(3, 2, rng=np.random.default_rng(0))
+
+    def forward(self, x):
+        return self.child(x @ self.weight.data)
+
+    def backward(self, grad):
+        grad = self.child.backward(grad)
+        return grad @ self.weight.data.T
+
+
+def test_parameter_registration_and_names():
+    module = ToyModule()
+    names = [name for name, _ in module.named_parameters()]
+    assert "weight" in names
+    assert "child.weight" in names
+    assert "child.bias" in names
+
+
+def test_parameter_shape_and_size():
+    param = Parameter(np.zeros((3, 4)), name="p")
+    assert param.shape == (3, 4)
+    assert param.size == 12
+
+
+def test_num_parameters_counts_all_scalars():
+    module = ToyModule()
+    expected = 2 * 3 + 3 * 2 + 2
+    assert module.num_parameters() == expected
+
+
+def test_zero_grad_resets_gradients():
+    module = ToyModule()
+    for param in module.parameters():
+        param.grad += 1.0
+    module.zero_grad()
+    for param in module.parameters():
+        assert np.all(param.grad == 0.0)
+
+
+def test_train_eval_propagates_to_children():
+    module = ToyModule()
+    module.eval()
+    assert not module.training
+    assert not module.child.training
+    module.train()
+    assert module.training and module.child.training
+
+
+def test_state_dict_round_trip():
+    module = ToyModule()
+    state = module.state_dict()
+    other = ToyModule()
+    # Perturb then load.
+    for param in other.parameters():
+        param.data += 1.0
+    other.load_state_dict(state)
+    for (_, a), (_, b) in zip(module.named_parameters(), other.named_parameters()):
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+def test_load_state_dict_shape_mismatch_raises():
+    module = ToyModule()
+    state = module.state_dict()
+    state["weight"] = np.zeros((5, 5))
+    with pytest.raises(ValueError):
+        module.load_state_dict(state)
+
+
+def test_assign_parameter_before_init_raises():
+    class Broken(Module):
+        def __init__(self):
+            self.weight = Parameter(np.zeros(3))
+
+    with pytest.raises(RuntimeError):
+        Broken()
+
+
+def test_sequential_forward_backward_and_indexing():
+    rng = np.random.default_rng(0)
+    model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+    assert len(model) == 3
+    assert isinstance(model[1], ReLU)
+    x = rng.normal(size=(5, 4))
+    out = model(x)
+    assert out.shape == (5, 2)
+    grad_in = model.backward(np.ones_like(out))
+    assert grad_in.shape == x.shape
+
+
+def test_sequential_append():
+    model = Sequential(Linear(4, 4, rng=np.random.default_rng(0)))
+    model.append(ReLU())
+    assert len(model) == 2
+    assert len(model.parameters()) == 2  # weight + bias of the linear layer
+
+
+def test_named_modules_includes_nested():
+    module = ToyModule()
+    names = [name for name, _ in module.named_modules()]
+    assert "" in names
+    assert "child" in names

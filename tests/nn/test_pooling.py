@@ -1,0 +1,63 @@
+"""Tests for pooling layers."""
+
+import numpy as np
+import pytest
+
+from helpers import check_layer_gradients
+from repro.nn import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+
+def test_maxpool_forward_values():
+    x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+    out = MaxPool2d(2)(x)
+    expected = np.array([[[[5.0, 7.0], [13.0, 15.0]]]])
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_maxpool_backward_routes_to_argmax():
+    x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+    layer = MaxPool2d(2)
+    layer(x)
+    grad = layer.backward(np.ones((1, 1, 2, 2)))
+    # Only the max positions receive gradient.
+    assert grad.sum() == 4.0
+    assert grad[0, 0, 1, 1] == 1.0 and grad[0, 0, 0, 0] == 0.0
+
+
+def test_maxpool_requires_divisible_dims(rng):
+    with pytest.raises(ValueError):
+        MaxPool2d(2)(rng.normal(size=(1, 1, 5, 4)))
+
+
+def test_avgpool_forward_values():
+    x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+    out = AvgPool2d(2)(x)
+    expected = np.array([[[[2.5, 4.5], [10.5, 12.5]]]])
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_avgpool_gradients(rng):
+    check_layer_gradients(AvgPool2d(2), (2, 3, 4, 4), rng)
+
+
+def test_maxpool_gradients(rng):
+    # Use distinct values so argmax ties do not break finite differences.
+    layer = MaxPool2d(2)
+    check_layer_gradients(layer, (1, 2, 4, 4), rng, input_scale=5.0, atol=1e-4)
+
+
+def test_global_avgpool_forward_and_shape(rng):
+    x = rng.normal(size=(3, 4, 5, 5))
+    out = GlobalAvgPool2d()(x)
+    assert out.shape == (3, 4, 1, 1)
+    np.testing.assert_allclose(out[..., 0, 0], x.mean(axis=(2, 3)))
+
+
+def test_global_avgpool_gradients(rng):
+    check_layer_gradients(GlobalAvgPool2d(), (2, 3, 4, 4), rng)
+
+
+def test_backward_before_forward_raises():
+    for layer in (MaxPool2d(2), AvgPool2d(2), GlobalAvgPool2d()):
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1, 2, 2)))

@@ -1,0 +1,47 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.optim import ConstantLR, CosineLR, MultiStepLR
+
+
+def test_constant_lr():
+    schedule = ConstantLR(0.05)
+    assert schedule.lr_at(0) == 0.05
+    assert schedule.lr_at(100) == 0.05
+
+
+def test_multistep_decays_at_milestones():
+    schedule = MultiStepLR(1.0, milestones=[10, 20], gamma=0.1)
+    assert schedule.lr_at(0) == 1.0
+    assert schedule.lr_at(9) == 1.0
+    assert np.isclose(schedule.lr_at(10), 0.1)
+    assert np.isclose(schedule.lr_at(19), 0.1)
+    assert np.isclose(schedule.lr_at(20), 0.01)
+
+
+def test_paper_schedule_milestones():
+    schedule = MultiStepLR.paper_schedule(0.05, total_epochs=100)
+    assert schedule.milestones == [40, 60, 80]
+    assert np.isclose(schedule.lr_at(39), 0.05)
+    assert np.isclose(schedule.lr_at(40), 0.005)
+    assert np.isclose(schedule.lr_at(80), 0.05 * 0.001)
+
+
+def test_cosine_endpoints():
+    schedule = CosineLR(0.1, total_epochs=10, min_lr=0.01)
+    assert np.isclose(schedule.lr_at(0), 0.1)
+    assert np.isclose(schedule.lr_at(10), 0.01)
+    assert schedule.lr_at(5) < 0.1
+
+
+def test_cosine_is_monotone_decreasing():
+    schedule = CosineLR(1.0, total_epochs=20)
+    values = [schedule.lr_at(epoch) for epoch in range(21)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_cosine_invalid_epochs():
+    with pytest.raises(ValueError):
+        CosineLR(0.1, total_epochs=0)

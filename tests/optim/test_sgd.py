@@ -1,0 +1,84 @@
+"""Tests for the SGD optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD
+
+
+def quadratic_loss_and_grad(param: Parameter, target: np.ndarray):
+    diff = param.data - target
+    param.grad[...] = 2 * diff
+    return float((diff**2).sum())
+
+
+def test_sgd_minimizes_quadratic():
+    target = np.array([1.0, -2.0, 3.0])
+    param = Parameter(np.zeros(3))
+    optimizer = SGD([param], lr=0.1, momentum=0.0)
+    for _ in range(100):
+        optimizer.zero_grad()
+        quadratic_loss_and_grad(param, target)
+        optimizer.step()
+    np.testing.assert_allclose(param.data, target, atol=1e-4)
+
+
+def test_momentum_accelerates_convergence():
+    target = np.array([5.0])
+
+    def run(momentum):
+        param = Parameter(np.zeros(1))
+        optimizer = SGD([param], lr=0.01, momentum=momentum)
+        for _ in range(50):
+            optimizer.zero_grad()
+            quadratic_loss_and_grad(param, target)
+            optimizer.step()
+        return abs(float(param.data[0]) - 5.0)
+
+    assert run(0.9) < run(0.0)
+
+
+def test_weight_decay_shrinks_weights():
+    param = Parameter(np.array([10.0]))
+    optimizer = SGD([param], lr=0.1, momentum=0.0, weight_decay=0.5)
+    optimizer.zero_grad()  # gradient stays zero; only decay acts
+    optimizer.step()
+    assert abs(float(param.data[0])) < 10.0
+
+
+def test_nesterov_runs():
+    param = Parameter(np.array([1.0]))
+    optimizer = SGD([param], lr=0.1, momentum=0.9, nesterov=True)
+    optimizer.zero_grad()
+    param.grad[...] = 1.0
+    optimizer.step()
+    assert float(param.data[0]) < 1.0
+
+
+def test_zero_grad_clears_all():
+    params = [Parameter(np.ones(2)), Parameter(np.ones(3))]
+    optimizer = SGD(params, lr=0.1)
+    for p in params:
+        p.grad += 5.0
+    optimizer.zero_grad()
+    for p in params:
+        assert np.all(p.grad == 0.0)
+
+
+def test_invalid_arguments_raise():
+    param = Parameter(np.ones(1))
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+    with pytest.raises(ValueError):
+        SGD([param], lr=0.0)
+    with pytest.raises(ValueError):
+        SGD([param], lr=0.1, momentum=-0.1)
+
+
+def test_state_dict_contains_hyperparameters():
+    param = Parameter(np.ones(1))
+    optimizer = SGD([param], lr=0.05, momentum=0.9, weight_decay=5e-4)
+    state = optimizer.state_dict()
+    assert state["lr"] == 0.05
+    assert state["momentum"] == 0.9

@@ -1,0 +1,175 @@
+"""Tests for fixed-point quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    FixedPointQuantizer,
+    QuantizationScheme,
+    decode_array,
+    encode_array,
+    normal_quantization,
+    rquant,
+    weight_range,
+)
+
+
+def test_scheme_validation():
+    with pytest.raises(ValueError):
+        QuantizationScheme(precision=1)
+    with pytest.raises(ValueError):
+        QuantizationScheme(precision=17)
+
+
+def test_scheme_levels_and_codes():
+    scheme = QuantizationScheme(precision=8)
+    assert scheme.levels == 127
+    assert scheme.num_codes == 256
+    assert "m=8" in scheme.describe()
+    assert scheme.with_precision(4).precision == 4
+
+
+def test_weight_range_symmetric_and_asymmetric():
+    weights = np.array([-0.2, 0.5, 0.1])
+    assert weight_range(weights, asymmetric=False) == (-0.5, 0.5)
+    assert weight_range(weights, asymmetric=True) == (-0.2, 0.5)
+
+
+def test_weight_range_degenerate_tensor():
+    lo, hi = weight_range(np.zeros(5), asymmetric=True)
+    assert hi > lo
+
+
+def test_encode_decode_round_trip_error_bounded():
+    rng = np.random.default_rng(0)
+    weights = rng.normal(0, 0.1, size=1000)
+    for scheme in (rquant(8), normal_quantization(8), rquant(4)):
+        lo, hi = weight_range(weights, scheme.asymmetric)
+        codes = encode_array(weights, lo, hi, scheme)
+        decoded = decode_array(codes, lo, hi, scheme)
+        delta = (hi - lo) / (2 * scheme.levels) if scheme.asymmetric else hi / scheme.levels
+        assert np.abs(decoded - weights).max() <= delta + 1e-12
+
+
+def test_codes_fit_in_precision_bits():
+    rng = np.random.default_rng(1)
+    weights = rng.normal(size=500)
+    for precision in (2, 3, 4, 8):
+        scheme = rquant(precision)
+        lo, hi = weight_range(weights, True)
+        codes = encode_array(weights, lo, hi, scheme)
+        assert codes.max() < 2**precision
+
+
+def test_signed_codes_use_twos_complement():
+    scheme = QuantizationScheme(precision=8, asymmetric=False, unsigned=False, rounding=True)
+    weights = np.array([-1.0, 0.0, 1.0])
+    codes = encode_array(weights, -1.0, 1.0, scheme)
+    # -1.0 -> -127 -> two's complement 129; 0 -> 0; 1.0 -> 127.
+    np.testing.assert_array_equal(codes, [129, 0, 127])
+    decoded = decode_array(codes, -1.0, 1.0, scheme)
+    np.testing.assert_allclose(decoded, weights, atol=1e-12)
+
+
+def test_unsigned_codes_offset():
+    scheme = rquant(8)
+    weights = np.array([-1.0, 0.0, 1.0])
+    codes = encode_array(weights, -1.0, 1.0, scheme)
+    np.testing.assert_array_equal(codes, [0, 127, 254])
+
+
+def test_rounding_reduces_quantization_error():
+    rng = np.random.default_rng(2)
+    weights = [rng.normal(0, 0.1, size=200)]
+    scheme_round = rquant(4)
+    scheme_trunc = QuantizationScheme(precision=4, rounding=False)
+    err_round = FixedPointQuantizer(scheme_round).quantization_error(weights)
+    err_trunc = FixedPointQuantizer(scheme_trunc).quantization_error(weights)
+    assert err_round < err_trunc
+
+
+def test_per_layer_vs_global_ranges():
+    arrays = [np.array([-0.1, 0.1]), np.array([-1.0, 1.0])]
+    per_layer = FixedPointQuantizer(rquant(8)).compute_ranges(arrays)
+    assert per_layer[0] != per_layer[1]
+    global_scheme = QuantizationScheme(precision=8, per_layer=False)
+    global_ranges = FixedPointQuantizer(global_scheme).compute_ranges(arrays)
+    assert global_ranges[0] == global_ranges[1]
+
+
+def test_quantized_weights_flat_round_trip(rng):
+    arrays = [rng.normal(size=(3, 4)), rng.normal(size=7)]
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize(arrays, names=["a", "b"])
+    assert quantized.num_tensors == 2
+    assert quantized.num_weights == 19
+    assert quantized.num_bits == 19 * 8
+    flat = quantized.flat_codes()
+    rebuilt = quantized.with_flat_codes(flat)
+    for original, recon in zip(quantized.codes, rebuilt.codes):
+        np.testing.assert_array_equal(original, recon)
+
+
+def test_with_flat_codes_wrong_size_raises(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=5)])
+    with pytest.raises(ValueError):
+        quantized.with_flat_codes(np.zeros(3, dtype=np.uint8))
+
+
+def test_quantize_empty_raises():
+    with pytest.raises(ValueError):
+        FixedPointQuantizer(rquant(8)).quantize([])
+
+
+def test_copy_is_independent(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=10)])
+    copy = quantized.copy()
+    copy.codes[0][:] = 0
+    assert not np.array_equal(copy.codes[0], quantized.codes[0])
+
+
+@given(
+    weights=hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 50),
+        elements=st.floats(-10, 10, allow_nan=False),
+    ),
+    precision=st.sampled_from([2, 4, 8]),
+    asymmetric=st.booleans(),
+    unsigned=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_round_trip_within_one_step(weights, precision, asymmetric, unsigned):
+    """decode(encode(w)) is within one quantization step of w for any scheme."""
+    scheme = QuantizationScheme(
+        precision=precision, asymmetric=asymmetric, unsigned=unsigned, rounding=True
+    )
+    lo, hi = weight_range(weights, asymmetric)
+    codes = encode_array(weights, lo, hi, scheme)
+    decoded = decode_array(codes, lo, hi, scheme)
+    if asymmetric:
+        delta = (hi - lo) / (2 * scheme.levels)
+    else:
+        delta = max(abs(lo), abs(hi)) / scheme.levels
+    assert np.abs(decoded - weights).max() <= delta * 1.5 + 1e-9
+
+
+@given(
+    weights=hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(2, 30),
+        elements=st.floats(-5, 5, allow_nan=False),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_quantization_idempotent(weights):
+    """Quantize-dequantize is idempotent: applying it twice changes nothing."""
+    quantizer = FixedPointQuantizer(rquant(8))
+    once = quantizer.quantize_dequantize([weights])[0]
+    twice = quantizer.quantize_dequantize([once])[0]
+    np.testing.assert_allclose(once, twice, atol=1e-9)

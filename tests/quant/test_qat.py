@@ -1,0 +1,77 @@
+"""Tests for quantization-aware training helpers."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    FixedPointQuantizer,
+    dequantize_into,
+    model_weight_arrays,
+    quantize_dequantize_model,
+    quantize_model,
+    rquant,
+    set_model_weights,
+    swap_weights,
+)
+
+
+def test_model_weight_arrays_are_references(small_mlp):
+    arrays = model_weight_arrays(small_mlp)
+    arrays[0][...] = 7.0
+    assert np.all(small_mlp.parameters()[0].data == 7.0)
+
+
+def test_quantize_model_records_names(small_mlp, rquant8):
+    quantized = quantize_model(small_mlp, rquant8)
+    assert quantized.names == [name for name, _ in small_mlp.named_parameters()]
+    assert quantized.num_weights == small_mlp.num_parameters()
+
+
+def test_quantize_dequantize_model_close_to_original(small_mlp, rquant8):
+    original = [p.data.copy() for p in small_mlp.parameters()]
+    fake = quantize_dequantize_model(small_mlp, rquant8)
+    for a, b in zip(original, fake):
+        assert np.abs(a - b).max() < 0.05
+
+
+def test_set_model_weights_shape_check(small_mlp):
+    arrays = [p.data.copy() for p in small_mlp.parameters()]
+    arrays[0] = np.zeros((2, 2))
+    with pytest.raises(ValueError):
+        set_model_weights(small_mlp, arrays)
+
+
+def test_set_model_weights_count_check(small_mlp):
+    with pytest.raises(ValueError):
+        set_model_weights(small_mlp, [np.zeros(3)])
+
+
+def test_swap_weights_restores_originals(small_mlp):
+    original = [p.data.copy() for p in small_mlp.parameters()]
+    replacement = [np.zeros_like(a) for a in original]
+    with swap_weights(small_mlp, replacement):
+        for param in small_mlp.parameters():
+            assert np.all(param.data == 0.0)
+    for param, orig in zip(small_mlp.parameters(), original):
+        np.testing.assert_array_equal(param.data, orig)
+
+
+def test_swap_weights_restores_on_exception(small_mlp):
+    original = [p.data.copy() for p in small_mlp.parameters()]
+    replacement = [np.zeros_like(a) for a in original]
+    with pytest.raises(RuntimeError):
+        with swap_weights(small_mlp, replacement):
+            raise RuntimeError("boom")
+    for param, orig in zip(small_mlp.parameters(), original):
+        np.testing.assert_array_equal(param.data, orig)
+
+
+def test_dequantize_into_writes_model(small_mlp, rquant8):
+    quantized = quantize_model(small_mlp, rquant8)
+    before = [p.data.copy() for p in small_mlp.parameters()]
+    dequantize_into(small_mlp, quantized, rquant8)
+    after = [p.data for p in small_mlp.parameters()]
+    # Weights changed (to their quantized values) but stayed close.
+    assert any(not np.array_equal(a, b) for a, b in zip(before, after))
+    for a, b in zip(before, after):
+        assert np.abs(a - b).max() < 0.05

@@ -1,0 +1,59 @@
+"""Tests for the quantization scheme presets (Table 1 ladder)."""
+
+import pytest
+
+from repro.quant import (
+    SCHEME_LADDER,
+    asymmetric_signed_quantization,
+    asymmetric_unsigned_quantization,
+    global_quantization,
+    normal_quantization,
+    rquant,
+    scheme_ladder,
+)
+
+
+def test_global_scheme_flags():
+    scheme = global_quantization(8)
+    assert not scheme.per_layer and not scheme.asymmetric
+    assert not scheme.unsigned and not scheme.rounding
+
+
+def test_normal_scheme_flags():
+    scheme = normal_quantization(8)
+    assert scheme.per_layer and not scheme.asymmetric
+    assert not scheme.unsigned and not scheme.rounding
+
+
+def test_rquant_flags():
+    scheme = rquant(8)
+    assert scheme.per_layer and scheme.asymmetric
+    assert scheme.unsigned and scheme.rounding
+
+
+def test_intermediate_ladder_steps():
+    asym = asymmetric_signed_quantization(8)
+    assert asym.asymmetric and not asym.unsigned
+    unsigned = asymmetric_unsigned_quantization(8)
+    assert unsigned.unsigned and not unsigned.rounding
+
+
+def test_ladder_order_and_content():
+    ladder = scheme_ladder(8)
+    names = list(ladder)
+    assert names[0].startswith("Eq. (1), global")
+    assert "RQUANT" in names[-1]
+    assert len(ladder) == 5
+    # Each consecutive step differs from the previous one.
+    schemes = list(ladder.values())
+    for a, b in zip(schemes, schemes[1:]):
+        assert a != b
+
+
+def test_ladder_precision_propagates():
+    ladder = scheme_ladder(4)
+    assert all(s.precision == 4 for s in ladder.values())
+
+
+def test_module_level_constant_is_8_bit():
+    assert all(s.precision == 8 for s in SCHEME_LADDER.values())

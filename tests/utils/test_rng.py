@@ -1,0 +1,45 @@
+"""Tests for RNG helpers."""
+
+import numpy as np
+
+from repro.utils.rng import SeedSequence, as_rng, new_rng, sample_seeds, spawn_rngs
+
+
+def test_new_rng_deterministic():
+    a = new_rng(3).normal(size=5)
+    b = new_rng(3).normal(size=5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_as_rng_passthrough():
+    generator = np.random.default_rng(0)
+    assert as_rng(generator) is generator
+    assert isinstance(as_rng(5), np.random.Generator)
+    assert isinstance(as_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    a1, a2 = spawn_rngs(7, 2)
+    b1, b2 = spawn_rngs(7, 2)
+    np.testing.assert_array_equal(a1.normal(size=4), b1.normal(size=4))
+    assert not np.array_equal(a2.normal(size=4), a1.normal(size=4))
+
+
+def test_seed_sequence_children_are_stable():
+    seq = SeedSequence(11)
+    child_a = seq.child(2).rng().normal(size=3)
+    child_b = SeedSequence(11).child(2).rng().normal(size=3)
+    np.testing.assert_array_equal(child_a, child_b)
+
+
+def test_seed_sequence_spawn_count():
+    children = SeedSequence(1).spawn(4)
+    assert len(children) == 4
+    values = [c.rng().normal() for c in children]
+    assert len(set(values)) == 4
+
+
+def test_sample_seeds_range():
+    seeds = sample_seeds(np.random.default_rng(0), 10)
+    assert len(seeds) == 10
+    assert all(0 <= s < 2**31 for s in seeds)

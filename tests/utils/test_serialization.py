@@ -1,0 +1,31 @@
+"""Tests for state-dict serialization."""
+
+import numpy as np
+
+from repro.models import MLP
+from repro.utils.serialization import load_state_dict, save_state_dict
+
+
+def test_round_trip(tmp_path):
+    state = {"a": np.arange(6).reshape(2, 3).astype(np.float64), "b": np.zeros(4)}
+    path = tmp_path / "state.npz"
+    save_state_dict(state, str(path))
+    loaded = load_state_dict(str(path))
+    assert set(loaded) == {"a", "b"}
+    np.testing.assert_array_equal(loaded["a"], state["a"])
+
+
+def test_model_state_round_trip(tmp_path):
+    model = MLP(in_features=6, num_classes=3, hidden=(8,), rng=np.random.default_rng(0))
+    path = tmp_path / "model.npz"
+    save_state_dict(model.state_dict(), str(path))
+    restored = MLP(in_features=6, num_classes=3, hidden=(8,), rng=np.random.default_rng(99))
+    restored.load_state_dict(load_state_dict(str(path)))
+    x = np.random.default_rng(1).normal(size=(4, 6))
+    np.testing.assert_allclose(model(x), restored(x))
+
+
+def test_save_creates_missing_directories(tmp_path):
+    path = tmp_path / "nested" / "dir" / "state.npz"
+    save_state_dict({"x": np.ones(3)}, str(path))
+    assert path.exists()

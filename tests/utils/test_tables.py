@@ -1,0 +1,34 @@
+"""Tests for table formatting."""
+
+from repro.utils.tables import Table, format_float, format_table
+
+
+def test_format_float():
+    assert format_float(1.23456, digits=2) == "1.23"
+    assert format_float("text") == "text"
+    assert format_float(7) == "7"
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.5], ["longer", 22.123]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].startswith("name")
+    assert "22.12" in lines[3]
+    # All rows have the same width per column separator position.
+    assert lines[1].count("-+-") == 1
+
+
+def test_format_table_with_title():
+    text = format_table(["a"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_table_add_row_and_render():
+    table = Table(title="T", headers=["model", "err"], float_digits=1)
+    table.add_row("normal", 4.36)
+    table.add_row("rquant", 4.32)
+    rendered = table.render()
+    assert "T" in rendered
+    assert "4.4" in rendered  # rounded to one digit
+    assert str(table) == rendered
