@@ -1,0 +1,112 @@
+"""Microbenchmark: dense vs. sparse bit-error injection throughput.
+
+The hot path of every RErr benchmark is "build a XOR mask for one chip at
+rate ``p`` and apply it to the quantized codes".  The dense reference backend
+pays ``O(W * m)`` per injection (it compares every stored threshold against
+``p``); the sparse backend pays ``O(p * W * m)`` (it slices a pre-sorted
+prefix of order statistics and scatters it).  This script measures both on a
+1M-weight model across the paper's rate regime and checks the acceptance
+criterion: **>= 10x speedup at p <= 1e-3**.
+
+Run the full benchmark (1M weights, a few seconds)::
+
+    PYTHONPATH=src python benchmarks/bench_injection_throughput.py
+
+Fast smoke mode for CI (50k weights, 1 repeat, no speedup assertion)::
+
+    PYTHONPATH=src python benchmarks/bench_injection_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.biterror.backends import DenseFieldBackend, SparseFieldBackend
+from repro.utils.tables import Table
+
+RATES = (1e-4, 1e-3, 1e-2)
+
+
+def time_apply(backend, codes: np.ndarray, p: float, repeats: int) -> float:
+    """Median seconds per ``backend.apply(codes, p)`` call."""
+    backend.apply(codes, p)  # warm-up (first-touch, searchsorted caches)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        backend.apply(codes, p)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--weights", type=int, default=1_000_000,
+                        help="number of quantized weights W (default 1M)")
+    parser.add_argument("--precision", type=int, default=8,
+                        help="bits per weight m (default 8)")
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="timing repeats per (backend, rate) pair")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fast run for CI; skips the speedup check")
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.weights = min(args.weights, 50_000)
+        args.repeats = 1
+
+    rng = np.random.default_rng(args.seed)
+    codes = rng.integers(0, 2**args.precision, size=args.weights).astype(
+        np.uint8 if args.precision <= 8 else np.uint16
+    )
+    max_rate = max(RATES)
+
+    print(f"W = {args.weights:,} weights x m = {args.precision} bits "
+          f"({args.weights * args.precision:,} stored bits), "
+          f"{args.repeats} repeat(s)")
+
+    start = time.perf_counter()
+    dense = DenseFieldBackend(args.weights, args.precision,
+                              np.random.default_rng(args.seed + 1))
+    dense_build = time.perf_counter() - start
+    start = time.perf_counter()
+    sparse = SparseFieldBackend(args.weights, args.precision,
+                                np.random.default_rng(args.seed + 1),
+                                max_rate=max_rate)
+    sparse_build = time.perf_counter() - start
+    print(f"field construction: dense {dense_build * 1e3:.1f} ms "
+          f"({dense._thresholds.nbytes / 2**20:.1f} MiB), "
+          f"sparse {sparse_build * 1e3:.1f} ms "
+          f"({(sparse._positions.nbytes + sparse._sorted_thresholds.nbytes) / 2**20:.2f} MiB, "
+          f"max_rate={max_rate})")
+
+    table = Table(
+        title="injection throughput (median per chip-injection)",
+        headers=["rate p", "flips", "dense [ms]", "sparse [ms]", "speedup"],
+        float_digits=3,
+    )
+    speedups = {}
+    for p in RATES:
+        dense_t = time_apply(dense, codes, p, args.repeats)
+        sparse_t = time_apply(sparse, codes, p, args.repeats)
+        speedups[p] = dense_t / max(sparse_t, 1e-12)
+        table.add_row(f"{p:g}", sparse.num_errors(p),
+                      dense_t * 1e3, sparse_t * 1e3, f"{speedups[p]:.1f}x")
+    print("\n" + table.render() + "\n")
+
+    if args.smoke:
+        print("smoke mode: skipping speedup assertion")
+        return 0
+    failed = [p for p in RATES if p <= 1e-3 and speedups[p] < 10.0]
+    if failed:
+        print(f"FAIL: speedup below 10x at rates {failed}")
+        return 1
+    print("OK: >= 10x sparse speedup at every rate p <= 1e-3")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,8 +5,19 @@ quantized weight flips independently with probability ``p``, with the
 "inherited" subset property across voltages — as well as simulated *profiled*
 chips (App. C.1) with fixed spatial fault maps, column alignment and
 flip-direction bias, and the voltage/energy model behind Fig. 1.
+
+Error injection is served by pluggable backends
+(:mod:`repro.biterror.backends`): a dense ``O(W * m)`` reference field and a
+sparse ``O(p * W * m)`` order-statistics field with identical statistics and
+an exactly preserved subset property.
 """
 
+from repro.biterror.backends import (
+    DenseFieldBackend,
+    InjectionBackend,
+    SparseFieldBackend,
+    make_backend,
+)
 from repro.biterror.random_errors import (
     BitErrorField,
     expected_bit_errors,
@@ -27,6 +38,10 @@ from repro.biterror.ecc import (
 )
 
 __all__ = [
+    "InjectionBackend",
+    "DenseFieldBackend",
+    "SparseFieldBackend",
+    "make_backend",
     "inject_random_bit_errors",
     "inject_into_quantized",
     "BitErrorField",

@@ -138,10 +138,20 @@ class ChipProfile:
         return self.rows * self.columns
 
     def fault_map(self, rate: float) -> FaultMap:
-        """Return the fault map at cell fault rate ``rate`` (in [0, 1])."""
+        """Return the fault map at cell fault rate ``rate`` (in [0, 1]).
+
+        ``rate == 0.0`` is guaranteed to be fault-free.  The ranks are
+        constructed in ``(0, 1]`` so the ``<=`` boundary cannot mark a cell at
+        zero rate, but the explicit guard keeps the no-op invariant even if
+        the rank construction changes (cf. the ``u <= p`` zero-rate flip bug
+        in :class:`~repro.biterror.backends.DenseFieldBackend`).
+        """
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
-        faulty = self._ranks <= rate
+        if rate == 0.0:
+            faulty = np.zeros_like(self._ranks, dtype=bool)
+        else:
+            faulty = self._ranks <= rate
         return FaultMap(faulty=faulty, stuck_at_one=self._stuck_at_one.copy(), rate=rate)
 
     def fault_grid(self, rate: float) -> np.ndarray:

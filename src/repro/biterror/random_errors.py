@@ -7,16 +7,28 @@ likely because a flip simply inverts the stored bit.
 The paper additionally assumes the *subset property*: for a fixed chip, the
 bits that are erroneous at rate ``p' <= p`` (higher voltage) are a subset of
 those erroneous at rate ``p`` (lower voltage).  :class:`BitErrorField`
-implements this by drawing one uniform variable per bit once and thresholding
-it at different rates — exactly the construction described in App. F.
+implements this by conceptually drawing one uniform variable per bit once and
+thresholding it at different rates — exactly the construction described in
+App. F.  *How* the thresholds are stored is delegated to a pluggable
+injection backend (:mod:`repro.biterror.backends`): the dense reference
+backend materializes all ``W * m`` thresholds, while the sparse backend keeps
+only the order statistics below a configurable ``max_rate`` for
+``O(p * W * m)`` memory and injection time.  A zero rate is always an exact
+no-op, regardless of backend.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.biterror.backends import (
+    MAX_PRECISION,
+    InjectionBackend,
+    make_backend,
+    xor_from_bit_positions,
+)
 from repro.quant.fixed_point import QuantizedWeights
 from repro.utils.rng import as_rng, spawn_rngs
 
@@ -39,13 +51,13 @@ def flip_probability_from_counts(num_flipped: int, num_bits: int) -> float:
     """Empirical bit error rate given flip counts (used by chip profiling)."""
     if num_bits <= 0:
         raise ValueError("num_bits must be positive")
+    if num_flipped < 0:
+        raise ValueError(f"num_flipped must be non-negative, got {num_flipped}")
+    if num_flipped > num_bits:
+        raise ValueError(
+            f"num_flipped ({num_flipped}) cannot exceed num_bits ({num_bits})"
+        )
     return num_flipped / num_bits
-
-
-def _xor_mask_from_bool(mask: np.ndarray, precision: int) -> np.ndarray:
-    """Collapse a per-bit boolean mask ``(..., m)`` into integer XOR values."""
-    weights = (1 << np.arange(precision)).astype(np.int64)
-    return (mask.astype(np.int64) * weights).sum(axis=-1)
 
 
 def inject_random_bit_errors(
@@ -70,13 +82,19 @@ def inject_random_bit_errors(
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"bit error rate p must be in [0, 1], got {p}")
+    if not 0 < precision <= MAX_PRECISION:
+        # The scatter-based XOR accumulation is only exact up to this width.
+        raise ValueError(
+            f"precision must be in [1, {MAX_PRECISION}], got {precision}"
+        )
     codes = np.asarray(codes)
     if p == 0.0:
         return codes.copy()
     rng = as_rng(rng)
     mask = rng.random(codes.shape + (precision,)) < p
-    xor_values = _xor_mask_from_bool(mask, precision).astype(codes.dtype)
-    return codes ^ xor_values
+    positions = np.flatnonzero(mask.reshape(-1))
+    xor_values = xor_from_bit_positions(positions, codes.size, precision, codes.dtype)
+    return codes ^ xor_values.reshape(codes.shape)
 
 
 def inject_into_quantized(
@@ -93,10 +111,17 @@ def inject_into_quantized(
 class BitErrorField:
     """A fixed random field of per-bit thresholds implementing the subset property.
 
-    One uniform sample ``u`` is drawn per bit.  Bit ``j`` of weight ``i`` is
-    erroneous at rate ``p`` iff ``u[i, j] <= p``; therefore the error set at a
-    lower rate is always a subset of the error set at a higher rate, matching
-    the persistence of low-voltage bit errors across supply voltages (Fig. 3).
+    Conceptually one uniform sample ``u`` is drawn per bit and bit ``j`` of
+    weight ``i`` is erroneous at rate ``p > 0`` iff ``u[i, j] <= p``;
+    therefore the error set at a lower rate is always a subset of the error
+    set at a higher rate, matching the persistence of low-voltage bit errors
+    across supply voltages (Fig. 3).  A rate of exactly ``0.0`` is an exact
+    no-op (an all-``False`` mask) even when a threshold landed on ``0.0``.
+
+    The thresholds live in a pluggable :class:`InjectionBackend` — ``"dense"``
+    (reference, ``O(W * m)``) or ``"sparse"`` (order statistics up to
+    ``max_rate``, ``O(max_rate * W * m)``); see
+    :mod:`repro.biterror.backends` for the trade-offs.
 
     One :class:`BitErrorField` corresponds to one simulated chip; drawing many
     fields with :func:`make_error_fields` reproduces the paper's evaluation
@@ -108,36 +133,40 @@ class BitErrorField:
         num_weights: int,
         precision: int,
         rng: Optional[np.random.Generator] = None,
+        backend: Union[str, InjectionBackend] = "dense",
+        max_rate: Optional[float] = None,
     ):
-        if num_weights <= 0:
-            raise ValueError("num_weights must be positive")
-        if precision <= 0:
-            raise ValueError("precision must be positive")
+        # Geometry validation (including matching a pre-built backend
+        # instance) happens inside make_backend.
         self.num_weights = num_weights
         self.precision = precision
-        rng = as_rng(rng)
-        self._thresholds = rng.random((num_weights, precision))
+        self.backend = make_backend(backend, num_weights, precision, rng, max_rate)
+
+    @property
+    def _thresholds(self) -> np.ndarray:
+        """Dense threshold array (only available on the dense backend)."""
+        try:
+            return self.backend._thresholds
+        except AttributeError:
+            raise AttributeError(
+                "_thresholds is a dense-backend accessor; "
+                f"{type(self.backend).__name__} does not materialize a "
+                "threshold array"
+            ) from None
 
     def error_mask(self, p: float) -> np.ndarray:
         """Boolean mask of shape ``(num_weights, precision)`` of erroneous bits."""
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"bit error rate p must be in [0, 1], got {p}")
-        return self._thresholds <= p
+        return self.backend.error_mask(p)
 
     def num_errors(self, p: float) -> int:
         """Number of erroneous bits at rate ``p``."""
-        return int(self.error_mask(p).sum())
+        return self.backend.num_errors(p)
 
     def apply(self, flat_codes: np.ndarray, p: float) -> np.ndarray:
         """Flip the erroneous bits of a flat code vector at rate ``p``."""
-        flat_codes = np.asarray(flat_codes)
-        if flat_codes.size != self.num_weights:
-            raise ValueError(
-                f"expected {self.num_weights} codes, got {flat_codes.size}"
-            )
-        mask = self.error_mask(p)
-        xor_values = _xor_mask_from_bool(mask, self.precision).astype(flat_codes.dtype)
-        return flat_codes.reshape(-1) ^ xor_values
+        return self.backend.apply(flat_codes, p)
 
     def apply_to_quantized(self, quantized: QuantizedWeights, p: float) -> QuantizedWeights:
         """Apply this field to a :class:`QuantizedWeights` instance."""
@@ -155,12 +184,32 @@ def make_error_fields(
     precision: int,
     num_fields: int,
     seed: Optional[int] = 0,
+    backend: str = "dense",
+    max_rate: Optional[float] = None,
 ) -> List[BitErrorField]:
     """Pre-determine ``num_fields`` independent bit error fields ("chips").
 
-    The fields are a function of the seed only, so every model evaluated
-    against them sees exactly the same error patterns — the paper's protocol
-    for making RErr comparable across models and bit error rates (App. F).
+    The fields are a function of the seed only (for the sparse backend, of
+    the seed *and* ``max_rate`` — widening ``max_rate`` re-draws the
+    patterns), so every model evaluated against them sees exactly the same
+    error patterns — the paper's protocol for making RErr comparable across
+    models and bit error rates (App. F).
+
+    ``backend`` selects the injection backend per field (``"dense"`` or
+    ``"sparse"``); ``max_rate`` bounds the rates a sparse field can represent
+    (see :mod:`repro.biterror.backends`).  Only backend *names* are accepted:
+    a pre-built :class:`InjectionBackend` instance would be shared by every
+    field, silently collapsing the independent chips into one — construct
+    :class:`BitErrorField` directly for that use case.
     """
+    if not isinstance(backend, str):
+        raise ValueError(
+            "make_error_fields requires a backend name ('dense'/'sparse'); "
+            "a backend instance would be shared by all fields, making the "
+            "chips identical instead of independent"
+        )
     rngs = spawn_rngs(seed, num_fields)
-    return [BitErrorField(num_weights, precision, rng) for rng in rngs]
+    return [
+        BitErrorField(num_weights, precision, rng, backend=backend, max_rate=max_rate)
+        for rng in rngs
+    ]

@@ -101,4 +101,8 @@ class PattBETTrainer(Trainer):
             logits = self.model(inputs)
             _, grad = self.loss_fn(logits, labels)
             self.model.backward(grad)
+        # Average the clean and perturbed gradients (Eq. (2)), matching
+        # RandBETTrainer so cross-recipe comparisons share the step size.
+        for param in self.model.parameters():
+            param.grad *= 0.5
         return clean_loss

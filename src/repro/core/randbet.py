@@ -128,7 +128,9 @@ class RandBETTrainer(Trainer):
             return clean_loss
 
         # Perturbed forward/backward pass on freshly injected bit errors;
-        # gradients accumulate on top of the clean ones (sum as in Alg. 1).
+        # gradients accumulate on top of the clean ones and the total is
+        # halved so the update follows the *average* of the clean and
+        # perturbed gradients, as in Eq. (2) / Alg. 1.
         perturbed = inject_into_quantized(
             quantized, self._current_bit_error_rate, self.bit_error_rng
         )
@@ -137,6 +139,8 @@ class RandBETTrainer(Trainer):
             logits = self.model(inputs)
             _, grad = self.loss_fn(logits, labels)
             self.model.backward(grad)
+        for param in self.model.parameters():
+            param.grad *= 0.5
         return clean_loss
 
     def _alternating_perturbed_update(

@@ -5,6 +5,7 @@ from repro.eval.robust_error import (
     evaluate_clean_error,
     evaluate_profiled_error,
     evaluate_robust_error,
+    model_error_and_confidence,
 )
 from repro.eval.confidence import confidence_statistics, logit_statistics
 from repro.eval.redundancy import (
@@ -24,6 +25,7 @@ __all__ = [
     "evaluate_clean_error",
     "evaluate_robust_error",
     "evaluate_profiled_error",
+    "model_error_and_confidence",
     "confidence_statistics",
     "logit_statistics",
     "weight_relevance",

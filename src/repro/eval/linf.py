@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.data.datasets import ArrayDataset
-from repro.eval.robust_error import _model_error_and_confidence
+from repro.eval.robust_error import model_error_and_confidence
 from repro.nn.module import Module
 from repro.quant.fixed_point import FixedPointQuantizer
 from repro.quant.qat import model_weight_arrays
@@ -56,7 +56,7 @@ def evaluate_linf_robustness(
                     span = float(np.abs(weight).max()) or 1.0
                 noise = rng.uniform(-magnitude * span, magnitude * span, size=weight.shape)
                 noisy.append(weight + noise)
-            error, _ = _model_error_and_confidence(model, noisy, dataset, batch_size)
+            error, _ = model_error_and_confidence(model, noisy, dataset, batch_size)
             errors.append(error)
         rows.append(
             {

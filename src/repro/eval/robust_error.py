@@ -24,6 +24,7 @@ from repro.quant.qat import model_weight_arrays, quantize_model, swap_weights
 
 __all__ = [
     "RobustErrorResult",
+    "model_error_and_confidence",
     "evaluate_clean_error",
     "evaluate_robust_error",
     "evaluate_profiled_error",
@@ -67,7 +68,7 @@ class RobustErrorResult:
         return float(np.max(self.errors)) if self.errors else self.clean_error
 
 
-def _model_error_and_confidence(
+def model_error_and_confidence(
     model: Module,
     weights: Sequence[np.ndarray],
     dataset: ArrayDataset,
@@ -102,7 +103,7 @@ def evaluate_clean_error(
     weights = model_weight_arrays(model)
     if quantizer is not None:
         weights = quantizer.quantize_dequantize(weights)
-    error, _ = _model_error_and_confidence(model, weights, dataset, batch_size)
+    error, _ = model_error_and_confidence(model, weights, dataset, batch_size)
     return error
 
 
@@ -115,6 +116,9 @@ def evaluate_robust_error(
     error_fields: Optional[Sequence[BitErrorField]] = None,
     seed: int = 0,
     batch_size: int = 64,
+    backend: str = "dense",
+    quantized: Optional[QuantizedWeights] = None,
+    clean_stats: Optional[tuple] = None,
 ) -> RobustErrorResult:
     """Average RErr of ``model`` under random bit errors at ``bit_error_rate``.
 
@@ -127,12 +131,23 @@ def evaluate_robust_error(
         Pre-determined :class:`BitErrorField` instances.  Passing the same
         fields for every model and every rate reproduces the paper's protocol
         (fixed patterns, subset property across rates).
+    backend:
+        Injection backend used when ``error_fields`` is auto-created
+        (``"dense"`` or ``"sparse"``; see :mod:`repro.biterror.backends`).
+    quantized, clean_stats:
+        Pre-computed quantized weights and ``(clean_error, clean_confidence)``
+        pair.  Sweep drivers (:func:`repro.eval.sweeps.rerr_sweep`) pass
+        these so the model is quantized and clean-evaluated once per sweep
+        instead of once per rate.
     """
-    quantized = quantize_model(model, quantizer)
-    clean_weights = quantizer.dequantize(quantized)
-    clean_error, clean_confidence = _model_error_and_confidence(
-        model, clean_weights, dataset, batch_size
-    )
+    if quantized is None:
+        quantized = quantize_model(model, quantizer)
+    if clean_stats is None:
+        clean_weights = quantizer.dequantize(quantized)
+        clean_stats = model_error_and_confidence(
+            model, clean_weights, dataset, batch_size
+        )
+    clean_error, clean_confidence = clean_stats
     result = RobustErrorResult(
         bit_error_rate=bit_error_rate,
         clean_error=clean_error,
@@ -144,14 +159,25 @@ def evaluate_robust_error(
         return result
 
     if error_fields is None:
+        # max_rate deliberately stays at the backend default (0.05, the
+        # paper's largest rate) rather than tracking ``bit_error_rate``:
+        # auto-created fields must be a function of the seed only so that
+        # separate per-rate calls see the same chips and keep the subset
+        # property (App. F).  Sparse evaluation above 0.05 requires passing
+        # explicit ``error_fields`` (or the dense backend) — the backend
+        # raises a descriptive error in that case.
         error_fields = make_error_fields(
-            quantized.num_weights, quantizer.precision, num_samples, seed=seed
+            quantized.num_weights,
+            quantizer.precision,
+            num_samples,
+            seed=seed,
+            backend=backend,
         )
     perturbed_confidences = []
     for fld in error_fields:
         corrupted = fld.apply_to_quantized(quantized, bit_error_rate)
         weights = quantizer.dequantize(corrupted)
-        error, confidence = _model_error_and_confidence(model, weights, dataset, batch_size)
+        error, confidence = model_error_and_confidence(model, weights, dataset, batch_size)
         result.errors.append(error)
         perturbed_confidences.append(confidence)
     result.confidence_perturbed = float(np.mean(perturbed_confidences))
@@ -174,7 +200,7 @@ def evaluate_profiled_error(
     """
     quantized = quantize_model(model, quantizer)
     clean_weights = quantizer.dequantize(quantized)
-    clean_error, clean_confidence = _model_error_and_confidence(
+    clean_error, clean_confidence = model_error_and_confidence(
         model, clean_weights, dataset, batch_size
     )
     result = RobustErrorResult(
@@ -184,7 +210,7 @@ def evaluate_profiled_error(
     for offset in offsets:
         corrupted = chip.apply_to_quantized(quantized, rate, offset=offset)
         weights = quantizer.dequantize(corrupted)
-        error, confidence = _model_error_and_confidence(model, weights, dataset, batch_size)
+        error, confidence = model_error_and_confidence(model, weights, dataset, batch_size)
         result.errors.append(error)
         perturbed_confidences.append(confidence)
     result.confidence_perturbed = float(np.mean(perturbed_confidences))

@@ -3,6 +3,14 @@
 Convenience wrappers used by the examples and benchmark harnesses: evaluate
 one model's RErr across a range of bit error rates (a "curve" of Fig. 7), or
 compare several models on the same pre-determined error fields.
+
+The sweep drivers hoist all rate-independent work out of the rate loop: the
+model is quantized **once** per sweep and its clean error is evaluated
+**once** per sweep; every rate then only pays for error injection and the
+perturbed forward passes.  Fields are created through the pluggable injection
+backend seam (:mod:`repro.biterror.backends`) — pass ``backend="sparse"`` to
+evaluate long sweeps at small rates in ``O(p * W * m)`` per injection instead
+of ``O(W * m)``.
 """
 
 from __future__ import annotations
@@ -12,12 +20,31 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.biterror.random_errors import BitErrorField, make_error_fields
 from repro.data.datasets import ArrayDataset
-from repro.eval.robust_error import RobustErrorResult, evaluate_robust_error
+from repro.eval.robust_error import (
+    RobustErrorResult,
+    model_error_and_confidence,
+    evaluate_robust_error,
+)
 from repro.nn.module import Module
-from repro.quant.fixed_point import FixedPointQuantizer
+from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
 from repro.quant.qat import quantize_model
 
 __all__ = ["RErrCurve", "rerr_sweep", "compare_models"]
+
+
+def _sweep_max_rate(backend: str, rates: Sequence[float]) -> Optional[float]:
+    """``max_rate`` for auto-created sparse sweep fields.
+
+    ``None`` (the backend's seed-only default of 0.05) whenever the rate grid
+    fits in it, so sweeps with the same seed see the same chips regardless of
+    the grid; only grids exceeding 0.05 widen the field — which makes the
+    patterns a function of the grid, so cross-sweep comparability above 0.05
+    requires passing explicit ``error_fields``.
+    """
+    if backend != "sparse":
+        return None
+    top = max((r for r in rates if r > 0), default=0.0)
+    return top if top > 0.05 else None
 
 
 @dataclass
@@ -60,16 +87,47 @@ def rerr_sweep(
     num_fields: int = 5,
     seed: int = 0,
     name: str = "model",
+    batch_size: int = 64,
+    backend: str = "dense",
+    quantized: Optional[QuantizedWeights] = None,
 ) -> RErrCurve:
-    """Evaluate RErr at every rate in ``rates`` using shared error fields."""
+    """Evaluate RErr at every rate in ``rates`` using shared error fields.
+
+    The model is quantized and its clean error evaluated exactly once for the
+    whole sweep (pass a precomputed ``quantized`` to skip even that); per-rate
+    work is limited to injection and perturbed evaluation.  ``backend`` only
+    applies when the fields are auto-created — explicit ``error_fields``
+    carry their own backends and take precedence.  For auto-created sparse
+    fields, ``max_rate`` stays at the seed-only default (0.05) whenever the
+    grid fits in it, and widens to the largest swept rate otherwise (see
+    :func:`_sweep_max_rate`).
+    """
+    rates = list(rates)
+    if quantized is None:
+        quantized = quantize_model(model, quantizer)
+    clean_weights = quantizer.dequantize(quantized)
+    clean_stats = model_error_and_confidence(model, clean_weights, dataset, batch_size)
     if error_fields is None:
-        num_weights = quantize_model(model, quantizer).num_weights
-        error_fields = make_error_fields(num_weights, quantizer.precision, num_fields, seed=seed)
-    curve = RErrCurve(name=name, rates=list(rates))
+        error_fields = make_error_fields(
+            quantized.num_weights,
+            quantizer.precision,
+            num_fields,
+            seed=seed,
+            backend=backend,
+            max_rate=_sweep_max_rate(backend, rates),
+        )
+    curve = RErrCurve(name=name, rates=rates)
     for rate in rates:
         curve.results.append(
             evaluate_robust_error(
-                model, quantizer, dataset, rate, error_fields=error_fields
+                model,
+                quantizer,
+                dataset,
+                rate,
+                error_fields=error_fields,
+                batch_size=batch_size,
+                quantized=quantized,
+                clean_stats=clean_stats,
             )
         )
     return curve
@@ -81,20 +139,28 @@ def compare_models(
     rates: Sequence[float],
     num_fields: int = 5,
     seed: int = 0,
+    backend: str = "dense",
 ) -> Dict[str, RErrCurve]:
     """Sweep several ``{name: (model, quantizer)}`` pairs over the same rates.
 
     Models sharing a precision share the same pre-determined error fields so
     their curves are directly comparable (the paper's protocol).
     """
+    rates = list(rates)
+    max_rate = _sweep_max_rate(backend, rates)
     fields_by_precision: Dict[int, List[BitErrorField]] = {}
     curves: Dict[str, RErrCurve] = {}
     for name, (model, quantizer) in models.items():
         precision = quantizer.precision
+        quantized = quantize_model(model, quantizer)
         if precision not in fields_by_precision:
-            num_weights = quantize_model(model, quantizer).num_weights
             fields_by_precision[precision] = make_error_fields(
-                num_weights, precision, num_fields, seed=seed + precision
+                quantized.num_weights,
+                precision,
+                num_fields,
+                seed=seed + precision,
+                backend=backend,
+                max_rate=max_rate,
             )
         curves[name] = rerr_sweep(
             model,
@@ -103,5 +169,6 @@ def compare_models(
             rates,
             error_fields=fields_by_precision[precision],
             name=name,
+            quantized=quantized,
         )
     return curves

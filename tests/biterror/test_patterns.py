@@ -32,6 +32,15 @@ def test_subset_property_hypothesis(rate_low, extra):
     assert np.all(high[low])
 
 
+def test_zero_rate_fault_map_is_empty():
+    """The <= boundary must never mark a cell faulty at rate 0 (no-op audit)."""
+    chip = ChipProfile(rows=32, columns=32, seed=5)
+    fault_map = chip.fault_map(0.0)
+    assert fault_map.num_faulty == 0
+    bits = np.random.default_rng(0).integers(0, 2, size=256).astype(np.uint8)
+    np.testing.assert_array_equal(chip.apply_to_bits(bits, 0.0), bits)
+
+
 def test_column_alignment_concentrates_faults():
     uniform = ChipProfile(rows=128, columns=64, column_alignment=0.0, seed=3)
     aligned = ChipProfile(rows=128, columns=64, column_alignment=0.8, seed=3)

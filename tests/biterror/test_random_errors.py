@@ -7,7 +7,9 @@ from hypothesis import strategies as st
 
 from repro.biterror import (
     BitErrorField,
+    SparseFieldBackend,
     expected_bit_errors,
+    flip_probability_from_counts,
     inject_into_quantized,
     inject_random_bit_errors,
     make_error_fields,
@@ -116,6 +118,33 @@ def test_make_error_fields_are_independent():
     assert not np.array_equal(fields[0].error_mask(0.1), fields[1].error_mask(0.1))
 
 
+def test_make_error_fields_sparse_backend():
+    fields = make_error_fields(500, 8, 3, seed=5, backend="sparse", max_rate=0.05)
+    assert all(isinstance(f.backend, SparseFieldBackend) for f in fields)
+    again = make_error_fields(500, 8, 3, seed=5, backend="sparse", max_rate=0.05)
+    for a, b in zip(fields, again):
+        np.testing.assert_array_equal(a.error_mask(0.02), b.error_mask(0.02))
+    assert not np.array_equal(fields[0].error_mask(0.02), fields[1].error_mask(0.02))
+
+
+def test_make_error_fields_rejects_backend_instance():
+    from repro.biterror import DenseFieldBackend
+
+    with pytest.raises(ValueError, match="backend name"):
+        make_error_fields(10, 8, 3, backend=DenseFieldBackend(10, 8))
+
+
+def test_flip_probability_from_counts_validation():
+    assert flip_probability_from_counts(5, 100) == 0.05
+    assert flip_probability_from_counts(100, 100) == 1.0
+    with pytest.raises(ValueError):
+        flip_probability_from_counts(5, 0)
+    with pytest.raises(ValueError):
+        flip_probability_from_counts(-1, 100)
+    with pytest.raises(ValueError):
+        flip_probability_from_counts(101, 100)
+
+
 def test_field_validation():
     with pytest.raises(ValueError):
         BitErrorField(0, 8)
@@ -124,3 +153,8 @@ def test_field_validation():
     field = BitErrorField(10, 8)
     with pytest.raises(ValueError):
         field.error_mask(2.0)
+
+
+def test_inject_rejects_unsupported_precision(rng):
+    with pytest.raises(ValueError, match="precision"):
+        inject_random_bit_errors(np.zeros(4, dtype=np.uint64), 0.1, 60, rng)

@@ -73,3 +73,40 @@ def test_pattern_is_deterministic_across_steps(blob_data):
     a = trainer._apply_pattern(quantized).flat_codes()
     b = trainer._apply_pattern(quantized).flat_codes()
     np.testing.assert_array_equal(a, b)
+
+
+def test_gradient_is_average_of_clean_and_perturbed(blob_data):
+    """PattBET shares RandBET's Eq. (2) averaging (same effective step size)."""
+    from repro.quant.qat import model_weight_arrays, swap_weights
+
+    train, _ = blob_data
+    model_size = MLP(
+        in_features=train.input_shape[0], num_classes=train.num_classes, hidden=(24,)
+    ).num_parameters()
+    field = BitErrorField(model_size, 8, rng=np.random.default_rng(5))
+    trainer, model = make_trainer(blob_data, field, start_loss_threshold=100.0)
+    inputs, labels = train[np.arange(16)]
+    model.zero_grad()
+    trainer.compute_gradients(inputs, labels)
+    got = np.concatenate([p.grad.reshape(-1).copy() for p in model.parameters()])
+
+    ref_trainer, ref_model = make_trainer(blob_data, field, start_loss_threshold=100.0)
+    ref_model.load_state_dict(model.state_dict())
+    quantizer = ref_trainer.quantizer
+    quantized = quantizer.quantize(model_weight_arrays(ref_model))
+    grads = []
+    for weights in (
+        quantizer.dequantize(quantized),
+        quantizer.dequantize(
+            field.apply_to_quantized(quantized, ref_trainer.config.bit_error_rate)
+        ),
+    ):
+        ref_model.zero_grad()
+        with swap_weights(ref_model, weights):
+            logits = ref_model(inputs)
+            _, grad = ref_trainer.loss_fn(logits, labels)
+            ref_model.backward(grad)
+        grads.append(
+            np.concatenate([p.grad.reshape(-1).copy() for p in ref_model.parameters()])
+        )
+    np.testing.assert_allclose(got, 0.5 * (grads[0] + grads[1]), rtol=1e-10, atol=1e-12)

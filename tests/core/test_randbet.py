@@ -101,6 +101,50 @@ def test_alternating_variant_does_not_grow_quantization_range(blob_data):
     assert all(np.isfinite(p.data).all() for p in model.parameters())
 
 
+def test_gradient_is_average_of_clean_and_perturbed(blob_data):
+    """Pins Eq. (2): the accumulated gradient is (g_clean + g_perturbed) / 2."""
+    from repro.biterror import inject_into_quantized
+    from repro.quant.qat import model_weight_arrays, swap_weights
+    from repro.utils.rng import as_rng
+
+    train, _ = blob_data
+    trainer, model = make_trainer(blob_data, epochs=1, start_loss_threshold=100.0)
+    inputs, labels = train[np.arange(16)]
+    model.zero_grad()
+    trainer.compute_gradients(inputs, labels)
+    got = np.concatenate([p.grad.reshape(-1).copy() for p in model.parameters()])
+
+    # Replicate both passes manually on an identical model.
+    ref_trainer, ref_model = make_trainer(blob_data, epochs=1, start_loss_threshold=100.0)
+    ref_model.load_state_dict(model.state_dict())
+    quantizer = ref_trainer.quantizer
+    quantized = quantizer.quantize(model_weight_arrays(ref_model))
+
+    ref_model.zero_grad()
+    with swap_weights(ref_model, quantizer.dequantize(quantized)):
+        logits = ref_model(inputs)
+        _, grad = ref_trainer.loss_fn(logits, labels)
+        ref_model.backward(grad)
+    grad_clean = np.concatenate([p.grad.reshape(-1).copy() for p in ref_model.parameters()])
+
+    perturbed = inject_into_quantized(
+        quantized, ref_trainer.config.bit_error_rate, as_rng(ref_trainer.config.bit_error_seed)
+    )
+    ref_model.zero_grad()
+    with swap_weights(ref_model, quantizer.dequantize(perturbed)):
+        logits = ref_model(inputs)
+        _, grad = ref_trainer.loss_fn(logits, labels)
+        ref_model.backward(grad)
+    grad_perturbed = np.concatenate(
+        [p.grad.reshape(-1).copy() for p in ref_model.parameters()]
+    )
+
+    expected = 0.5 * (grad_clean + grad_perturbed)
+    np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-12)
+    # The averaged update is strictly smaller than the raw sum would be.
+    assert np.linalg.norm(got) < np.linalg.norm(grad_clean + grad_perturbed)
+
+
 def test_perturbed_gradients_differ_from_clean_only_training(blob_data):
     """With bit errors active the accumulated gradient includes the perturbed term."""
     train, _ = blob_data

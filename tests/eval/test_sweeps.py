@@ -43,6 +43,80 @@ def test_rerr_sweep_zero_rate_matches_clean(trained, blob_data):
     assert curve.mean_errors()[0] == curve.clean_error
 
 
+def test_rerr_sweep_quantizes_and_clean_evaluates_once(trained, blob_data, monkeypatch):
+    """The sweep hoists quantization and clean evaluation out of the rate loop."""
+    import repro.eval.robust_error as robust_error
+    import repro.eval.sweeps as sweeps_module
+
+    _, test = blob_data
+    model, quantizer = trained
+    quantize_calls = {"n": 0}
+    real_quantize = sweeps_module.quantize_model
+
+    def counting_quantize(*args, **kwargs):
+        quantize_calls["n"] += 1
+        return real_quantize(*args, **kwargs)
+
+    eval_calls = {"n": 0}
+    real_eval = robust_error.model_error_and_confidence
+
+    def counting_eval(*args, **kwargs):
+        eval_calls["n"] += 1
+        return real_eval(*args, **kwargs)
+
+    monkeypatch.setattr(sweeps_module, "quantize_model", counting_quantize)
+    monkeypatch.setattr(robust_error, "quantize_model", counting_quantize)
+    monkeypatch.setattr(sweeps_module, "model_error_and_confidence", counting_eval)
+    monkeypatch.setattr(robust_error, "model_error_and_confidence", counting_eval)
+
+    rates = [0.0, 0.01, 0.02]
+    num_fields = 3
+    curve = sweeps_module.rerr_sweep(
+        model, quantizer, test, rates, num_fields=num_fields, seed=0
+    )
+    assert quantize_calls["n"] == 1
+    # Exactly one clean evaluation plus one perturbed evaluation per
+    # (non-zero rate, field) pair — nothing is re-done per rate.
+    assert eval_calls["n"] == 1 + 2 * num_fields
+    assert len(curve.results) == len(rates)
+
+    # compare_models quantizes each model exactly once, sharing the result
+    # between field creation and the sweep itself.
+    quantize_calls["n"] = 0
+    sweeps_module.compare_models(
+        {"a": (model, quantizer), "b": (model, quantizer)}, test, rates=[0.01]
+    )
+    assert quantize_calls["n"] == 2
+
+
+@pytest.mark.slow
+def test_rerr_sweep_sparse_backend_consistent_with_dense(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    rates = [0.0, 0.01, 0.05]
+    dense = rerr_sweep(
+        model, quantizer, test, rates, num_fields=4, seed=3, backend="dense"
+    )
+    sparse = rerr_sweep(
+        model, quantizer, test, rates, num_fields=4, seed=3, backend="sparse"
+    )
+    # Zero rate is the clean model in both backends — exactly equal.
+    assert sparse.mean_errors()[0] == dense.mean_errors()[0]
+    assert sparse.clean_error == dense.clean_error
+    np.testing.assert_allclose(sparse.mean_errors(), dense.mean_errors(), atol=0.2)
+
+
+def test_sparse_sweep_fields_are_seed_only_across_grids(trained, blob_data):
+    """Same seed + different sub-0.05 rate grids must evaluate the same chips."""
+    _, test = blob_data
+    model, quantizer = trained
+    a = rerr_sweep(model, quantizer, test, [0.0, 0.01], num_fields=3, seed=4,
+                   backend="sparse")
+    b = rerr_sweep(model, quantizer, test, [0.01, 0.02], num_fields=3, seed=4,
+                   backend="sparse")
+    assert a.results[1].errors == b.results[0].errors
+
+
 def test_compare_models_shares_fields_per_precision(trained, blob_data):
     _, test = blob_data
     model, quantizer = trained
