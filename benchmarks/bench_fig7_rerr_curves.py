@@ -5,11 +5,18 @@ Evaluates the full RErr-vs-p curve for Normal, RQuant, Clipping and RandBET
 ordered Normal >= RQuant >= Clipping >= RandBET at high bit error rates,
 RErr increases monotonically with p, and the 4-bit curve tracks the 8-bit
 curve with a small offset.
+
+Each model's curve is one :func:`repro.eval.sweeps.rerr_sweep` through the
+sweep-execution engine (:mod:`repro.runtime`): the model is quantized and
+clean-evaluated once per curve and every (rate, field) cell is an engine
+job, so the whole figure can be sharded with a ``ParallelExecutor`` or
+resumed from a ``ResultStore`` without touching this file.
 """
 
 import numpy as np
 
-from conftest import EVAL_RATES, print_table, rerr_percent
+from conftest import EVAL_RATES, print_table
+from repro.eval import rerr_sweep
 from repro.utils.tables import Table
 
 
@@ -23,9 +30,11 @@ def evaluate_curves(model_suite, test, fields8, fields4):
         ("randbet_4bit", fields4),
     ):
         trained = model_suite[key]
-        curves[trained.name] = [
-            rerr_percent(trained, test, rate, fields) for rate in EVAL_RATES
-        ]
+        curve = rerr_sweep(
+            trained.model, trained.quantizer, test, EVAL_RATES,
+            error_fields=fields, name=trained.name,
+        )
+        curves[trained.name] = [100.0 * mean for mean in curve.mean_errors()]
     return curves
 
 

@@ -6,11 +6,17 @@ model) and chip 2 (column-aligned, 0-to-1 biased errors).  The paper's shape:
 RErr stays moderate on both chips — clearly better than the non-robust RQuant
 baseline — even though chip 2's error distribution differs strongly from the
 training distribution.
+
+Each (chip, model) pair is one :func:`repro.eval.sweeps.profiled_sweep`
+through the sweep-execution engine (:mod:`repro.runtime`): quantization and
+the clean evaluation are hoisted out of the rate/placement loops, and every
+(rate, offset) cell is an engine job — shardable and resumable like every
+other sweep.
 """
 
 from conftest import print_table
 from repro.biterror import LinearMemoryMap
-from repro.eval import evaluate_profiled_error
+from repro.eval import profiled_sweep
 from repro.utils.tables import Table
 
 RATES = [0.005, 0.02]
@@ -24,12 +30,11 @@ def evaluate_chips(model_suite, test, chips):
         offsets = LinearMemoryMap.with_even_offsets(chip, NUM_OFFSETS).offsets
         for key in ("rquant", "randbet"):
             trained = model_suite[key]
-            rerrs = []
-            for rate in RATES:
-                report = evaluate_profiled_error(
-                    trained.model, trained.quantizer, test, chip, rate, offsets=offsets
-                )
-                rerrs.append(100.0 * report.mean_error)
+            curve = profiled_sweep(
+                trained.model, trained.quantizer, test, chip, RATES,
+                offsets=offsets, name=trained.name,
+            )
+            rerrs = [100.0 * mean for mean in curve.mean_errors()]
             rows.append((chip_name, trained.name, rerrs))
     return rows
 

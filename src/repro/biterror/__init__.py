@@ -16,10 +16,12 @@ from repro.biterror.backends import (
     DenseFieldBackend,
     InjectionBackend,
     SparseFieldBackend,
+    batch_apply,
     make_backend,
 )
 from repro.biterror.random_errors import (
     BitErrorField,
+    apply_fields_batch,
     expected_bit_errors,
     flip_probability_from_counts,
     inject_into_quantized,
@@ -42,6 +44,8 @@ __all__ = [
     "DenseFieldBackend",
     "SparseFieldBackend",
     "make_backend",
+    "batch_apply",
+    "apply_fields_batch",
     "inject_random_bit_errors",
     "inject_into_quantized",
     "BitErrorField",

@@ -39,7 +39,7 @@ through ``evaluate_robust_error`` / ``rerr_sweep``.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -51,6 +51,7 @@ __all__ = [
     "SparseFieldBackend",
     "make_backend",
     "xor_from_bit_positions",
+    "batch_apply",
     "BACKENDS",
 ]
 
@@ -261,6 +262,51 @@ class SparseFieldBackend(InjectionBackend):
             bit_idx = positions % self.precision
             np.bitwise_xor.at(out, weight_idx, (1 << bit_idx).astype(out.dtype))
         return out
+
+
+def batch_apply(
+    backends: Sequence[InjectionBackend], flat_codes: np.ndarray, p: float
+) -> np.ndarray:
+    """Apply a whole chip-set's errors to one code vector in a single scatter.
+
+    Returns a ``(len(backends), num_weights)`` array whose ``i``-th row equals
+    ``backends[i].apply(flat_codes, p)`` exactly: every chip's erroneous bit
+    positions are offset into a disjoint block of a virtual
+    ``len(backends) * W`` weight space and XOR-scattered in **one**
+    ``np.bitwise_xor.at`` pass over the tiled codes.  Distinct
+    ``(chip, weight, bit)`` triples never collide, so the batched result is
+    bit-identical to the per-chip path while paying the scatter bookkeeping
+    once per rate instead of once per chip.
+    """
+    backends = list(backends)
+    if not backends:
+        raise ValueError("batch_apply requires at least one backend")
+    num_weights = backends[0].num_weights
+    precision = backends[0].precision
+    for backend in backends[1:]:
+        if (backend.num_weights, backend.precision) != (num_weights, precision):
+            raise ValueError(
+                "all backends in a batch must share one geometry; got "
+                f"({backend.num_weights}, {backend.precision}) vs "
+                f"({num_weights}, {precision})"
+            )
+    flat_codes = np.asarray(flat_codes)
+    if flat_codes.size != num_weights:
+        raise ValueError(f"expected {num_weights} codes, got {flat_codes.size}")
+    out = np.tile(flat_codes.reshape(-1), (len(backends), 1))
+    position_blocks = [backend.error_positions(p) for backend in backends]
+    total = sum(block.size for block in position_blocks)
+    if total:
+        flat_view = out.reshape(-1)
+        weight_idx = np.concatenate(
+            [
+                chip * num_weights + block // precision
+                for chip, block in enumerate(position_blocks)
+            ]
+        )
+        bit_idx = np.concatenate(position_blocks) % precision
+        np.bitwise_xor.at(flat_view, weight_idx, (1 << bit_idx).astype(out.dtype))
+    return out
 
 
 def _sample_distinct(

@@ -16,6 +16,15 @@ access to the proprietary measurement data:
 * each faulty cell has a fixed stuck-at direction, so the 1-to-0 / 0-to-1
   split of Fig. 8 is reproduced and errors only manifest when the stored bit
   disagrees with the stuck-at value.
+
+Like :class:`~repro.biterror.random_errors.BitErrorField`, a chip can store
+its vulnerability ranks densely (the ``O(capacity)`` reference) or as the
+order-statistics prefix of cells with rank ``<= max_rate``
+(``backend="sparse"``).  The sparse chip is the *same* chip — it is built
+from the identical RNG stream and keeps exactly the cells the dense ranks
+would mark faulty — so fault sets and corrupted payloads match the dense
+backend bit for bit at every representable rate, while ``apply_to_codes``
+costs ``O(p * W * m)`` instead of unpacking all ``W * m`` payload bits.
 """
 
 from __future__ import annotations
@@ -90,6 +99,22 @@ class ChipProfile:
         its constructor arguments.
     name:
         Label used in benchmark tables.
+    backend:
+        ``"dense"`` stores one rank per cell (``O(capacity)`` memory, every
+        rate in [0, 1] representable).  ``"sparse"`` keeps only the
+        order-statistics prefix of cells with rank ``<= max_rate`` — the same
+        trick as :class:`~repro.biterror.backends.SparseFieldBackend` — so
+        fault lookup and payload corruption cost ``O(rate * capacity)``.
+        Both backends consume the identical RNG stream, so a sparse chip's
+        fault sets and corrupted payloads are bit-identical to its dense
+        twin's at every rate ``<= max_rate``.  The one sparse-invisible
+        datum is the stuck-at direction of *non-faulty* cells (it never
+        affects corruption): :meth:`fault_map` reads it as ``False`` on the
+        sparse backend, while the dense backend reports it for every cell.
+    max_rate:
+        Largest cell fault rate a sparse chip can represent (default 0.05,
+        the paper's largest profiled rate); higher rates raise ``ValueError``.
+        Only valid with ``backend="sparse"``.
     """
 
     def __init__(
@@ -100,6 +125,8 @@ class ChipProfile:
         stuck_at_one_fraction: float = 0.5,
         seed: Optional[int] = 0,
         name: str = "chip",
+        backend: str = "dense",
+        max_rate: Optional[float] = None,
     ):
         if rows <= 0 or columns <= 0:
             raise ValueError("rows and columns must be positive")
@@ -107,11 +134,26 @@ class ChipProfile:
             raise ValueError("column_alignment must be in [0, 1)")
         if not 0.0 <= stuck_at_one_fraction <= 1.0:
             raise ValueError("stuck_at_one_fraction must be in [0, 1]")
+        if backend not in ("dense", "sparse"):
+            raise ValueError(
+                f"unknown chip backend {backend!r}; choose from ('dense', 'sparse')"
+            )
+        if max_rate is not None and backend != "sparse":
+            raise ValueError(
+                "max_rate only applies to the sparse chip backend; the dense "
+                "backend represents every rate in [0, 1]"
+            )
+        if backend == "sparse":
+            max_rate = 0.05 if max_rate is None else float(max_rate)
+            if not 0.0 < max_rate <= 1.0:
+                raise ValueError(f"max_rate must be in (0, 1], got {max_rate}")
         self.rows = rows
         self.columns = columns
         self.column_alignment = column_alignment
         self.stuck_at_one_fraction = stuck_at_one_fraction
         self.name = name
+        self.backend = backend
+        self.max_rate = max_rate
         rng = as_rng(seed)
 
         # Per-cell vulnerability ranks.  Without column structure these are
@@ -129,13 +171,59 @@ class ChipProfile:
         order = np.argsort(scores.reshape(-1))
         ranks = np.empty(order.size, dtype=np.float64)
         ranks[order] = (np.arange(order.size) + 1.0) / order.size
-        self._ranks = ranks
-        self._stuck_at_one = rng.random(rows * columns) < stuck_at_one_fraction
+        stuck_at_one = rng.random(rows * columns) < stuck_at_one_fraction
+        if backend == "sparse":
+            # Keep only the vulnerable prefix: cells whose rank falls below
+            # max_rate, ordered by ascending rank so the fault set at rate p
+            # is a searchsorted prefix.  The dense score/rank/stuck arrays
+            # above are construction-time transients; steady-state memory and
+            # per-application time are O(max_rate * capacity).
+            keep = int(np.count_nonzero(ranks <= max_rate))
+            prefix = order[:keep]
+            self._fault_positions = prefix.astype(np.int64)
+            self._fault_ranks = ranks[prefix]
+            self._fault_stuck = stuck_at_one[prefix]
+        else:
+            self._ranks = ranks
+            self._stuck_at_one = stuck_at_one
 
     @property
     def capacity(self) -> int:
         """Number of bit cells on the chip."""
         return self.rows * self.columns
+
+    def _check_rate(self, rate: float) -> float:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if self.backend == "sparse" and rate > self.max_rate:
+            raise ValueError(
+                f"rate {rate} exceeds this sparse chip's max_rate "
+                f"({self.max_rate}); rebuild the chip with a larger max_rate "
+                f"or use the dense backend"
+            )
+        return float(rate)
+
+    def fault_positions(self, rate: float) -> Tuple[np.ndarray, np.ndarray]:
+        """``(cell_indices, stuck_at_one)`` of the cells faulty at ``rate``.
+
+        The cost is ``O(rate * capacity)`` on the sparse backend and
+        ``O(capacity)`` on the dense one.  Cell order is unspecified (the two
+        backends enumerate the same *set* in different orders); rates are
+        nested, so positions at a lower rate are a subset of those at a
+        higher rate.
+        """
+        rate = self._check_rate(rate)
+        if self.backend == "sparse":
+            if rate == 0.0:
+                count = 0
+            else:
+                count = int(np.searchsorted(self._fault_ranks, rate, side="right"))
+            return self._fault_positions[:count], self._fault_stuck[:count]
+        if rate == 0.0:
+            positions = np.empty(0, dtype=np.int64)
+        else:
+            positions = np.flatnonzero(self._ranks <= rate)
+        return positions, self._stuck_at_one[positions]
 
     def fault_map(self, rate: float) -> FaultMap:
         """Return the fault map at cell fault rate ``rate`` (in [0, 1]).
@@ -146,8 +234,18 @@ class ChipProfile:
         the rank construction changes (cf. the ``u <= p`` zero-rate flip bug
         in :class:`~repro.biterror.backends.DenseFieldBackend`).
         """
-        if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        rate = self._check_rate(rate)
+        if self.backend == "sparse":
+            # Materializes O(capacity) booleans — intended for figures and
+            # tests.  Stuck-at directions of *non-faulty* cells are not
+            # represented sparsely and read as False here; they are
+            # unobservable through any corruption API.
+            positions, stuck = self.fault_positions(rate)
+            faulty = np.zeros(self.capacity, dtype=bool)
+            faulty[positions] = True
+            stuck_at_one = np.zeros(self.capacity, dtype=bool)
+            stuck_at_one[positions] = stuck
+            return FaultMap(faulty=faulty, stuck_at_one=stuck_at_one, rate=rate)
         if rate == 0.0:
             faulty = np.zeros_like(self._ranks, dtype=bool)
         else:
@@ -162,6 +260,31 @@ class ChipProfile:
         """Number of faulty cells per column (quantifies column alignment)."""
         return self.fault_grid(rate).sum(axis=0)
 
+    def _payload_hits(
+        self, rate: float, offset: int, length: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Payload bit indices hit by faulty cells, with their stuck values.
+
+        A payload of ``length`` bits occupies cells ``(offset + i) %
+        capacity``; a faulty cell ``c`` therefore hits payload indices
+        ``(c - offset) % capacity + k * capacity`` for every wrap ``k`` that
+        stays below ``length``.  Cost is ``O(rate * capacity *
+        ceil(length / capacity))`` — i.e. ``O(rate * length)``.
+        """
+        positions, stuck = self.fault_positions(rate)
+        if positions.size == 0 or length == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=bool)
+        first = (positions - int(offset)) % self.capacity
+        hit_idx = []
+        hit_stuck = []
+        for wrap in range((length - 1) // self.capacity + 1):
+            candidate = first + wrap * self.capacity
+            inside = candidate < length
+            hit_idx.append(candidate[inside])
+            hit_stuck.append(stuck[inside])
+        return np.concatenate(hit_idx), np.concatenate(hit_stuck)
+
     def apply_to_bits(
         self, bits: np.ndarray, rate: float, offset: int = 0
     ) -> np.ndarray:
@@ -172,6 +295,12 @@ class ChipProfile:
         with configurable offsets used to simulate different mappings.
         """
         bits = np.asarray(bits).astype(np.uint8).reshape(-1)
+        if self.backend == "sparse":
+            corrupted = bits.copy()
+            idx, stuck = self._payload_hits(rate, offset, bits.size)
+            corrupted[idx[stuck]] = 1
+            corrupted[idx[~stuck]] = 0
+            return corrupted
         fault = self.fault_map(rate)
         cell_indices = (offset + np.arange(bits.size)) % self.capacity
         faulty = fault.faulty[cell_indices]
@@ -184,8 +313,27 @@ class ChipProfile:
     def apply_to_codes(
         self, codes: np.ndarray, precision: int, rate: float, offset: int = 0
     ) -> np.ndarray:
-        """Corrupt ``precision``-bit codes stored linearly on this chip."""
+        """Corrupt ``precision``-bit codes stored linearly on this chip.
+
+        The dense backend unpacks all ``W * m`` payload bits (the reference
+        path); the sparse backend ORs/ANDs only the hit weights in place, so
+        the cost is ``O(rate * W * m)`` plus one memcpy of the codes.  Both
+        paths produce bit-identical corrupted codes (bits at or above
+        ``precision`` are dropped, matching the unpack-repack reference).
+        """
         codes = np.asarray(codes).reshape(-1)
+        if self.backend == "sparse":
+            keep_mask = (1 << precision) - 1
+            out = (codes.astype(np.int64) & keep_mask).astype(codes.dtype)
+            idx, stuck = self._payload_hits(rate, offset, codes.size * precision)
+            if idx.size:
+                weight_idx = idx // precision
+                values = (1 << (idx % precision)).astype(out.dtype)
+                np.bitwise_or.at(out, weight_idx[stuck], values[stuck])
+                np.bitwise_and.at(
+                    out, weight_idx[~stuck], np.bitwise_not(values[~stuck])
+                )
+            return out
         bit_positions = np.arange(precision)
         bits = ((codes[:, None].astype(np.int64) >> bit_positions) & 1).astype(np.uint8)
         corrupted_bits = self.apply_to_bits(bits.reshape(-1), rate, offset=offset)
@@ -224,37 +372,46 @@ class ChipProfile:
         return flipped / quantized.num_bits
 
 
-def make_profiled_chips(seed: int = 7, scale: int = 1) -> Dict[str, ChipProfile]:
+def make_profiled_chips(
+    seed: int = 7,
+    scale: int = 1,
+    backend: str = "dense",
+    max_rate: Optional[float] = None,
+) -> Dict[str, ChipProfile]:
     """Create the three simulated chips used throughout the experiments.
 
     ``chip1`` matches the paper's chip 1 (approximately uniform random
     errors), ``chip2`` its chip 2 (strong column alignment, biased towards
     0-to-1 flips) and ``chip3`` an intermediate case.  ``scale`` multiplies
-    the memory geometry for experiments with more weights.
+    the memory geometry for experiments with more weights.  ``backend`` /
+    ``max_rate`` select the rank storage (see :class:`ChipProfile`); a sparse
+    chip set produces bit-identical fault sets and corrupted payloads to the
+    dense one at rates ``<= max_rate`` (stuck-at directions of non-faulty
+    cells are the dense-only datum; see :class:`ChipProfile`).
     """
+    common = dict(
+        rows=256 * scale, columns=128, backend=backend, max_rate=max_rate
+    )
     return {
         "chip1": ChipProfile(
-            rows=256 * scale,
-            columns=128,
             column_alignment=0.0,
             stuck_at_one_fraction=0.46,
             seed=seed,
             name="chip1",
+            **common,
         ),
         "chip2": ChipProfile(
-            rows=256 * scale,
-            columns=128,
             column_alignment=0.6,
             stuck_at_one_fraction=0.8,
             seed=seed + 1,
             name="chip2",
+            **common,
         ),
         "chip3": ChipProfile(
-            rows=256 * scale,
-            columns=128,
             column_alignment=0.3,
             stuck_at_one_fraction=0.75,
             seed=seed + 2,
             name="chip3",
+            **common,
         ),
     }

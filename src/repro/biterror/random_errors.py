@@ -26,6 +26,7 @@ import numpy as np
 from repro.biterror.backends import (
     MAX_PRECISION,
     InjectionBackend,
+    batch_apply,
     make_backend,
     xor_from_bit_positions,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "inject_into_quantized",
     "BitErrorField",
     "make_error_fields",
+    "apply_fields_batch",
     "expected_bit_errors",
     "flip_probability_from_counts",
 ]
@@ -177,6 +179,33 @@ class BitErrorField:
             )
         perturbed = self.apply(quantized.flat_codes(), p)
         return quantized.with_flat_codes(perturbed)
+
+
+def apply_fields_batch(
+    fields: Sequence["BitErrorField"],
+    quantized: QuantizedWeights,
+    p: float,
+) -> List[QuantizedWeights]:
+    """Corrupt ``quantized`` with every field of a chip set in one scatter pass.
+
+    Equivalent — bit for bit — to ``[f.apply_to_quantized(quantized, p) for f
+    in fields]``, but all chips' XOR masks are scattered through the backend
+    seam in a single :func:`repro.biterror.backends.batch_apply` call, so the
+    per-chip bookkeeping (flatten, validate, scatter setup) is paid once per
+    rate.  This is the injection hot path of the sweep-execution engine
+    (:mod:`repro.runtime`).
+    """
+    fields = list(fields)
+    if not fields:
+        return []
+    for field in fields:
+        if field.precision != quantized.scheme.precision:
+            raise ValueError(
+                f"field precision ({field.precision}) does not match "
+                f"quantization precision ({quantized.scheme.precision})"
+            )
+    batch = batch_apply([field.backend for field in fields], quantized.flat_codes(), p)
+    return [quantized.with_flat_codes(row) for row in batch]
 
 
 def make_error_fields(

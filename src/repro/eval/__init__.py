@@ -18,7 +18,13 @@ from repro.eval.linf import evaluate_linf_robustness
 from repro.eval.guarantees import deviation_bound, required_samples
 from repro.eval.energy import EnergyReport, energy_report, precision_energy_factor
 from repro.eval.pareto import pareto_frontier
-from repro.eval.sweeps import RErrCurve, compare_models, rerr_sweep
+from repro.eval.sweeps import (
+    ProfiledCurve,
+    RErrCurve,
+    compare_models,
+    profiled_sweep,
+    rerr_sweep,
+)
 
 __all__ = [
     "RobustErrorResult",
@@ -40,6 +46,8 @@ __all__ = [
     "precision_energy_factor",
     "pareto_frontier",
     "RErrCurve",
+    "ProfiledCurve",
     "rerr_sweep",
     "compare_models",
+    "profiled_sweep",
 ]

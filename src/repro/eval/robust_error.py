@@ -192,26 +192,39 @@ def evaluate_profiled_error(
     rate: float,
     offsets: Sequence[int] = (0,),
     batch_size: int = 64,
+    quantized: Optional[QuantizedWeights] = None,
+    clean_stats: Optional[tuple] = None,
+    executor=None,
+    store=None,
 ) -> RobustErrorResult:
     """RErr of ``model`` whose weights are stored on a (simulated) profiled chip.
 
     ``offsets`` simulates different weight-to-memory mappings; the result
     averages over them as in App. C.1.
+
+    The evaluation is the single-rate case of
+    :func:`repro.eval.sweeps.profiled_sweep` and delegates to it: each offset
+    is one engine cell, shardable via ``executor`` and cachable via
+    ``store``.  Callers sweeping several rates/voltages hoist the
+    rate-independent work by passing precomputed ``quantized`` weights and
+    ``clean_stats`` (a ``(clean_error, clean_confidence)`` pair) — or call
+    ``profiled_sweep`` directly, which does that once for a whole grid.
     """
-    quantized = quantize_model(model, quantizer)
-    clean_weights = quantizer.dequantize(quantized)
-    clean_error, clean_confidence = model_error_and_confidence(
-        model, clean_weights, dataset, batch_size
+    # Imported lazily: the sweep drivers depend on this module for the
+    # evaluation primitive, so a module-level import would be circular.
+    from repro.eval.sweeps import profiled_sweep
+
+    curve = profiled_sweep(
+        model,
+        quantizer,
+        dataset,
+        chip,
+        [rate],
+        offsets=offsets,
+        batch_size=batch_size,
+        quantized=quantized,
+        clean_stats=clean_stats,
+        executor=executor,
+        store=store,
     )
-    result = RobustErrorResult(
-        bit_error_rate=rate, clean_error=clean_error, confidence_clean=clean_confidence
-    )
-    perturbed_confidences = []
-    for offset in offsets:
-        corrupted = chip.apply_to_quantized(quantized, rate, offset=offset)
-        weights = quantizer.dequantize(corrupted)
-        error, confidence = model_error_and_confidence(model, weights, dataset, batch_size)
-        result.errors.append(error)
-        perturbed_confidences.append(confidence)
-    result.confidence_perturbed = float(np.mean(perturbed_confidences))
-    return result
+    return curve.results[0]

@@ -1,0 +1,57 @@
+"""``repro.runtime`` — the sharded, cached sweep-execution engine.
+
+Every RErr/chip/voltage study in this repository is a grid of independent
+evaluations.  This subsystem turns such a grid into an explicit job graph
+and executes it fast:
+
+* :mod:`repro.runtime.spec` — :class:`SweepSpec` / :class:`EvalJob`:
+  enumerate (model, quantizer, rate-or-chip, field/offset) cells with
+  content-addressed cache keys and deterministic per-job seeds;
+* :mod:`repro.runtime.executors` — :class:`SerialExecutor` (in-process
+  reference semantics, bit-identical to the pre-engine loops) and
+  :class:`ParallelExecutor` (``multiprocessing`` sharding; the heavy context
+  ships once per worker, a chip set's XOR masks scatter in one batched
+  pass, and the executor degrades to serial when no pool is available);
+* :mod:`repro.runtime.store` — :class:`ResultStore`: JSONL + content-hash
+  cache under a run directory, giving resumable, shareable sweeps;
+* :mod:`repro.runtime.engine` — :func:`run_sweep` orchestration plus result
+  assembly back into :class:`~repro.eval.robust_error.RobustErrorResult`.
+
+The sweep drivers in :mod:`repro.eval.sweeps` and
+:func:`repro.eval.robust_error.evaluate_profiled_error` all route through
+this engine; later scaling work (memmapped fields, distributed backends,
+>100M-weight models) plugs into the executor seam.
+"""
+
+from repro.runtime.engine import assemble_robust_result, clean_stats_for, run_sweep
+from repro.runtime.executors import ParallelExecutor, SerialExecutor, execute_group, group_jobs
+from repro.runtime.spec import (
+    CellResult,
+    EvalJob,
+    ModelEntry,
+    SweepContext,
+    SweepSpec,
+    chip_digest,
+    field_digest,
+    model_digest,
+)
+from repro.runtime.store import ResultStore
+
+__all__ = [
+    "run_sweep",
+    "assemble_robust_result",
+    "clean_stats_for",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_group",
+    "group_jobs",
+    "SweepSpec",
+    "EvalJob",
+    "CellResult",
+    "ModelEntry",
+    "SweepContext",
+    "ResultStore",
+    "field_digest",
+    "chip_digest",
+    "model_digest",
+]

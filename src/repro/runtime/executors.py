@@ -1,0 +1,214 @@
+"""Sweep executors: serial reference semantics and multiprocessing sharding.
+
+The unit of execution is a **job group** (see
+:attr:`repro.runtime.spec.EvalJob.group_key`), sized to the work jobs can
+share:
+
+* a ``field`` group is one whole spec cell — it injects *all* of its chips'
+  XOR masks through the backend seam in one scatter pass
+  (:func:`repro.biterror.random_errors.apply_fields_batch`) before running
+  the perturbed forward passes;
+* ``chip`` jobs share nothing across memory offsets, so each offset is its
+  own group and parallel sharding reaches individual placements.
+
+:class:`SerialExecutor` runs groups in-process, in order — these are the
+reference semantics, bit-identical to the pre-engine ad-hoc loops.
+:class:`ParallelExecutor` shards groups across a ``multiprocessing`` pool:
+the heavy :class:`~repro.runtime.spec.SweepContext` (models, quantized
+weights, dataset, fields) is shipped **once per worker** via the pool
+initializer, and each task payload is only a list of small
+:class:`~repro.runtime.spec.EvalJob` records.  Every evaluation is a pure
+function of the shipped context, so parallel results equal serial results
+cell for cell; the executor degrades to the serial path when only one worker
+is requested, when there is nothing to shard, or when the host cannot
+provide a pool (e.g. missing ``/dev/shm`` semaphores on minimal containers).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.biterror.random_errors import apply_fields_batch
+from repro.runtime.spec import CellResult, EvalJob, SweepContext
+
+__all__ = ["SerialExecutor", "ParallelExecutor", "execute_group", "group_jobs"]
+
+GroupOutput = List[Tuple[str, CellResult]]
+
+
+def group_jobs(jobs: Sequence[EvalJob]) -> List[List[EvalJob]]:
+    """Partition jobs into executor groups (one per spec cell, input order).
+
+    Jobs with duplicate content keys (aliased cells) are dropped so each
+    distinct cell is evaluated exactly once; callers resolve duplicates
+    through the result mapping.
+    """
+    seen_keys = set()
+    grouped: dict = {}
+    order: List[Tuple[str, str, str, float]] = []
+    for job in jobs:
+        if job.content_key in seen_keys:
+            continue
+        seen_keys.add(job.content_key)
+        key = job.group_key
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(job)
+    return [grouped[key] for key in order]
+
+
+def _evaluate(context: SweepContext, model, weights) -> Tuple[float, float]:
+    # Looked up through the module (not imported at module load) so the
+    # once-per-sweep spy tests — and any instrumentation — that patch
+    # ``repro.eval.robust_error.model_error_and_confidence`` observe every
+    # engine evaluation, and so importing repro.runtime never circularly
+    # imports repro.eval.
+    from repro.eval import robust_error
+
+    return robust_error.model_error_and_confidence(
+        model, weights, context.dataset, context.batch_size
+    )
+
+
+def execute_group(context: SweepContext, group: Sequence[EvalJob]) -> GroupOutput:
+    """Execute one job group against the shipped context.
+
+    Pure function of ``(context, group)``; both executors and every worker
+    process funnel through here, which is what guarantees serial/parallel
+    equivalence.
+    """
+    group = list(group)
+    first = group[0]
+    entry = context.models[first.model_key]
+    quantizer = entry.quantizer
+    out: GroupOutput = []
+    if first.kind == "clean":
+        weights = quantizer.dequantize(entry.quantized)
+        error, confidence = _evaluate(context, entry.model, weights)
+        return [(job.content_key, CellResult(error, confidence)) for job in group]
+    if first.kind == "field":
+        fields = context.field_sets[first.source_key]
+        selected = [fields[job.index] for job in group]
+        corrupted_batch = apply_fields_batch(selected, entry.quantized, first.rate)
+        for job, corrupted in zip(group, corrupted_batch):
+            weights = quantizer.dequantize(corrupted)
+            error, confidence = _evaluate(context, entry.model, weights)
+            out.append((job.content_key, CellResult(error, confidence)))
+        return out
+    if first.kind == "chip":
+        chip = context.chips[first.source_key]
+        for job in group:
+            corrupted = chip.apply_to_quantized(
+                entry.quantized, job.rate, offset=job.offset
+            )
+            weights = quantizer.dequantize(corrupted)
+            error, confidence = _evaluate(context, entry.model, weights)
+            out.append((job.content_key, CellResult(error, confidence)))
+        return out
+    raise ValueError(f"unknown job kind {first.kind!r}")
+
+
+class SerialExecutor:
+    """In-process reference executor (the engine's default).
+
+    ``run`` yields each group's results as soon as the group finishes, so
+    the engine can persist completed cells incrementally — an interrupted
+    sweep keeps everything executed so far.
+    """
+
+    max_workers = 1
+
+    def run(
+        self, context: SweepContext, groups: Sequence[Sequence[EvalJob]]
+    ) -> Iterator[GroupOutput]:
+        for group in groups:
+            yield execute_group(context, group)
+
+
+# Per-worker context installed by the pool initializer; module-global so the
+# heavy payload is shipped once per worker process, not once per task.
+_WORKER_CONTEXT: Optional[SweepContext] = None
+
+
+def _init_worker(context: SweepContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_group_in_worker(group: Sequence[EvalJob]) -> GroupOutput:
+    if _WORKER_CONTEXT is None:  # pragma: no cover - misconfigured pool
+        raise RuntimeError("worker context was not initialized")
+    return execute_group(_WORKER_CONTEXT, group)
+
+
+class ParallelExecutor:
+    """Shard job groups across ``multiprocessing`` workers.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes to use; defaults to the host CPU count.  A value of
+        1 (or a single-group workload) short-circuits to the serial path
+        without creating a pool.
+    start_method:
+        Optional ``multiprocessing`` start method (``"fork"``/``"spawn"``);
+        ``None`` uses the platform default.  Unknown names raise here, at
+        construction — a typo is a caller bug, not a host limitation.
+    """
+
+    def __init__(
+        self, max_workers: Optional[int] = None, start_method: Optional[str] = None
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if start_method is not None:
+            import multiprocessing
+
+            available = multiprocessing.get_all_start_methods()
+            if start_method not in available:
+                raise ValueError(
+                    f"unknown start_method {start_method!r}; "
+                    f"choose from {available}"
+                )
+        self.max_workers = int(max_workers or (os.cpu_count() or 1))
+        self.start_method = start_method
+
+    def run(
+        self, context: SweepContext, groups: Sequence[Sequence[EvalJob]]
+    ) -> Iterator[GroupOutput]:
+        """Yield each group's results as it completes (pool ``imap`` order).
+
+        Streaming — not a barrier: the engine persists every yielded group
+        immediately, so killing a sweep mid-run loses at most the groups
+        still in flight.
+        """
+        groups = [list(group) for group in groups]
+        workers = min(self.max_workers, len(groups))
+        if workers <= 1:
+            return SerialExecutor().run(context, groups)
+        try:
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(self.start_method)
+            pool = mp_context.Pool(
+                processes=workers, initializer=_init_worker, initargs=(context,)
+            )
+        except (ImportError, OSError, PermissionError):
+            # No usable pool on this host (single-CPU CI runners, containers
+            # without POSIX semaphores, restricted sandboxes): degrade to the
+            # bit-identical serial path rather than failing the sweep.
+            return SerialExecutor().run(context, groups)
+        return self._stream(pool, groups)
+
+    @staticmethod
+    def _stream(pool, groups: List[List[EvalJob]]) -> Iterator[GroupOutput]:
+        try:
+            yield from pool.imap(_run_group_in_worker, groups, chunksize=1)
+            pool.close()
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()

@@ -1,0 +1,99 @@
+"""Content-addressed result store: JSONL records under a run directory.
+
+A :class:`ResultStore` persists one JSON record per completed evaluation
+cell, keyed by the cell's content key (see :mod:`repro.runtime.spec`).  The
+layout of a run directory is deliberately boring::
+
+    <run_dir>/
+        results.jsonl    # one {"key", "error", "confidence", ...} per line
+
+Appending is atomic enough for resumability: if a sweep is killed mid-write,
+at worst the final line is truncated and silently skipped on reload
+(:func:`repro.utils.serialization.read_jsonl`), so the next run re-executes
+only that cell.  Because keys hash the *content* of every input (quantized
+codes, dataset, field/chip state, rate, offset, batch size), a store can be
+shared across sweeps, scripts and processes: any cell already computed
+anywhere — under any model or field naming — is a cache hit, and any input
+change (different weights, different chip, different batch size) misses
+cleanly instead of serving stale results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.runtime.spec import CellResult, EvalJob
+from repro.utils.serialization import append_jsonl, read_jsonl
+
+__all__ = ["ResultStore"]
+
+RESULTS_FILENAME = "results.jsonl"
+
+
+class ResultStore:
+    """A JSONL-backed cache of evaluation-cell results.
+
+    Parameters
+    ----------
+    run_dir:
+        Directory holding the run's ``results.jsonl``; created if missing.
+        Existing records are loaded eagerly, so membership tests and reads
+        never touch the filesystem after construction.
+    """
+
+    def __init__(self, run_dir: str):
+        self.run_dir = os.path.abspath(run_dir)
+        os.makedirs(self.run_dir, exist_ok=True)
+        self.path = os.path.join(self.run_dir, RESULTS_FILENAME)
+        self._cache: Dict[str, CellResult] = {}
+        for record in read_jsonl(self.path):
+            key = record.get("key")
+            if not isinstance(key, str):
+                continue
+            try:
+                result = CellResult(
+                    error=float(record["error"]),
+                    confidence=float(record["confidence"]),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            self._cache[key] = result
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, key: str) -> Optional[CellResult]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        return self._cache.get(key)
+
+    def put(self, key: str, result: CellResult, job: Optional[EvalJob] = None) -> None:
+        """Record ``result`` under ``key`` (appends one JSONL line).
+
+        Re-putting an existing key is a no-op, so replayed cells never bloat
+        the log.  ``job`` metadata, when given, is stored alongside for
+        human inspection of the run directory — it is not part of the key.
+        """
+        if key in self._cache:
+            return
+        record = {
+            "key": key,
+            "error": float(result.error),
+            "confidence": float(result.confidence),
+        }
+        if job is not None:
+            record.update(
+                {
+                    "kind": job.kind,
+                    "model": job.model_key,
+                    "source": job.source_key,
+                    "rate": job.rate,
+                    "index": job.index,
+                    "offset": job.offset,
+                }
+            )
+        append_jsonl(self.path, [record])
+        self._cache[key] = result

@@ -1,19 +1,34 @@
-"""Model state serialization.
+"""Model state serialization and result-record persistence.
 
 Models expose ``state_dict`` / ``load_state_dict`` (see
 :class:`repro.nn.module.Module`); these helpers persist such dictionaries to
 ``.npz`` archives so trained models can be shared between the examples,
 benchmarks and evaluation scripts.
+
+The JSONL helpers back the sweep-execution engine's result store
+(:mod:`repro.runtime.store`): one JSON record per line, append-only, so an
+interrupted sweep leaves at worst one truncated trailing line — which
+:func:`read_jsonl` skips — and every completed cell remains resumable.
+:func:`array_digest` provides the stable content hashes the engine derives
+its cache keys and per-job seeds from.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from typing import Dict
+from typing import Dict, Iterable, List
 
 import numpy as np
 
-__all__ = ["save_state_dict", "load_state_dict"]
+__all__ = [
+    "save_state_dict",
+    "load_state_dict",
+    "array_digest",
+    "append_jsonl",
+    "read_jsonl",
+]
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
@@ -28,3 +43,53 @@ def load_state_dict(path: str) -> Dict[str, np.ndarray]:
     """Load a state dictionary previously written by :func:`save_state_dict`."""
     with np.load(path) as archive:
         return {key: archive[key] for key in archive.files}
+
+
+def array_digest(*arrays: np.ndarray) -> str:
+    """Stable hex digest of one or more arrays (dtype, shape and contents).
+
+    The digest is invariant to memory layout (arrays are serialized in C
+    order) but sensitive to dtype and shape, so ``uint8`` codes and their
+    ``int64`` copy hash differently — the property cache keys need.
+    """
+    hasher = hashlib.sha256()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        hasher.update(str(array.dtype).encode())
+        hasher.update(repr(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def append_jsonl(path: str, records: Iterable[dict]) -> None:
+    """Append ``records`` to a JSONL file (one canonical JSON object per line)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Read every intact record of a JSONL file.
+
+    Malformed lines (e.g. a truncated final line left by an interrupted
+    writer) are skipped rather than raised, so a result store survives being
+    killed mid-append.
+    """
+    records: List[dict] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records

@@ -171,3 +171,39 @@ def test_sparse_field_deterministic_given_rng():
     b = SparseFieldBackend(1000, 8, np.random.default_rng(9), max_rate=0.05)
     np.testing.assert_array_equal(a._positions, b._positions)
     np.testing.assert_array_equal(a._sorted_thresholds, b._sorted_thresholds)
+
+
+# -- batched multi-chip injection (one scatter pass) -------------------------
+
+
+def test_batch_apply_matches_per_chip_apply(rng):
+    from repro.biterror.backends import batch_apply
+
+    num_weights, precision = 600, 8
+    codes = rng.integers(0, 256, size=num_weights).astype(np.uint8)
+    for make in (
+        lambda i: DenseFieldBackend(num_weights, precision, np.random.default_rng(i)),
+        lambda i: SparseFieldBackend(
+            num_weights, precision, np.random.default_rng(i), max_rate=0.05
+        ),
+    ):
+        backends = [make(i) for i in range(4)]
+        for p in (0.0, 0.005, 0.05):
+            batch = batch_apply(backends, codes, p)
+            assert batch.shape == (4, num_weights)
+            assert batch.dtype == codes.dtype
+            for i, backend in enumerate(backends):
+                np.testing.assert_array_equal(batch[i], backend.apply(codes, p))
+
+
+def test_batch_apply_validation(rng):
+    from repro.biterror.backends import batch_apply
+
+    codes = rng.integers(0, 256, size=100).astype(np.uint8)
+    with pytest.raises(ValueError, match="at least one"):
+        batch_apply([], codes, 0.01)
+    mixed = [DenseFieldBackend(100, 8), DenseFieldBackend(50, 8)]
+    with pytest.raises(ValueError, match="geometry"):
+        batch_apply(mixed, codes, 0.01)
+    with pytest.raises(ValueError, match="expected"):
+        batch_apply([DenseFieldBackend(100, 8)], codes[:50], 0.01)

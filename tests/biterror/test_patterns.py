@@ -128,3 +128,91 @@ def test_validation():
     chip = ChipProfile(rows=8, columns=8)
     with pytest.raises(ValueError):
         chip.fault_map(1.5)
+
+
+# -- sparse chip backend (order-statistics rank prefix) ----------------------
+
+
+def sparse_twin(seed=13, **kwargs):
+    common = dict(
+        rows=96, columns=48, column_alignment=0.5, stuck_at_one_fraction=0.7,
+        seed=seed,
+    )
+    common.update(kwargs)
+    dense = ChipProfile(**common)
+    sparse = ChipProfile(backend="sparse", max_rate=0.05, **common)
+    return dense, sparse
+
+
+def test_sparse_chip_fault_sets_match_dense_exactly():
+    dense, sparse = sparse_twin()
+    for rate in (0.0, 0.005, 0.02, 0.05):
+        pos_d, stuck_d = dense.fault_positions(rate)
+        pos_s, stuck_s = sparse.fault_positions(rate)
+        assert set(pos_d.tolist()) == set(pos_s.tolist())
+        assert dict(zip(pos_d.tolist(), stuck_d.tolist())) == dict(
+            zip(pos_s.tolist(), stuck_s.tolist())
+        )
+        fm_d, fm_s = dense.fault_map(rate), sparse.fault_map(rate)
+        np.testing.assert_array_equal(fm_d.faulty, fm_s.faulty)
+        np.testing.assert_array_equal(
+            fm_d.stuck_at_one[fm_d.faulty], fm_s.stuck_at_one[fm_s.faulty]
+        )
+
+
+def test_sparse_chip_apply_matches_dense_bit_for_bit(rng):
+    dense, sparse = sparse_twin()
+    # Payloads below and above chip capacity (the latter wraps cells).
+    for size in (300, 2 * dense.capacity // 8 + 57):
+        codes = rng.integers(0, 256, size=size).astype(np.uint8)
+        for rate in (0.0, 0.01, 0.05):
+            for offset in (0, 1234, -7):
+                np.testing.assert_array_equal(
+                    dense.apply_to_codes(codes, 8, rate, offset=offset),
+                    sparse.apply_to_codes(codes, 8, rate, offset=offset),
+                )
+        bits = (codes % 2).astype(np.uint8)
+        np.testing.assert_array_equal(
+            dense.apply_to_bits(bits, 0.03, offset=11),
+            sparse.apply_to_bits(bits, 0.03, offset=11),
+        )
+
+
+def test_sparse_chip_subset_property_and_memory():
+    _, sparse = sparse_twin()
+    previous = set()
+    for rate in (0.0, 0.01, 0.03, 0.05):
+        current = set(sparse.fault_positions(rate)[0].tolist())
+        assert previous <= current
+        previous = current
+    # Steady-state storage is the O(max_rate * capacity) prefix only.
+    assert sparse._fault_positions.size <= int(0.05 * sparse.capacity) + 1
+    assert not hasattr(sparse, "_ranks")
+
+
+def test_sparse_chip_rate_above_max_rate_raises():
+    _, sparse = sparse_twin()
+    with pytest.raises(ValueError, match="max_rate"):
+        sparse.fault_positions(0.2)
+    with pytest.raises(ValueError, match="max_rate"):
+        sparse.apply_to_codes(np.zeros(10, dtype=np.uint8), 8, 0.2)
+
+
+def test_sparse_chip_validation():
+    with pytest.raises(ValueError, match="backend"):
+        ChipProfile(rows=8, columns=8, backend="mmap")
+    with pytest.raises(ValueError, match="max_rate"):
+        ChipProfile(rows=8, columns=8, max_rate=0.1)  # dense + max_rate
+    with pytest.raises(ValueError, match="max_rate"):
+        ChipProfile(rows=8, columns=8, backend="sparse", max_rate=1.5)
+
+
+def test_make_profiled_chips_sparse_twins_match():
+    dense = make_profiled_chips(seed=3)
+    sparse = make_profiled_chips(seed=3, backend="sparse")
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([np.random.default_rng(0).normal(size=400)])
+    for name in dense:
+        a = dense[name].apply_to_quantized(quantized, 0.02, offset=333)
+        b = sparse[name].apply_to_quantized(quantized, 0.02, offset=333)
+        np.testing.assert_array_equal(a.flat_codes(), b.flat_codes())

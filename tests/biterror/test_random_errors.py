@@ -158,3 +158,36 @@ def test_field_validation():
 def test_inject_rejects_unsupported_precision(rng):
     with pytest.raises(ValueError, match="precision"):
         inject_random_bit_errors(np.zeros(4, dtype=np.uint64), 0.1, 60, rng)
+
+
+def test_apply_fields_batch_matches_per_field_path(rng):
+    from repro.biterror import apply_fields_batch, make_error_fields
+    from repro.quant import FixedPointQuantizer, rquant
+
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=300), rng.normal(size=100)])
+    for backend in ("dense", "sparse"):
+        fields = make_error_fields(
+            quantized.num_weights, 8, 3, seed=7, backend=backend
+        )
+        for p in (0.0, 0.01, 0.05):
+            batch = apply_fields_batch(fields, quantized, p)
+            assert len(batch) == 3
+            for fld, corrupted in zip(fields, batch):
+                reference = fld.apply_to_quantized(quantized, p)
+                for a, b in zip(corrupted.codes, reference.codes):
+                    np.testing.assert_array_equal(a, b)
+    assert apply_fields_batch([], quantized, 0.01) == []
+
+
+def test_apply_fields_batch_rejects_precision_mismatch(rng):
+    import pytest
+
+    from repro.biterror import apply_fields_batch, make_error_fields
+    from repro.quant import FixedPointQuantizer, rquant
+
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=50)])
+    fields = make_error_fields(quantized.num_weights, 4, 2, seed=0)
+    with pytest.raises(ValueError, match="precision"):
+        apply_fields_batch(fields, quantized, 0.01)

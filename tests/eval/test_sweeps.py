@@ -66,7 +66,9 @@ def test_rerr_sweep_quantizes_and_clean_evaluates_once(trained, blob_data, monke
 
     monkeypatch.setattr(sweeps_module, "quantize_model", counting_quantize)
     monkeypatch.setattr(robust_error, "quantize_model", counting_quantize)
-    monkeypatch.setattr(sweeps_module, "model_error_and_confidence", counting_eval)
+    # Every engine evaluation — clean and perturbed — funnels through
+    # repro.eval.robust_error.model_error_and_confidence (looked up at call
+    # time), so patching that one attribute counts them all.
     monkeypatch.setattr(robust_error, "model_error_and_confidence", counting_eval)
 
     rates = [0.0, 0.01, 0.02]
@@ -130,3 +132,73 @@ def test_compare_models_shares_fields_per_precision(trained, blob_data):
     assert set(curves) == {"a", "b"}
     # Identical model + identical shared fields -> identical results.
     np.testing.assert_allclose(curves["a"].mean_errors(), curves["b"].mean_errors())
+
+
+def test_profiled_sweep_quantizes_and_clean_evaluates_once(
+    trained, blob_data, monkeypatch
+):
+    """Quantization + clean eval are hoisted out of the rate/offset loops."""
+    import repro.eval.robust_error as robust_error
+    import repro.eval.sweeps as sweeps_module
+    from repro.biterror import ChipProfile
+    from repro.eval import profiled_sweep
+
+    _, test = blob_data
+    model, quantizer = trained
+    chip = ChipProfile(rows=128, columns=64, seed=6)
+
+    quantize_calls = {"n": 0}
+    real_quantize = sweeps_module.quantize_model
+
+    def counting_quantize(*args, **kwargs):
+        quantize_calls["n"] += 1
+        return real_quantize(*args, **kwargs)
+
+    eval_calls = {"n": 0}
+    real_eval = robust_error.model_error_and_confidence
+
+    def counting_eval(*args, **kwargs):
+        eval_calls["n"] += 1
+        return real_eval(*args, **kwargs)
+
+    monkeypatch.setattr(sweeps_module, "quantize_model", counting_quantize)
+    monkeypatch.setattr(robust_error, "quantize_model", counting_quantize)
+    monkeypatch.setattr(robust_error, "model_error_and_confidence", counting_eval)
+
+    rates = [0.005, 0.01, 0.02]
+    offsets = (0, 1000)
+    curve = profiled_sweep(
+        model, quantizer, test, chip, rates, offsets=offsets
+    )
+    assert quantize_calls["n"] == 1
+    # One hoisted clean evaluation plus one perturbed evaluation per
+    # (rate, offset) cell — nothing is re-done per rate or per offset.
+    assert eval_calls["n"] == 1 + len(rates) * len(offsets)
+    assert len(curve.results) == len(rates)
+    assert all(len(r.errors) == len(offsets) for r in curve.results)
+
+
+def test_evaluate_profiled_error_accepts_hoisted_inputs(trained, blob_data):
+    """Precomputed quantized weights / clean stats skip the per-call work."""
+    import repro.eval.robust_error as robust_error
+    from repro.biterror import ChipProfile
+    from repro.quant.qat import quantize_model
+
+    _, test = blob_data
+    model, quantizer = trained
+    chip = ChipProfile(rows=128, columns=64, seed=8)
+    quantized = quantize_model(model, quantizer)
+    clean_weights = quantizer.dequantize(quantized)
+    clean_stats = robust_error.model_error_and_confidence(
+        model, clean_weights, test, 64
+    )
+    hoisted = robust_error.evaluate_profiled_error(
+        model, quantizer, test, chip, 0.02, offsets=(0, 500),
+        quantized=quantized, clean_stats=clean_stats,
+    )
+    reference = robust_error.evaluate_profiled_error(
+        model, quantizer, test, chip, 0.02, offsets=(0, 500)
+    )
+    assert hoisted.errors == reference.errors
+    assert hoisted.clean_error == reference.clean_error
+    assert hoisted.confidence_perturbed == reference.confidence_perturbed

@@ -1,0 +1,120 @@
+"""Tests for serial/parallel executors: equivalence, grouping, degradation."""
+
+import numpy as np
+import pytest
+
+from repro.biterror import ChipProfile, make_error_fields
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+from repro.quant.qat import quantize_model
+from repro.runtime import (
+    ParallelExecutor,
+    SerialExecutor,
+    SweepSpec,
+    group_jobs,
+    run_sweep,
+)
+from repro.runtime import executors as executors_module
+
+
+@pytest.fixture(scope="module")
+def grid(blob_data):
+    """A small multi-kind sweep spec builder (fresh spec per call)."""
+    _, test = blob_data
+    model = MLP(
+        in_features=test.input_shape[0], num_classes=test.num_classes,
+        hidden=(16,), rng=np.random.default_rng(1),
+    )
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantize_model(model, quantizer)
+    fields = make_error_fields(quantized.num_weights, 8, 3, seed=9)
+    chip = ChipProfile(rows=128, columns=64, column_alignment=0.4, seed=4)
+
+    def build():
+        spec = SweepSpec(test, batch_size=32)
+        spec.add_model("m", model, quantizer, quantized)
+        spec.add_field_set("f", fields)
+        spec.add_chip("c", chip)
+        for rate in (0.005, 0.01, 0.02):
+            spec.add_field_jobs("m", "f", rate)
+        spec.add_chip_jobs("m", "c", 0.02, offsets=(0, 500, 1000))
+        return spec
+
+    return build
+
+
+def test_group_jobs_partitions_by_granularity_and_dedupes(grid):
+    spec = grid()
+    groups = group_jobs(spec.jobs)
+    # 1 clean group + 3 field-rate groups (batched injection per cell) +
+    # 3 chip groups (one per offset — offsets share no work, so they shard).
+    assert len(groups) == 7
+    assert all(len({j.group_key for j in g}) == 1 for g in groups)
+    field_groups = [g for g in groups if g[0].kind == "field"]
+    assert all(len(g) == 3 for g in field_groups)  # whole chip set together
+    chip_groups = [g for g in groups if g[0].kind == "chip"]
+    assert [len(g) for g in chip_groups] == [1, 1, 1]
+    # Duplicated jobs (same content key) collapse into one execution.
+    assert group_jobs(spec.jobs + spec.jobs) == groups
+
+
+@pytest.mark.slow
+def test_parallel_executor_matches_serial_cell_for_cell(grid):
+    serial = run_sweep(grid(), executor=SerialExecutor())
+    parallel = run_sweep(grid(), executor=ParallelExecutor(max_workers=2))
+    assert set(serial) == set(parallel)
+    for key, cell in serial.items():
+        # Same fixed seed + same shipped context: every cell is equal, not
+        # merely close.
+        assert parallel[key].error == cell.error
+        assert parallel[key].confidence == cell.confidence
+
+
+def test_single_worker_short_circuits_without_a_pool(grid, monkeypatch):
+    def forbid_pool(*args, **kwargs):  # pragma: no cover - would fail the test
+        raise AssertionError("a pool must not be created for max_workers=1")
+
+    import multiprocessing
+
+    monkeypatch.setattr(multiprocessing, "get_context", forbid_pool)
+    results = run_sweep(grid(), executor=ParallelExecutor(max_workers=1))
+    assert results == run_sweep(grid(), executor=SerialExecutor())
+
+
+def test_unavailable_pool_degrades_to_serial(grid, monkeypatch):
+    import multiprocessing
+
+    def broken_context(*args, **kwargs):
+        raise OSError("no POSIX semaphores on this host")
+
+    monkeypatch.setattr(multiprocessing, "get_context", broken_context)
+    results = run_sweep(grid(), executor=ParallelExecutor(max_workers=4))
+    assert results == run_sweep(grid(), executor=SerialExecutor())
+
+
+def test_parallel_executor_validates_workers():
+    with pytest.raises(ValueError, match="max_workers"):
+        ParallelExecutor(max_workers=0)
+
+
+def test_executor_context_ships_once_per_worker(grid):
+    """Tasks carry only job lists; the context travels via the initializer."""
+    spec = grid()
+    shipped = []
+
+    class RecordingPoolExecutor:
+        """Runs the worker protocol in-process to observe the payloads."""
+
+        def run(self, context, groups):
+            shipped.append(context)
+            executors_module._init_worker(context)
+            return [executors_module._run_group_in_worker(g) for g in groups]
+
+    results = run_sweep(spec, executor=RecordingPoolExecutor())
+    assert len(shipped) == 1  # one context shipment for many groups
+    assert results == run_sweep(grid(), executor=SerialExecutor())
+
+
+def test_invalid_start_method_raises_at_construction():
+    with pytest.raises(ValueError, match="start_method"):
+        ParallelExecutor(max_workers=2, start_method="forkserve")  # typo

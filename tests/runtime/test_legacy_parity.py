@@ -1,0 +1,154 @@
+"""Engine results must be bit-identical to the pre-engine reference loops.
+
+These tests re-implement the ad-hoc sweep loops the engine replaced (the
+exact code that shipped before the runtime subsystem) and assert **exact**
+float equality against the engine-routed drivers on fixed seeds — not
+closeness.  Serial execution is the reference semantics; any divergence is a
+correctness bug, not noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.biterror import ChipProfile, make_error_fields
+from repro.core import Trainer, TrainerConfig
+from repro.eval import (
+    compare_models,
+    evaluate_profiled_error,
+    evaluate_robust_error,
+    profiled_sweep,
+    rerr_sweep,
+)
+from repro.eval.robust_error import RobustErrorResult, model_error_and_confidence
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+from repro.quant.qat import quantize_model
+
+
+@pytest.fixture(scope="module")
+def trained(blob_data):
+    train, _ = blob_data
+    model = MLP(
+        in_features=train.input_shape[0], num_classes=train.num_classes,
+        hidden=(24,), rng=np.random.default_rng(0),
+    )
+    quantizer = FixedPointQuantizer(rquant(8))
+    Trainer(model, quantizer, TrainerConfig(epochs=8, batch_size=16, seed=1)).train(train)
+    return model, quantizer
+
+
+def legacy_rerr_sweep(model, quantizer, dataset, rates, error_fields, batch_size=64):
+    """The pre-engine rerr_sweep loop (PR-1 hoisting, serial per-rate calls)."""
+    quantized = quantize_model(model, quantizer)
+    clean_weights = quantizer.dequantize(quantized)
+    clean_stats = model_error_and_confidence(model, clean_weights, dataset, batch_size)
+    return [
+        evaluate_robust_error(
+            model, quantizer, dataset, rate,
+            error_fields=error_fields, batch_size=batch_size,
+            quantized=quantized, clean_stats=clean_stats,
+        )
+        for rate in rates
+    ]
+
+
+def legacy_profiled_error(
+    model, quantizer, dataset, chip, rate, offsets, batch_size=64
+):
+    """The pre-engine evaluate_profiled_error body, verbatim."""
+    quantized = quantize_model(model, quantizer)
+    clean_weights = quantizer.dequantize(quantized)
+    clean_error, clean_confidence = model_error_and_confidence(
+        model, clean_weights, dataset, batch_size
+    )
+    result = RobustErrorResult(
+        bit_error_rate=rate, clean_error=clean_error, confidence_clean=clean_confidence
+    )
+    perturbed_confidences = []
+    for offset in offsets:
+        corrupted = chip.apply_to_quantized(quantized, rate, offset=offset)
+        weights = quantizer.dequantize(corrupted)
+        error, confidence = model_error_and_confidence(
+            model, weights, dataset, batch_size
+        )
+        result.errors.append(error)
+        perturbed_confidences.append(confidence)
+    result.confidence_perturbed = float(np.mean(perturbed_confidences))
+    return result
+
+
+def assert_results_identical(a: RobustErrorResult, b: RobustErrorResult):
+    assert a.errors == b.errors  # exact — same floats, same order
+    assert a.clean_error == b.clean_error
+    assert a.confidence_clean == b.confidence_clean
+    assert a.confidence_perturbed == b.confidence_perturbed
+    assert a.bit_error_rate == b.bit_error_rate
+
+
+def test_rerr_sweep_is_bit_identical_to_legacy_loop(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    rates = [0.0, 0.005, 0.01, 0.03]
+    fields = make_error_fields(model.num_parameters(), 8, 4, seed=13)
+    legacy = legacy_rerr_sweep(model, quantizer, test, rates, fields)
+    curve = rerr_sweep(model, quantizer, test, rates, error_fields=fields)
+    assert curve.rates == rates
+    for ours, reference in zip(curve.results, legacy):
+        assert_results_identical(ours, reference)
+
+
+def test_rerr_sweep_duplicate_rates_match_legacy(trained, blob_data):
+    """Duplicate grid entries are deduplicated in execution, not in output."""
+    _, test = blob_data
+    model, quantizer = trained
+    rates = [0.01, 0.01, 0.02]
+    fields = make_error_fields(model.num_parameters(), 8, 3, seed=17)
+    legacy = legacy_rerr_sweep(model, quantizer, test, rates, fields)
+    curve = rerr_sweep(model, quantizer, test, rates, error_fields=fields)
+    assert len(curve.results) == 3
+    for ours, reference in zip(curve.results, legacy):
+        assert_results_identical(ours, reference)
+
+
+def test_evaluate_profiled_error_is_bit_identical_to_legacy(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    chip = ChipProfile(rows=256, columns=64, column_alignment=0.5, seed=9)
+    offsets = (0, 1000, 5000)
+    for rate in (0.0, 0.01, 0.03):
+        legacy = legacy_profiled_error(model, quantizer, test, chip, rate, offsets)
+        ours = evaluate_profiled_error(
+            model, quantizer, test, chip, rate, offsets=offsets
+        )
+        assert_results_identical(ours, legacy)
+
+
+def test_profiled_sweep_matches_per_rate_evaluations(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    chip = ChipProfile(rows=128, columns=64, seed=3)
+    rates = [0.0, 0.02]
+    offsets = (0, 2000)
+    curve = profiled_sweep(model, quantizer, test, chip, rates, offsets=offsets)
+    assert curve.rates == rates and curve.offsets == [0, 2000]
+    for rate, ours in zip(rates, curve.results):
+        legacy = legacy_profiled_error(model, quantizer, test, chip, rate, offsets)
+        assert_results_identical(ours, legacy)
+
+
+def test_compare_models_is_bit_identical_to_per_model_sweeps(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    rates = [0.0, 0.01]
+    curves = compare_models(
+        {"a": (model, quantizer), "b": (model, quantizer)}, test, rates,
+        num_fields=3, seed=5,
+    )
+    # The legacy protocol: fields per precision with seed `seed + precision`.
+    fields = make_error_fields(
+        model.num_parameters(), 8, 3, seed=5 + quantizer.precision
+    )
+    reference = legacy_rerr_sweep(model, quantizer, test, rates, fields)
+    for name in ("a", "b"):
+        for ours, ref in zip(curves[name].results, reference):
+            assert_results_identical(ours, ref)

@@ -1,0 +1,150 @@
+"""Tests for the ResultStore: caching, resumability, corruption tolerance."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.biterror import make_error_fields
+from repro.eval import rerr_sweep
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+from repro.quant.qat import quantize_model
+from repro.runtime import (
+    CellResult,
+    ResultStore,
+    SerialExecutor,
+    SweepSpec,
+    run_sweep,
+)
+
+
+class CountingExecutor(SerialExecutor):
+    """Serial executor that records how many jobs it actually executes."""
+
+    def __init__(self):
+        self.jobs_executed = 0
+        self.run_calls = 0
+
+    def run(self, context, groups):
+        self.run_calls += 1
+        self.jobs_executed += sum(len(g) for g in groups)
+        return super().run(context, groups)
+
+
+@pytest.fixture()
+def setup(blob_data):
+    _, test = blob_data
+    model = MLP(
+        in_features=test.input_shape[0], num_classes=test.num_classes,
+        hidden=(16,), rng=np.random.default_rng(2),
+    )
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantize_model(model, quantizer)
+    fields = make_error_fields(quantized.num_weights, 8, 3, seed=21)
+    return model, quantizer, quantized, fields, test
+
+
+def build_spec(setup, rates):
+    model, quantizer, quantized, fields, test = setup
+    spec = SweepSpec(test, batch_size=32)
+    spec.add_model("m", model, quantizer, quantized)
+    spec.add_field_set("f", fields)
+    for rate in rates:
+        spec.add_field_jobs("m", "f", rate)
+    return spec
+
+
+def test_warm_store_executes_zero_jobs(setup, tmp_path):
+    store = ResultStore(str(tmp_path / "run"))
+    cold = CountingExecutor()
+    first = run_sweep(build_spec(setup, [0.01, 0.02]), executor=cold, store=store)
+    assert cold.jobs_executed == 1 + 2 * 3  # clean + 2 rates x 3 fields
+    warm = CountingExecutor()
+    second = run_sweep(build_spec(setup, [0.01, 0.02]), executor=warm, store=store)
+    assert warm.jobs_executed == 0
+    assert warm.run_calls == 0  # the executor is never even invoked
+    assert second == first
+
+
+def test_partially_warm_store_executes_only_missing_cells(setup, tmp_path):
+    store = ResultStore(str(tmp_path / "run"))
+    run_sweep(build_spec(setup, [0.01]), executor=SerialExecutor(), store=store)
+    resumed = CountingExecutor()
+    results = run_sweep(
+        build_spec(setup, [0.01, 0.02]), executor=resumed, store=store
+    )
+    # Clean cell and the 0.01 cells are recalled; only rate 0.02 runs.
+    assert resumed.jobs_executed == 3
+    assert len(results) == 1 + 2 * 3
+
+
+def test_store_reloads_from_disk_and_skips_corruption(setup, tmp_path):
+    run_dir = str(tmp_path / "run")
+    first = run_sweep(
+        build_spec(setup, [0.015]), executor=SerialExecutor(), store=run_dir
+    )
+    store_path = os.path.join(run_dir, "results.jsonl")
+    with open(store_path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "truncated-by-a-k')  # simulated interrupt
+        handle.write("\n[1, 2, 3]\n")  # non-object record
+    reloaded = ResultStore(run_dir)
+    assert len(reloaded) == len(first)
+    warm = CountingExecutor()
+    assert run_sweep(build_spec(setup, [0.015]), executor=warm, store=reloaded) == first
+    assert warm.jobs_executed == 0
+
+
+def test_store_records_are_inspectable_and_puts_are_idempotent(setup, tmp_path):
+    run_dir = str(tmp_path / "run")
+    store = ResultStore(run_dir)
+    run_sweep(build_spec(setup, [0.01]), executor=SerialExecutor(), store=store)
+    with open(store.path, encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    assert {r["kind"] for r in records} == {"clean", "field"}
+    assert all("key" in r and "error" in r and "confidence" in r for r in records)
+    lines_before = len(records)
+    key = records[0]["key"]
+    store.put(key, CellResult(0.0, 0.0))  # replay: must not append or clobber
+    with open(store.path, encoding="utf-8") as handle:
+        assert len(handle.readlines()) == lines_before
+    assert store.get(key).error == records[0]["error"]
+
+
+def test_rerr_sweep_accepts_store_path(setup, tmp_path):
+    model, quantizer, quantized, fields, test = setup
+    run_dir = str(tmp_path / "sweep-run")
+    curve = rerr_sweep(
+        model, quantizer, test, [0.0, 0.01], error_fields=fields, store=run_dir
+    )
+    assert os.path.exists(os.path.join(run_dir, "results.jsonl"))
+    again = rerr_sweep(
+        model, quantizer, test, [0.0, 0.01], error_fields=fields, store=run_dir
+    )
+    assert curve.mean_errors() == again.mean_errors()
+
+
+def test_interrupted_sweep_keeps_completed_groups(setup, tmp_path):
+    """Results stream to the store per group, so a crash loses only in-flight work."""
+
+    class ExplodingExecutor(SerialExecutor):
+        """Executes the first group, then dies — a simulated preemption."""
+
+        def run(self, context, groups):
+            from repro.runtime.executors import execute_group
+
+            for i, group in enumerate(groups):
+                if i >= 2:
+                    raise RuntimeError("preempted")
+                yield execute_group(context, group)
+
+    store = ResultStore(str(tmp_path / "run"))
+    with pytest.raises(RuntimeError, match="preempted"):
+        run_sweep(build_spec(setup, [0.01, 0.02]), executor=ExplodingExecutor(),
+                  store=store)
+    # The clean group and the first rate group were persisted before the crash.
+    assert len(store) == 1 + 3
+    resumed = CountingExecutor()
+    run_sweep(build_spec(setup, [0.01, 0.02]), executor=resumed, store=store)
+    assert resumed.jobs_executed == 3  # only the interrupted rate re-runs

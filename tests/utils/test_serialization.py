@@ -29,3 +29,42 @@ def test_save_creates_missing_directories(tmp_path):
     path = tmp_path / "nested" / "dir" / "state.npz"
     save_state_dict({"x": np.ones(3)}, str(path))
     assert path.exists()
+
+
+def test_array_digest_stability_and_sensitivity():
+    from repro.utils.serialization import array_digest
+
+    a = np.arange(12, dtype=np.float64).reshape(3, 4)
+    assert array_digest(a) == array_digest(a.copy())
+    # Fortran-ordered copies hash identically (layout-invariant).
+    assert array_digest(a) == array_digest(np.asfortranarray(a))
+    # dtype, shape and contents all matter.
+    assert array_digest(a) != array_digest(a.astype(np.float32))
+    assert array_digest(a) != array_digest(a.reshape(4, 3))
+    b = a.copy()
+    b[0, 0] += 1.0
+    assert array_digest(a) != array_digest(b)
+    # Multi-array digests depend on the sequence.
+    assert array_digest(a, b) != array_digest(b, a)
+
+
+def test_jsonl_append_read_round_trip(tmp_path):
+    from repro.utils.serialization import append_jsonl, read_jsonl
+
+    path = str(tmp_path / "records.jsonl")
+    assert read_jsonl(path) == []
+    append_jsonl(path, [{"key": "a", "value": 1}])
+    append_jsonl(path, [{"key": "b", "value": 2}, {"key": "c", "value": 3}])
+    records = read_jsonl(path)
+    assert [r["key"] for r in records] == ["a", "b", "c"]
+
+
+def test_jsonl_skips_truncated_trailing_line(tmp_path):
+    from repro.utils.serialization import append_jsonl, read_jsonl
+
+    path = str(tmp_path / "records.jsonl")
+    append_jsonl(path, [{"key": "a"}])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "b", "err')  # interrupted mid-append
+    records = read_jsonl(path)
+    assert [r["key"] for r in records] == ["a"]
