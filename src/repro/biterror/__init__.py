@@ -20,6 +20,7 @@ from repro.biterror.backends import (
     make_backend,
 )
 from repro.biterror.random_errors import (
+    DRAW_METHODS,
     BitErrorField,
     apply_fields_batch,
     expected_bit_errors,
@@ -48,6 +49,7 @@ __all__ = [
     "apply_fields_batch",
     "inject_random_bit_errors",
     "inject_into_quantized",
+    "DRAW_METHODS",
     "BitErrorField",
     "make_error_fields",
     "expected_bit_errors",

@@ -43,6 +43,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.utils.arrays import sorted_unique
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -51,6 +52,7 @@ __all__ = [
     "SparseFieldBackend",
     "make_backend",
     "xor_from_bit_positions",
+    "sample_distinct_positions",
     "batch_apply",
     "BACKENDS",
 ]
@@ -225,7 +227,7 @@ class SparseFieldBackend(InjectionBackend):
         rng = as_rng(rng)
         total_bits = num_weights * precision
         count = int(rng.binomial(total_bits, self.max_rate))
-        self._positions = _sample_distinct(rng, total_bits, count)
+        self._positions = sample_distinct_positions(rng, total_bits, count)
         self._sorted_thresholds = np.sort(rng.random(count)) * self.max_rate
 
     def _prefix_length(self, p: float) -> int:
@@ -309,13 +311,15 @@ def batch_apply(
     return out
 
 
-def _sample_distinct(
+def sample_distinct_positions(
     rng: np.random.Generator, total: int, count: int
 ) -> np.ndarray:
     """A uniform random ``count``-subset of ``range(total)`` in random order.
 
-    For the small fractions this backend targets, rejection sampling touches
-    ``O(count)`` memory; dense fractions fall back to a full permutation.
+    For the small fractions the sparse backends (and the sparse training
+    draw in :mod:`repro.biterror.random_errors`) target, rejection sampling
+    touches ``O(count)`` memory; dense fractions fall back to a full
+    permutation.
     """
     if count >= total:
         return rng.permutation(total).astype(np.int64)
@@ -328,8 +332,8 @@ def _sample_distinct(
         # and the per-iteration dedup sort is paid once.
         need = count - collected.size
         draw = rng.integers(0, total, size=need + need // 4 + 16, dtype=np.int64)
-        collected = np.union1d(collected, draw)
-    # union1d sorts; re-randomize the order (and trim any overshoot) so the
+        collected = sorted_unique(np.concatenate([collected, draw]))
+    # The dedup sorts; re-randomize the order (and trim any overshoot) so the
     # pairing with the sorted threshold order statistics is uniform.
     return rng.permutation(collected)[:count]
 

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.quant.fixed_point import QuantizedWeights
+from repro.utils.arrays import sorted_unique
 from repro.utils.rng import as_rng
 
 __all__ = ["FaultMap", "ChipProfile", "make_profiled_chips"]
@@ -341,15 +342,29 @@ class ChipProfile:
         corrupted = (corrupted_bits << bit_positions).sum(axis=1)
         return corrupted.astype(codes.dtype)
 
+    def touched_weight_indices(
+        self, num_weights: int, precision: int, rate: float, offset: int = 0
+    ) -> np.ndarray:
+        """Sorted distinct weights whose payload bits sit on faulty cells.
+
+        A superset of the weights whose codes actually change (a stuck-at
+        fault only manifests when the stored bit disagrees with the stuck
+        value), which is exactly what delta de-quantization
+        (:meth:`repro.quant.fixed_point.FixedPointQuantizer.dequantize_delta`)
+        needs: re-decoding an unchanged code is a no-op.
+        """
+        idx, _ = self._payload_hits(rate, offset, num_weights * precision)
+        return sorted_unique(idx // precision)
+
     def apply_to_quantized(
         self, quantized: QuantizedWeights, rate: float, offset: int = 0
     ) -> QuantizedWeights:
         """Corrupt a :class:`QuantizedWeights` stored linearly on this chip."""
-        flat = quantized.flat_codes()
+        flat = quantized.flat_codes(copy=False)
         corrupted = self.apply_to_codes(
             flat, quantized.scheme.precision, rate, offset=offset
         )
-        return quantized.with_flat_codes(corrupted)
+        return quantized.with_flat_codes(corrupted, copy=False)
 
     def observed_bit_error_rate(
         self, quantized: QuantizedWeights, rate: float, offset: int = 0

@@ -19,7 +19,7 @@ no-op, regardless of backend.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,9 +28,11 @@ from repro.biterror.backends import (
     InjectionBackend,
     batch_apply,
     make_backend,
+    sample_distinct_positions,
     xor_from_bit_positions,
 )
 from repro.quant.fixed_point import QuantizedWeights
+from repro.utils.arrays import sorted_unique
 from repro.utils.rng import as_rng, spawn_rngs
 
 __all__ = [
@@ -41,11 +43,21 @@ __all__ = [
     "apply_fields_batch",
     "expected_bit_errors",
     "flip_probability_from_counts",
+    "DRAW_METHODS",
 ]
+
+#: Per-step error draw constructions (see :func:`inject_random_bit_errors`).
+DRAW_METHODS = ("dense", "sparse")
 
 
 def expected_bit_errors(num_weights: int, precision: int, p: float) -> float:
     """Expected number of flipped bits, ``p * m * W`` (Table 6)."""
+    if num_weights < 0:
+        raise ValueError(f"num_weights must be non-negative, got {num_weights}")
+    if precision <= 0:
+        raise ValueError(f"precision must be positive, got {precision}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"bit error rate p must be in [0, 1], got {p}")
     return float(p) * precision * num_weights
 
 
@@ -67,7 +79,9 @@ def inject_random_bit_errors(
     p: float,
     precision: int,
     rng: Optional[np.random.Generator] = None,
-) -> np.ndarray:
+    method: str = "dense",
+    return_positions: bool = False,
+) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
     """Flip every bit of ``codes`` independently with probability ``p``.
 
     Parameters
@@ -81,6 +95,21 @@ def inject_random_bit_errors(
     rng:
         Random generator; a fresh draw corresponds to a new chip / new error
         pattern.
+    method:
+        How the flip set is drawn.  ``"dense"`` (the reference construction)
+        draws one uniform variable per stored bit and thresholds it at ``p``
+        — ``O(W * m)`` per call.  ``"sparse"`` draws the flip *count* from
+        ``Binomial(W * m, p)`` and then a uniform random subset of distinct
+        bit positions — ``O(p * W * m)`` per call.  Both produce the same
+        distribution over flip sets, but they consume the RNG stream
+        differently, so seeded trajectories are only reproducible within one
+        method.
+    return_positions:
+        Also return the flat bit positions (indices into the ``W * m`` bit
+        field, bit ``j`` of weight ``i`` at ``i * m + j``) that were flipped.
+        The dense draw computes them anyway; downstream delta dequantization
+        (:meth:`repro.quant.fixed_point.FixedPointQuantizer.dequantize_delta`)
+        is built on them.
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"bit error rate p must be in [0, 1], got {p}")
@@ -89,25 +118,60 @@ def inject_random_bit_errors(
         raise ValueError(
             f"precision must be in [1, {MAX_PRECISION}], got {precision}"
         )
+    if method not in DRAW_METHODS:
+        raise ValueError(
+            f"unknown draw method {method!r}; choose from {DRAW_METHODS}"
+        )
     codes = np.asarray(codes)
     if p == 0.0:
-        return codes.copy()
+        positions = np.empty(0, dtype=np.int64)
+        return (codes.copy(), positions) if return_positions else codes.copy()
     rng = as_rng(rng)
-    mask = rng.random(codes.shape + (precision,)) < p
-    positions = np.flatnonzero(mask.reshape(-1))
-    xor_values = xor_from_bit_positions(positions, codes.size, precision, codes.dtype)
-    return codes ^ xor_values.reshape(codes.shape)
+    if method == "dense":
+        mask = rng.random(codes.shape + (precision,)) < p
+        positions = np.flatnonzero(mask.reshape(-1))
+        xor_values = xor_from_bit_positions(
+            positions, codes.size, precision, codes.dtype
+        )
+        result = codes ^ xor_values.reshape(codes.shape)
+    else:
+        total_bits = codes.size * precision
+        count = int(rng.binomial(total_bits, p))
+        positions = sample_distinct_positions(rng, total_bits, count)
+        flat = codes.reshape(-1).copy()
+        if positions.size:
+            weight_idx = positions // precision
+            bit_idx = positions % precision
+            np.bitwise_xor.at(flat, weight_idx, (1 << bit_idx).astype(flat.dtype))
+        result = flat.reshape(codes.shape)
+    return (result, positions) if return_positions else result
 
 
 def inject_into_quantized(
     quantized: QuantizedWeights,
     p: float,
     rng: Optional[np.random.Generator] = None,
-) -> QuantizedWeights:
-    """Return a copy of ``quantized`` with random bit errors at rate ``p``."""
-    flat = quantized.flat_codes()
-    perturbed = inject_random_bit_errors(flat, p, quantized.scheme.precision, rng)
-    return quantized.with_flat_codes(perturbed)
+    method: str = "dense",
+    return_positions: bool = False,
+) -> Union[QuantizedWeights, Tuple[QuantizedWeights, np.ndarray]]:
+    """Return a copy of ``quantized`` with random bit errors at rate ``p``.
+
+    ``method`` selects the dense or sparse draw construction (see
+    :func:`inject_random_bit_errors`; the default ``"dense"`` preserves the
+    historical RNG stream exactly).  With ``return_positions=True`` the
+    sorted distinct flat *weight* indices whose codes had at least one bit
+    flipped are returned alongside — the input of
+    :meth:`~repro.quant.fixed_point.FixedPointQuantizer.dequantize_delta`.
+    """
+    flat = quantized.flat_codes(copy=False)
+    perturbed, positions = inject_random_bit_errors(
+        flat, p, quantized.scheme.precision, rng,
+        method=method, return_positions=True,
+    )
+    result = quantized.with_flat_codes(perturbed, copy=False)
+    if return_positions:
+        return result, sorted_unique(positions // quantized.scheme.precision)
+    return result
 
 
 class BitErrorField:
@@ -162,6 +226,12 @@ class BitErrorField:
             raise ValueError(f"bit error rate p must be in [0, 1], got {p}")
         return self.backend.error_mask(p)
 
+    def error_positions(self, p: float) -> np.ndarray:
+        """Flat indices (into the ``W * m`` bit field) of erroneous bits."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"bit error rate p must be in [0, 1], got {p}")
+        return self.backend.error_positions(p)
+
     def num_errors(self, p: float) -> int:
         """Number of erroneous bits at rate ``p``."""
         return self.backend.num_errors(p)
@@ -177,8 +247,8 @@ class BitErrorField:
                 f"field precision ({self.precision}) does not match "
                 f"quantization precision ({quantized.scheme.precision})"
             )
-        perturbed = self.apply(quantized.flat_codes(), p)
-        return quantized.with_flat_codes(perturbed)
+        perturbed = self.apply(quantized.flat_codes(copy=False), p)
+        return quantized.with_flat_codes(perturbed, copy=False)
 
 
 def apply_fields_batch(
@@ -204,8 +274,12 @@ def apply_fields_batch(
                 f"field precision ({field.precision}) does not match "
                 f"quantization precision ({quantized.scheme.precision})"
             )
-    batch = batch_apply([field.backend for field in fields], quantized.flat_codes(), p)
-    return [quantized.with_flat_codes(row) for row in batch]
+    batch = batch_apply(
+        [field.backend for field in fields], quantized.flat_codes(copy=False), p
+    )
+    # Each chip's row of the batch is exclusively owned by its result, so the
+    # rebuilt QuantizedWeights can view it without a copy.
+    return [quantized.with_flat_codes(row, copy=False) for row in batch]
 
 
 def make_error_fields(

@@ -17,11 +17,12 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from repro.biterror.patterns import ChipProfile
-from repro.biterror.random_errors import BitErrorField
+from repro.biterror.random_errors import DRAW_METHODS, BitErrorField
 from repro.core.trainer import Trainer, TrainerConfig
 from repro.nn.module import Module
 from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
 from repro.quant.qat import model_weight_arrays, swap_weights
+from repro.utils.arrays import sorted_unique
 
 __all__ = ["PattBETConfig", "PattBETTrainer"]
 
@@ -39,16 +40,30 @@ class PattBETConfig(TrainerConfig):
         As for RandBET, errors are injected only once the clean loss is low.
     memory_offset:
         Placement offset used when the pattern is a :class:`ChipProfile`.
+    error_draw:
+        ``"dense"`` (default) de-quantizes the whole perturbed model every
+        step — the historical reference path.  ``"sparse"`` patches only the
+        weights the fixed pattern can touch
+        (:meth:`~repro.quant.fixed_point.FixedPointQuantizer.dequantize_delta`).
+        PattBET's pattern is fixed, so unlike RandBET no RNG stream is
+        involved and both settings produce bit-identical trajectories; the
+        knob is named like :class:`~repro.core.randbet.RandBETConfig`'s for
+        symmetry across the training recipes.
     """
 
     bit_error_rate: float = 0.01
     start_loss_threshold: float = 1.75
     memory_offset: int = 0
+    error_draw: str = "dense"
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if not 0.0 <= self.bit_error_rate <= 1.0:
             raise ValueError("bit_error_rate must be in [0, 1]")
+        if self.error_draw not in DRAW_METHODS:
+            raise ValueError(
+                f"error_draw must be one of {DRAW_METHODS}, got {self.error_draw!r}"
+            )
 
 
 class PattBETTrainer(Trainer):
@@ -68,6 +83,7 @@ class PattBETTrainer(Trainer):
         self.config: PattBETConfig = config
         self.pattern = pattern
         self._errors_active = False
+        self._touched_weights: Optional[np.ndarray] = None
 
     @property
     def bit_errors_active(self) -> bool:
@@ -80,6 +96,29 @@ class PattBETTrainer(Trainer):
         return self.pattern.apply_to_quantized(
             quantized, self.config.bit_error_rate, offset=self.config.memory_offset
         )
+
+    def _pattern_touched_weights(self, quantized: QuantizedWeights) -> np.ndarray:
+        """Flat weight indices the fixed pattern can touch (a superset of
+        those actually changed — sufficient for delta de-quantization).
+
+        The pattern, rate and offset are fixed for the trainer's lifetime,
+        so the set is computed once and reused every step.
+        """
+        if self._touched_weights is not None:
+            return self._touched_weights
+        precision = quantized.scheme.precision
+        if isinstance(self.pattern, BitErrorField):
+            positions = self.pattern.error_positions(self.config.bit_error_rate)
+            touched = sorted_unique(positions // precision)
+        else:
+            touched = self.pattern.touched_weight_indices(
+                quantized.num_weights,
+                precision,
+                self.config.bit_error_rate,
+                offset=self.config.memory_offset,
+            )
+        self._touched_weights = touched
+        return touched
 
     def compute_gradients(self, inputs: np.ndarray, labels: np.ndarray) -> float:
         quantized = self.quantizer.quantize(model_weight_arrays(self.model))
@@ -96,7 +135,12 @@ class PattBETTrainer(Trainer):
             return clean_loss
 
         perturbed = self._apply_pattern(quantized)
-        perturbed_weights = self.quantizer.dequantize(perturbed)
+        if self.config.error_draw == "sparse":
+            perturbed_weights = self.quantizer.dequantize_delta(
+                clean_weights, perturbed, self._pattern_touched_weights(quantized)
+            )
+        else:
+            perturbed_weights = self.quantizer.dequantize(perturbed)
         with swap_weights(self.model, perturbed_weights):
             logits = self.model(inputs)
             _, grad = self.loss_fn(logits, labels)

@@ -21,14 +21,14 @@ Two variants discussed in App. G.4 are also implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.biterror.random_errors import inject_into_quantized
+from repro.biterror.random_errors import DRAW_METHODS, inject_into_quantized
 from repro.core.trainer import Trainer, TrainerConfig
 from repro.nn.module import Module
-from repro.quant.fixed_point import FixedPointQuantizer
+from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
 from repro.quant.qat import model_weight_arrays, swap_weights
 from repro.utils.rng import as_rng
 
@@ -52,12 +52,23 @@ class RandBETConfig(TrainerConfig):
         ``"standard"``, ``"curricular"`` or ``"alternating"`` (App. G.4).
     bit_error_seed:
         Seed of the RNG used for drawing training bit errors.
+    error_draw:
+        How the per-step flip set is drawn.  ``"dense"`` (default) is the
+        reference construction — one uniform per stored bit, ``O(W * m)``
+        per step — and keeps every seeded trajectory bit-identical to the
+        historical behaviour.  ``"sparse"`` draws a binomial flip count plus
+        distinct bit positions (``O(p * W * m)`` per step) and de-quantizes
+        the perturbed weights by patching only the touched entries; it is
+        semantically equivalent (same flip-set distribution, bit-identical
+        decoding) but consumes the RNG stream differently, so switching it
+        on changes seeded trajectories — a deliberate, flagged opt-in.
     """
 
     bit_error_rate: float = 0.01
     start_loss_threshold: float = 1.75
     variant: str = "standard"
     bit_error_seed: int = 101
+    error_draw: str = "dense"
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -65,6 +76,10 @@ class RandBETConfig(TrainerConfig):
             raise ValueError("bit_error_rate must be in [0, 1]")
         if self.variant not in VARIANTS:
             raise ValueError(f"variant must be one of {VARIANTS}, got {self.variant!r}")
+        if self.error_draw not in DRAW_METHODS:
+            raise ValueError(
+                f"error_draw must be one of {DRAW_METHODS}, got {self.error_draw!r}"
+            )
 
 
 class RandBETTrainer(Trainer):
@@ -131,10 +146,7 @@ class RandBETTrainer(Trainer):
         # gradients accumulate on top of the clean ones and the total is
         # halved so the update follows the *average* of the clean and
         # perturbed gradients, as in Eq. (2) / Alg. 1.
-        perturbed = inject_into_quantized(
-            quantized, self._current_bit_error_rate, self.bit_error_rng
-        )
-        perturbed_weights = self.quantizer.dequantize(perturbed)
+        perturbed_weights = self._perturbed_weights(quantized, clean_weights)
         with swap_weights(self.model, perturbed_weights):
             logits = self.model(inputs)
             _, grad = self.loss_fn(logits, labels)
@@ -142,6 +154,35 @@ class RandBETTrainer(Trainer):
         for param in self.model.parameters():
             param.grad *= 0.5
         return clean_loss
+
+    def _perturbed_weights(
+        self,
+        quantized: QuantizedWeights,
+        clean_weights: Optional[List[np.ndarray]] = None,
+    ) -> List[np.ndarray]:
+        """Inject fresh bit errors and de-quantize the result.
+
+        The default ``error_draw="dense"`` path reproduces the historical
+        per-step RNG stream and runs a full de-quantization.  The
+        ``"sparse"`` path draws only the flipped bits and, when the clean
+        de-quantization is available, patches the ``~p * m * W`` touched
+        weights instead of decoding the whole model again.
+        """
+        if self.config.error_draw == "sparse":
+            perturbed, touched = inject_into_quantized(
+                quantized,
+                self._current_bit_error_rate,
+                self.bit_error_rng,
+                method="sparse",
+                return_positions=True,
+            )
+            if clean_weights is not None:
+                return self.quantizer.dequantize_delta(clean_weights, perturbed, touched)
+            return self.quantizer.dequantize(perturbed)
+        perturbed = inject_into_quantized(
+            quantized, self._current_bit_error_rate, self.bit_error_rng
+        )
+        return self.quantizer.dequantize(perturbed)
 
     def _alternating_perturbed_update(
         self, inputs: np.ndarray, labels: np.ndarray
@@ -156,10 +197,7 @@ class RandBETTrainer(Trainer):
             float(np.abs(param.data).max()) for param in self.model.parameters()
         ]
         quantized = self.quantizer.quantize(model_weight_arrays(self.model))
-        perturbed = inject_into_quantized(
-            quantized, self._current_bit_error_rate, self.bit_error_rng
-        )
-        perturbed_weights = self.quantizer.dequantize(perturbed)
+        perturbed_weights = self._perturbed_weights(quantized)
         self.optimizer.zero_grad()
         with swap_weights(self.model, perturbed_weights):
             logits = self.model(inputs)

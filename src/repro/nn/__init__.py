@@ -11,7 +11,12 @@ label-smoothing variant (Sec. 5.2).
 
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.linear import Linear
-from repro.nn.conv import Conv2d
+from repro.nn.conv import (
+    Conv2d,
+    conv_contraction,
+    get_conv_contraction,
+    set_conv_contraction,
+)
 from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.nn.normalization import BatchNorm2d, GroupNorm
@@ -25,6 +30,9 @@ __all__ = [
     "Sequential",
     "Linear",
     "Conv2d",
+    "conv_contraction",
+    "get_conv_contraction",
+    "set_conv_contraction",
     "MaxPool2d",
     "AvgPool2d",
     "GlobalAvgPool2d",

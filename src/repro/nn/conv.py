@@ -4,18 +4,74 @@ The im2col transformation unrolls every receptive field into a column so that
 convolution becomes a single matrix multiplication — the standard vectorized
 NumPy formulation.  ``im2col`` / ``col2im`` are exposed as module-level
 functions so pooling layers and tests can reuse them.
+
+Two hot-path choices are configurable for validation and benchmarking:
+
+* ``im2col`` builds its window view with ``np.lib.stride_tricks.as_strided``
+  (one gather copy) by default; ``method="loop"`` keeps the original
+  per-kernel-offset slice loop as the reference implementation.
+* The three tensor contractions of ``Conv2d.forward``/``backward`` run as
+  reshaped ``np.matmul`` calls that dispatch to BLAS by default;
+  :func:`set_conv_contraction` switches back to the original ``np.einsum``
+  reference.  Both are validated against each other in the test suite.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
-__all__ = ["Conv2d", "im2col", "col2im", "conv_output_size"]
+__all__ = [
+    "Conv2d",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "set_conv_contraction",
+    "get_conv_contraction",
+    "conv_contraction",
+    "CONTRACTIONS",
+    "IM2COL_METHODS",
+]
+
+#: Contraction engines for Conv2d: BLAS-dispatched matmul vs. the einsum
+#: reference.  Results agree to floating-point reduction order.
+CONTRACTIONS = ("matmul", "einsum")
+
+#: Window-unrolling strategies for im2col: a strided gather vs. the
+#: per-kernel-offset slice loop reference.  Results are bit-identical.
+IM2COL_METHODS = ("strided", "loop")
+
+_contraction = "matmul"
+
+
+def set_conv_contraction(mode: str) -> str:
+    """Select the global Conv2d contraction engine; returns the previous one."""
+    global _contraction
+    if mode not in CONTRACTIONS:
+        raise ValueError(f"unknown contraction {mode!r}; choose from {CONTRACTIONS}")
+    previous = _contraction
+    _contraction = mode
+    return previous
+
+
+def get_conv_contraction() -> str:
+    """The currently selected Conv2d contraction engine."""
+    return _contraction
+
+
+@contextmanager
+def conv_contraction(mode: str) -> Iterator[None]:
+    """Temporarily switch the Conv2d contraction engine (for tests/benchmarks)."""
+    previous = set_conv_contraction(mode)
+    try:
+        yield
+    finally:
+        set_conv_contraction(previous)
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -24,7 +80,12 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+    method: str = "strided",
 ) -> Tuple[np.ndarray, int, int]:
     """Unroll sliding windows of ``x`` into columns.
 
@@ -32,6 +93,12 @@ def im2col(
     ----------
     x:
         Input of shape ``(N, C, H, W)``.
+    method:
+        ``"strided"`` (default) builds a zero-copy ``as_strided`` window view
+        of the padded input and materializes it with one reshape/gather;
+        ``"loop"`` fills the window tensor with one strided slice copy per
+        kernel offset (the reference implementation).  Both produce
+        bit-identical columns.
 
     Returns
     -------
@@ -40,6 +107,8 @@ def im2col(
     out_h, out_w:
         Spatial output size.
     """
+    if method not in IM2COL_METHODS:
+        raise ValueError(f"unknown im2col method {method!r}; choose from {IM2COL_METHODS}")
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
@@ -51,6 +120,22 @@ def im2col(
     x_padded = np.pad(
         x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
     )
+    if method == "strided":
+        sn, sc, sh, sw = x_padded.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x_padded,
+            shape=(n, c, kernel_h, kernel_w, out_h, out_w),
+            strides=(sn, sc, sh, sw, stride * sh, stride * sw),
+            writeable=False,
+        )
+        cols = windows.reshape(n, c * kernel_h * kernel_w, out_h * out_w)
+        if cols.base is not None:
+            # For overlapping windows the reshape gathers into a fresh array;
+            # for the degenerate 1x1 stride-1 case it stays a (read-only)
+            # view of the padded input, so materialize the ownership the
+            # contract promises.
+            cols = cols.copy()
+        return cols, out_h, out_w
     cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
     for i in range(kernel_h):
         i_max = i + stride * out_h
@@ -136,7 +221,11 @@ class Conv2d(Module):
         )
         n = x.shape[0]
         weight_mat = self.weight.data.reshape(self.out_channels, -1)
-        out = np.einsum("ok,nkp->nop", weight_mat, cols)
+        if _contraction == "matmul":
+            # (O, K) @ (N, K, P) broadcasts to a batched BLAS gemm -> (N, O, P).
+            out = np.matmul(weight_mat, cols)
+        else:
+            out = np.einsum("ok,nkp->nop", weight_mat, cols)
         if self.has_bias:
             out = out + self.bias.data[None, :, None]
         self._cache = (cols, x.shape)
@@ -152,12 +241,20 @@ class Conv2d(Module):
         )
         weight_mat = self.weight.data.reshape(self.out_channels, -1)
         # Parameter gradients.
-        grad_weight = np.einsum("nop,nkp->ok", grad_mat, cols)
+        if _contraction == "matmul":
+            # Per-sample (O, P) @ (P, K) gemms, summed over the batch.
+            grad_weight = np.matmul(grad_mat, cols.transpose(0, 2, 1)).sum(axis=0)
+        else:
+            grad_weight = np.einsum("nop,nkp->ok", grad_mat, cols)
         self.weight.grad += grad_weight.reshape(self.weight.data.shape)
         if self.has_bias:
             self.bias.grad += grad_mat.sum(axis=(0, 2))
         # Input gradient.
-        grad_cols = np.einsum("ok,nop->nkp", weight_mat, grad_mat)
+        if _contraction == "matmul":
+            # (K, O) @ (N, O, P) broadcasts to a batched gemm -> (N, K, P).
+            grad_cols = np.matmul(weight_mat.T, grad_mat)
+        else:
+            grad_cols = np.einsum("ok,nop->nkp", weight_mat, grad_mat)
         return col2im(
             grad_cols,
             input_shape,

@@ -133,23 +133,37 @@ def _denormalize(values: np.ndarray, q_min: float, q_max: float) -> np.ndarray:
 def encode_array(
     weights: np.ndarray, q_min: float, q_max: float, scheme: QuantizationScheme
 ) -> np.ndarray:
-    """Quantize ``weights`` into ``m``-bit codes (returned as unsigned ints)."""
+    """Quantize ``weights`` into ``m``-bit codes (returned as unsigned ints).
+
+    The arithmetic runs in place on one scratch buffer — every step applies
+    the exact operation sequence of the original expression chain
+    (normalize, clip, scale, round/truncate, clip, offset), so the codes are
+    bit-identical to the historical implementation while touching one
+    allocation instead of one per intermediate.  This is the largest shared
+    per-step cost of the QAT/RandBET training loop.
+    """
     weights = np.asarray(weights, dtype=np.float64)
     levels = scheme.levels
     if scheme.asymmetric:
-        normalized = _normalize(weights, q_min, q_max)
+        # (w - q_min) / (q_max - q_min) * 2 - 1, as in _normalize (Eq. (3)).
+        buf = weights - q_min
+        buf /= q_max - q_min
+        buf *= 2.0
+        buf -= 1.0
     else:
         scale = max(abs(q_min), abs(q_max))
-        normalized = weights / scale
-    normalized = np.clip(normalized, -1.0, 1.0)
-    scaled = normalized * levels
+        buf = weights / scale
+    np.clip(buf, -1.0, 1.0, out=buf)
+    buf *= levels
     if scheme.rounding:
-        integers = np.rint(scaled)
+        np.rint(buf, out=buf)
     else:
-        integers = np.trunc(scaled)
-    integers = np.clip(integers, -levels, levels).astype(np.int64)
+        np.trunc(buf, out=buf)
+    np.clip(buf, -levels, levels, out=buf)
+    integers = buf.astype(np.int64)
     if scheme.unsigned:
-        codes = integers + levels
+        integers += levels
+        codes = integers
     else:
         codes = np.mod(integers, scheme.num_codes)
     return codes.astype(_code_dtype(scheme.precision))
@@ -163,8 +177,23 @@ def decode_array(
     Codes outside the nominal range (possible only after bit errors) decode to
     values slightly outside ``[q_min, q_max]``, exactly as the hardware would
     interpret the corrupted bit pattern.
+
+    Large arrays whose unsigned dtype exactly matches the precision (``m=8``
+    codes in ``uint8``, ``m=16`` in ``uint16``) decode through a table of all
+    ``2**m`` values — one gather instead of several elementwise passes.  The
+    table itself is built by the elementwise path, so the fast path is
+    bit-identical by construction.
     """
-    codes = np.asarray(codes).astype(np.int64)
+    codes = np.asarray(codes)
+    if (
+        codes.dtype.kind == "u"
+        and codes.dtype.itemsize * 8 == scheme.precision
+        and codes.size > scheme.num_codes
+    ):
+        all_codes = np.arange(scheme.num_codes, dtype=np.int64)
+        table = decode_array(all_codes, q_min, q_max, scheme)
+        return table[codes]
+    codes = codes.astype(np.int64)
     levels = scheme.levels
     if scheme.unsigned:
         integers = codes - levels
@@ -203,6 +232,9 @@ class QuantizedWeights:
             raise ValueError("codes and ranges must have the same length")
         if self.names and len(self.names) != len(self.codes):
             raise ValueError("names must match the number of tensors")
+        # Reusable concatenation target for flat_codes(copy=False); lazily
+        # allocated, never part of the dataclass identity.
+        self._flat_buffer: Optional[np.ndarray] = None
 
     @property
     def num_tensors(self) -> int:
@@ -227,28 +259,76 @@ class QuantizedWeights:
             names=list(self.names),
         )
 
-    def flat_codes(self) -> np.ndarray:
+    def flat_codes(
+        self, copy: bool = True, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """All codes concatenated in linear memory order.
 
         This is the paper's "linear weight-to-memory mapping": weights are
         laid out one after another without any vulnerability-aware placement.
+
+        By default a freshly allocated snapshot is returned.  ``out`` writes
+        the snapshot into a caller-owned preallocated buffer instead (shape
+        ``(num_weights,)``), for callers that flatten every training step.
+        ``copy=False`` *borrows* memory to avoid the allocation entirely: a
+        single-tensor instance returns a read-only-by-convention view of its
+        codes, a multi-tensor instance refills an internal buffer that is
+        invalidated by the next ``copy=False`` call.  Borrowed arrays must
+        not be mutated — injection paths treat them as inputs and build their
+        outputs elsewhere.
         """
+        if out is not None:
+            if out.shape != (self.num_weights,):
+                raise ValueError(
+                    f"out must have shape ({self.num_weights},), got {out.shape}"
+                )
+            expected_dtype = np.result_type(*self.codes) if self.codes else out.dtype
+            if out.dtype != expected_dtype:
+                # A narrower buffer would silently truncate codes on assignment.
+                raise ValueError(
+                    f"out must have dtype {expected_dtype}, got {out.dtype}"
+                )
+            offset = 0
+            for c in self.codes:
+                out[offset : offset + c.size] = c.reshape(-1)
+                offset += c.size
+            return out
+        if not copy:
+            if len(self.codes) == 1:
+                return self.codes[0].reshape(-1)
+            dtype = np.result_type(*self.codes) if self.codes else np.uint8
+            buffer = self._flat_buffer
+            if buffer is None or buffer.size != self.num_weights or buffer.dtype != dtype:
+                buffer = np.empty(self.num_weights, dtype=dtype)
+                self._flat_buffer = buffer
+            return self.flat_codes(out=buffer)
         return np.concatenate([c.reshape(-1) for c in self.codes])
 
-    def with_flat_codes(self, flat: np.ndarray) -> "QuantizedWeights":
-        """Rebuild a :class:`QuantizedWeights` from a flat code vector."""
+    def with_flat_codes(self, flat: np.ndarray, copy: bool = True) -> "QuantizedWeights":
+        """Rebuild a :class:`QuantizedWeights` from a flat code vector.
+
+        The per-tensor codes never alias ``self.codes``.  By default they
+        also do not alias ``flat``: one bulk copy of ``flat`` is made and the
+        tensors are dtype-preserving views into it (instead of the historical
+        per-tensor ``astype`` copies).  ``copy=False`` skips that bulk copy
+        and views ``flat`` directly — valid whenever the caller owns ``flat``
+        exclusively (e.g. a freshly built injection result) and will not
+        mutate it afterwards.
+        """
         flat = np.asarray(flat)
         if flat.size != self.num_weights:
             raise ValueError(
                 f"expected {self.num_weights} codes, got {flat.size}"
             )
+        flat = flat.reshape(-1)
+        if copy:
+            flat = flat.copy()
         codes: List[np.ndarray] = []
         offset = 0
         for original in self.codes:
             size = original.size
-            codes.append(
-                flat[offset : offset + size].astype(original.dtype).reshape(original.shape)
-            )
+            segment = flat[offset : offset + size].astype(original.dtype, copy=False)
+            codes.append(segment.reshape(original.shape))
             offset += size
         return QuantizedWeights(
             codes=codes, ranges=list(self.ranges), scheme=self.scheme, names=list(self.names)
@@ -300,6 +380,61 @@ class FixedPointQuantizer:
             decode_array(codes, lo, hi, quantized.scheme)
             for codes, (lo, hi) in zip(quantized.codes, quantized.ranges)
         ]
+
+    def dequantize_delta(
+        self,
+        clean_weights: Sequence[np.ndarray],
+        quantized: QuantizedWeights,
+        positions: np.ndarray,
+    ) -> List[np.ndarray]:
+        """De-quantize ``quantized`` given that only ``positions`` changed.
+
+        ``clean_weights`` must be the full de-quantization of the codes
+        ``quantized`` was derived from, and ``positions`` the flat weight
+        indices (in ``flat_codes`` order) whose codes may differ — e.g. the
+        indices returned by
+        :func:`repro.biterror.random_errors.inject_into_quantized` with
+        ``return_positions=True``.  Because decoding is elementwise, patching
+        those indices into a copy of ``clean_weights`` is bit-identical to a
+        full :meth:`dequantize`, at ``O(len(positions))`` decode cost plus
+        one memcpy — the delta path of the RandBET/PattBET training loop,
+        where at rate ``p`` only ``~p * m * W`` weights change per step.
+        """
+        if len(clean_weights) != quantized.num_tensors:
+            raise ValueError(
+                f"expected {quantized.num_tensors} clean tensors, "
+                f"got {len(clean_weights)}"
+            )
+        out: List[np.ndarray] = []
+        for clean, codes in zip(clean_weights, quantized.codes):
+            clean = np.asarray(clean, dtype=np.float64)
+            if clean.shape != codes.shape:
+                raise ValueError(
+                    f"clean weight shape {clean.shape} does not match "
+                    f"code shape {codes.shape}"
+                )
+            out.append(clean.copy())
+        positions = np.asarray(positions, dtype=np.int64).reshape(-1)
+        if positions.size == 0:
+            return out
+        if positions.min() < 0 or positions.max() >= quantized.num_weights:
+            raise ValueError(
+                f"positions must lie in [0, {quantized.num_weights}), got "
+                f"range [{positions.min()}, {positions.max()}]"
+            )
+        positions = np.sort(positions)
+        offsets = np.cumsum([0] + [c.size for c in quantized.codes])
+        starts = np.searchsorted(positions, offsets)
+        for tensor_idx, codes in enumerate(quantized.codes):
+            sel = positions[starts[tensor_idx] : starts[tensor_idx + 1]]
+            if sel.size == 0:
+                continue
+            sel = sel - offsets[tensor_idx]
+            lo, hi = quantized.ranges[tensor_idx]
+            out[tensor_idx].reshape(-1)[sel] = decode_array(
+                codes.reshape(-1)[sel], lo, hi, quantized.scheme
+            )
+        return out
 
     def quantize_dequantize(self, arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
         """``Q^{-1}(Q(w))`` — the "fake quantization" used during QAT."""

@@ -41,19 +41,30 @@ def model_weight_names(model: Module) -> List[str]:
     return [name for name, _ in model.named_parameters()]
 
 
-def set_model_weights(model: Module, arrays: Sequence[np.ndarray]) -> None:
-    """Overwrite model parameters in place with ``arrays`` (shape-checked)."""
+def _checked_weight_arrays(
+    model: Module, arrays: Sequence[np.ndarray]
+) -> List[np.ndarray]:
+    """Validate ``arrays`` against the model's parameters (count, shapes)
+    and return them coerced to ``float64``."""
     parameters = model.parameters()
     if len(parameters) != len(arrays):
         raise ValueError(
             f"model has {len(parameters)} parameters but {len(arrays)} arrays were given"
         )
+    checked = []
     for param, array in zip(parameters, arrays):
         array = np.asarray(array, dtype=np.float64)
         if param.data.shape != array.shape:
             raise ValueError(
                 f"shape mismatch for {param.name}: {param.data.shape} vs {array.shape}"
             )
+        checked.append(array)
+    return checked
+
+
+def set_model_weights(model: Module, arrays: Sequence[np.ndarray]) -> None:
+    """Overwrite model parameters in place with ``arrays`` (shape-checked)."""
+    for param, array in zip(model.parameters(), _checked_weight_arrays(model, arrays)):
         param.data[...] = array
 
 
@@ -83,11 +94,22 @@ def swap_weights(model: Module, arrays: Sequence[np.ndarray]) -> Iterator[Module
     The original floating-point weights are restored on exit, so gradients
     accumulated inside the context can be applied to the clean weights — the
     forward/backward structure of Alg. 1 and of RErr evaluation.
+
+    The swap is by *reference*: ``Parameter.data`` is pointed at the given
+    arrays for the duration of the context and at the untouched originals
+    afterwards.  This costs zero copies per swap (the training loop enters
+    two such contexts per step), instead of the historical
+    copy-save/write/copy-restore of every parameter tensor.  Forward and
+    backward passes only read weights and accumulate into ``Parameter.grad``,
+    so the semantics are unchanged.
     """
-    originals = [param.data.copy() for param in model.parameters()]
+    parameters = model.parameters()
+    prepared = _checked_weight_arrays(model, arrays)
+    originals = [param.data for param in parameters]
     try:
-        set_model_weights(model, arrays)
+        for param, array in zip(parameters, prepared):
+            param.data = array
         yield model
     finally:
-        for param, original in zip(model.parameters(), originals):
-            param.data[...] = original
+        for param, original in zip(parameters, originals):
+            param.data = original

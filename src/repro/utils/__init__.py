@@ -1,5 +1,7 @@
-"""Shared utilities: seeded RNG helpers, table formatting, serialization."""
+"""Shared utilities: seeded RNG helpers, array algorithms, table formatting,
+serialization."""
 
+from repro.utils.arrays import sorted_unique
 from repro.utils.rng import SeedSequence, new_rng, spawn_rngs
 from repro.utils.tables import Table, format_table
 from repro.utils.serialization import load_state_dict, save_state_dict
@@ -8,6 +10,7 @@ __all__ = [
     "SeedSequence",
     "new_rng",
     "spawn_rngs",
+    "sorted_unique",
     "Table",
     "format_table",
     "save_state_dict",

@@ -1,0 +1,25 @@
+"""Small array algorithms shared by the injection and quantization hot paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sorted_unique"]
+
+
+def sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an integer array, like ``np.unique``.
+
+    ``np.unique`` routes small integer arrays through a generic path that is
+    an order of magnitude slower than a plain sort on this library's hot
+    paths (deduplicating flipped bit positions / touched weight indices every
+    training step), so the sort + adjacent-difference mask is done explicitly.
+    """
+    values = np.asarray(values).reshape(-1)
+    if values.size == 0:
+        return values.copy()
+    values = np.sort(values)
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]

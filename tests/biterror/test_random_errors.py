@@ -134,6 +134,129 @@ def test_make_error_fields_rejects_backend_instance():
         make_error_fields(10, 8, 3, backend=DenseFieldBackend(10, 8))
 
 
+def test_sparse_draw_matches_dense_distribution():
+    """Flip counts of the sparse draw follow Binomial(W * m, p): the mean and
+    variance over repeated draws match the binomial moments within sampling
+    error, and all flips stay within the low ``precision`` bits."""
+    codes = np.zeros(5000, dtype=np.uint8)
+    p, precision, repeats = 0.02, 8, 200
+    total_bits = codes.size * precision
+    rng = np.random.default_rng(42)
+    counts = []
+    for _ in range(repeats):
+        out = inject_random_bit_errors(codes, p, precision, rng, method="sparse")
+        counts.append(count_bit_flips(codes, out, precision))
+        assert out.max() < 2**precision
+    counts = np.asarray(counts, dtype=np.float64)
+    mean, var = total_bits * p, total_bits * p * (1 - p)
+    # Sample mean within 5 standard errors; sample variance within 40% (chi^2
+    # spread at 200 samples) of the binomial variance.
+    assert abs(counts.mean() - mean) < 5 * np.sqrt(var / repeats)
+    assert 0.6 * var < counts.var(ddof=1) < 1.4 * var
+
+
+@pytest.mark.parametrize("method", ["dense", "sparse"])
+def test_draw_methods_agree_at_rate_boundaries(method, rng):
+    codes = rng.integers(0, 256, size=512).astype(np.uint8)
+    out = inject_random_bit_errors(codes, 0.0, 8, np.random.default_rng(0), method=method)
+    np.testing.assert_array_equal(out, codes)
+    out = inject_random_bit_errors(codes, 1.0, 8, np.random.default_rng(0), method=method)
+    np.testing.assert_array_equal(out, codes ^ 0xFF)
+
+
+def test_sparse_draw_positions_are_distinct_and_uniform():
+    codes = np.zeros(3000, dtype=np.uint8)
+    out, positions = inject_random_bit_errors(
+        codes, 0.05, 8, np.random.default_rng(1), method="sparse",
+        return_positions=True,
+    )
+    assert positions.size == np.unique(positions).size
+    assert count_bit_flips(codes, out, 8) == positions.size
+    # Positions cover both halves of the bit field (crude uniformity check).
+    half = codes.size * 8 // 2
+    low, high = int((positions < half).sum()), int((positions >= half).sum())
+    assert low > 0 and high > 0
+    assert abs(low - high) < 6 * np.sqrt(positions.size)
+
+
+@pytest.mark.parametrize("method", ["dense", "sparse"])
+def test_returned_positions_describe_exactly_the_flips(method, rng):
+    codes = rng.integers(0, 256, size=400).astype(np.uint8)
+    out, positions = inject_random_bit_errors(
+        codes, 0.03, 8, np.random.default_rng(3), method=method,
+        return_positions=True,
+    )
+    reconstructed = codes.copy()
+    if positions.size:
+        np.bitwise_xor.at(
+            reconstructed,
+            positions // 8,
+            (1 << (positions % 8)).astype(np.uint8),
+        )
+    np.testing.assert_array_equal(reconstructed, out)
+
+
+def test_dense_default_rng_stream_unchanged_by_positions(rng):
+    """return_positions must not alter what the dense draw consumes from the
+    RNG — the knob rides along on the default training path."""
+    codes = rng.integers(0, 256, size=300).astype(np.uint8)
+    plain = inject_random_bit_errors(codes, 0.04, 8, np.random.default_rng(9))
+    with_positions, _ = inject_random_bit_errors(
+        codes, 0.04, 8, np.random.default_rng(9), return_positions=True
+    )
+    np.testing.assert_array_equal(plain, with_positions)
+
+
+def test_unknown_draw_method_raises(rng):
+    with pytest.raises(ValueError, match="draw method"):
+        inject_random_bit_errors(np.zeros(4, dtype=np.uint8), 0.1, 8, rng, method="turbo")
+
+
+def test_inject_into_quantized_returns_touched_weight_indices(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(8, 16)), rng.normal(size=64)])
+    for method in ("dense", "sparse"):
+        perturbed, touched = inject_into_quantized(
+            quantized, 0.02, np.random.default_rng(4), method=method,
+            return_positions=True,
+        )
+        changed = np.flatnonzero(
+            quantized.flat_codes().astype(np.int64)
+            != perturbed.flat_codes().astype(np.int64)
+        )
+        # touched is sorted, distinct, and a superset of the changed weights
+        # (a weight whose flipped bits cancel is touched but unchanged —
+        # impossible here since positions are distinct, so sets are equal).
+        assert np.all(np.diff(touched) > 0)
+        np.testing.assert_array_equal(touched, changed)
+
+
+def test_inject_into_quantized_does_not_alias_source(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(4, 5)), rng.normal(size=9)])
+    original = [c.copy() for c in quantized.codes]
+    perturbed = inject_into_quantized(quantized, 0.2, np.random.default_rng(2))
+    for codes in perturbed.codes:
+        codes ^= 0xFF
+    for before, after in zip(original, quantized.codes):
+        np.testing.assert_array_equal(before, after)
+
+
+def test_expected_bit_errors_validation():
+    assert expected_bit_errors(100, 8, 0.01) == 8.0
+    assert expected_bit_errors(0, 8, 0.5) == 0.0
+    with pytest.raises(ValueError):
+        expected_bit_errors(-1, 8, 0.01)
+    with pytest.raises(ValueError):
+        expected_bit_errors(100, 0, 0.01)
+    with pytest.raises(ValueError):
+        expected_bit_errors(100, -8, 0.01)
+    with pytest.raises(ValueError):
+        expected_bit_errors(100, 8, -0.01)
+    with pytest.raises(ValueError):
+        expected_bit_errors(100, 8, 1.5)
+
+
 def test_flip_probability_from_counts_validation():
     assert flip_probability_from_counts(5, 100) == 0.05
     assert flip_probability_from_counts(100, 100) == 1.0

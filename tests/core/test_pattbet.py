@@ -110,3 +110,8 @@ def test_gradient_is_average_of_clean_and_perturbed(blob_data):
             np.concatenate([p.grad.reshape(-1).copy() for p in ref_model.parameters()])
         )
     np.testing.assert_allclose(got, 0.5 * (grads[0] + grads[1]), rtol=1e-10, atol=1e-12)
+
+
+def test_error_draw_validation():
+    with pytest.raises(ValueError, match="error_draw"):
+        PattBETConfig(error_draw="magic")

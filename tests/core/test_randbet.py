@@ -160,3 +160,65 @@ def test_perturbed_gradients_differ_from_clean_only_training(blob_data):
     trainer_clean.compute_gradients(inputs, labels)
     grad_clean = np.concatenate([p.grad.reshape(-1).copy() for p in model_clean.parameters()])
     assert not np.allclose(grad_with_errors, grad_clean)
+
+
+def test_error_draw_validation():
+    with pytest.raises(ValueError, match="error_draw"):
+        RandBETConfig(error_draw="turbo")
+    assert RandBETConfig(error_draw="sparse").error_draw == "sparse"
+
+
+def test_sparse_error_draw_trains_to_low_error(blob_data):
+    train, test = blob_data
+    trainer, _ = make_trainer(blob_data, error_draw="sparse")
+    history = trainer.train(train, test)
+    assert trainer.bit_errors_active
+    assert history.final_test_error <= 0.15
+
+
+def test_sparse_delta_equals_sparse_full_dequantize(blob_data):
+    """With the same seed, the sparse draw with delta de-quantization must
+    produce gradients bit-identical to the sparse draw followed by a full
+    de-quantization — delta patching is an optimization, not a semantic."""
+    from repro.biterror import inject_into_quantized
+    from repro.quant.qat import model_weight_arrays, swap_weights
+    from repro.utils.rng import as_rng
+
+    train, _ = blob_data
+    inputs, labels = train[np.arange(16)]
+
+    trainer, model = make_trainer(
+        blob_data, epochs=1, start_loss_threshold=100.0, error_draw="sparse"
+    )
+    model.zero_grad()
+    trainer.compute_gradients(inputs, labels)
+    got = np.concatenate([p.grad.reshape(-1).copy() for p in model.parameters()])
+
+    ref_trainer, ref_model = make_trainer(
+        blob_data, epochs=1, start_loss_threshold=100.0, error_draw="sparse"
+    )
+    ref_model.load_state_dict(model.state_dict())
+    quantizer = ref_trainer.quantizer
+    quantized = quantizer.quantize(model_weight_arrays(ref_model))
+
+    ref_model.zero_grad()
+    with swap_weights(ref_model, quantizer.dequantize(quantized)):
+        logits = ref_model(inputs)
+        _, grad = ref_trainer.loss_fn(logits, labels)
+        ref_model.backward(grad)
+    perturbed = inject_into_quantized(
+        quantized,
+        ref_trainer.config.bit_error_rate,
+        as_rng(ref_trainer.config.bit_error_seed),
+        method="sparse",
+    )
+    with swap_weights(ref_model, quantizer.dequantize(perturbed)):
+        logits = ref_model(inputs)
+        _, grad = ref_trainer.loss_fn(logits, labels)
+        ref_model.backward(grad)
+    for param in ref_model.parameters():
+        param.grad *= 0.5
+    expected = np.concatenate(
+        [p.grad.reshape(-1).copy() for p in ref_model.parameters()]
+    )
+    np.testing.assert_array_equal(got, expected)

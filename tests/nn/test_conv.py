@@ -79,3 +79,77 @@ def test_conv_without_bias(rng):
     assert len(layer.parameters()) == 1
     out = layer(rng.normal(size=(1, 1, 4, 4)))
     assert out.shape == (1, 1, 4, 4)
+
+
+# -- strided im2col and BLAS contraction vs. the references ----------------
+
+
+@pytest.mark.parametrize("stride,padding,kernel", [(1, 1, 3), (1, 0, 3), (2, 1, 3), (2, 0, 2), (3, 2, 5)])
+def test_im2col_strided_matches_loop_reference(rng, stride, padding, kernel):
+    x = rng.normal(size=(2, 3, 9, 11))
+    strided, oh_s, ow_s = im2col(x, kernel, kernel, stride, padding, method="strided")
+    loop, oh_l, ow_l = im2col(x, kernel, kernel, stride, padding, method="loop")
+    assert (oh_s, ow_s) == (oh_l, ow_l)
+    np.testing.assert_array_equal(strided, loop)  # bit-identical
+
+
+def test_im2col_strided_result_owns_its_memory(rng):
+    x = rng.normal(size=(1, 2, 6, 6))
+    cols, _, _ = im2col(x, 3, 3, 1, 1)
+    cols += 1.0  # must not touch the (padded copy of the) input
+    again, _, _ = im2col(x, 3, 3, 1, 1)
+    np.testing.assert_array_equal(again + 1.0, cols)
+
+
+def test_im2col_unknown_method_raises(rng):
+    with pytest.raises(ValueError, match="im2col method"):
+        im2col(rng.normal(size=(1, 1, 4, 4)), 3, 3, 1, 1, method="magic")
+
+
+def test_matmul_contraction_matches_einsum_reference(rng):
+    from repro.nn.conv import conv_contraction
+
+    x = rng.normal(size=(3, 4, 8, 8))
+    grad_out = rng.normal(size=(3, 5, 8, 8))
+
+    results = {}
+    for mode in ("matmul", "einsum"):
+        layer = Conv2d(4, 5, kernel_size=3, padding=1, rng=np.random.default_rng(0))
+        with conv_contraction(mode):
+            out = layer(x)
+            grad_in = layer.backward(grad_out)
+        results[mode] = (out, grad_in, layer.weight.grad.copy(), layer.bias.grad.copy())
+    for a, b in zip(results["matmul"], results["einsum"]):
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-12)
+
+
+def test_conv_contraction_context_restores_previous_mode():
+    from repro.nn.conv import conv_contraction, get_conv_contraction, set_conv_contraction
+
+    assert get_conv_contraction() == "matmul"  # the default
+    with conv_contraction("einsum"):
+        assert get_conv_contraction() == "einsum"
+    assert get_conv_contraction() == "matmul"
+    with pytest.raises(ValueError, match="contraction"):
+        set_conv_contraction("fft")
+
+
+def test_matmul_gradients_match_finite_differences(rng):
+    # The default (matmul) contraction must satisfy the same gradient checks
+    # as the einsum reference.
+    layer = Conv2d(2, 3, kernel_size=3, stride=2, padding=1, rng=rng)
+    check_layer_gradients(layer, (2, 2, 6, 6), rng, atol=1e-4)
+
+
+def test_im2col_strided_1x1_kernel_owns_its_memory(rng):
+    # Degenerate 1x1 stride-1 windows reshape to a *view*; im2col must still
+    # hand back writable, unaliased columns (ResNet 1x1 projection shortcuts).
+    x = rng.normal(size=(2, 3, 5, 5))
+    cols, _, _ = im2col(x, 1, 1, 1, 0, method="strided")
+    assert cols.flags.writeable
+    loop, _, _ = im2col(x, 1, 1, 1, 0, method="loop")
+    np.testing.assert_array_equal(cols, loop)
+    cols += 1.0
+    np.testing.assert_array_equal(x, x)  # input untouched
+    again, _, _ = im2col(x, 1, 1, 1, 0, method="strided")
+    np.testing.assert_array_equal(again + 1.0, cols)

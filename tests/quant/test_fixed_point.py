@@ -173,3 +173,162 @@ def test_property_quantization_idempotent(weights):
     once = quantizer.quantize_dequantize([weights])[0]
     twice = quantizer.quantize_dequantize([once])[0]
     np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+# -- flat-code buffer management and aliasing ------------------------------
+
+
+def test_flat_codes_default_is_a_snapshot(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(3, 4)), rng.normal(size=7)])
+    flat = quantized.flat_codes()
+    flat ^= 0xFF
+    np.testing.assert_array_equal(flat ^ 0xFF, quantized.flat_codes())
+
+
+def test_flat_codes_out_buffer_is_reused(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=10), rng.normal(size=6)])
+    buffer = np.empty(quantized.num_weights, dtype=np.uint8)
+    out = quantized.flat_codes(out=buffer)
+    assert out is buffer
+    np.testing.assert_array_equal(out, quantized.flat_codes())
+    with pytest.raises(ValueError):
+        quantized.flat_codes(out=np.empty(3, dtype=np.uint8))
+
+
+def test_flat_codes_no_copy_multi_tensor_buffer(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=8), rng.normal(size=5)])
+    first = quantized.flat_codes(copy=False)
+    np.testing.assert_array_equal(first, quantized.flat_codes())
+    # The borrow is refilled (not stale) after the codes change...
+    quantized.codes[0][:] = 0
+    second = quantized.flat_codes(copy=False)
+    assert second[0] == 0
+    # ...and reuses the same allocation.
+    assert second is first
+
+
+def test_flat_codes_no_copy_single_tensor_is_view(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(4, 4))])
+    view = quantized.flat_codes(copy=False)
+    assert view.base is quantized.codes[0]
+
+
+def test_with_flat_codes_default_does_not_alias_input_or_source(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(3, 4)), rng.normal(size=7)])
+    source_codes = [c.copy() for c in quantized.codes]
+    flat = quantized.flat_codes()
+    rebuilt = quantized.with_flat_codes(flat)
+    # Mutating the rebuilt codes corrupts neither the input vector nor the
+    # source instance.
+    for codes in rebuilt.codes:
+        codes ^= 0xFF
+    np.testing.assert_array_equal(flat, quantized.flat_codes())
+    for before, after in zip(source_codes, quantized.codes):
+        np.testing.assert_array_equal(before, after)
+
+
+def test_with_flat_codes_no_copy_views_the_input(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=6), rng.normal(size=4)])
+    flat = quantized.flat_codes()
+    rebuilt = quantized.with_flat_codes(flat, copy=False)
+    flat[0] ^= 0x01
+    assert rebuilt.codes[0].reshape(-1)[0] == flat[0]
+    # Even the no-copy path never aliases the source instance's codes.
+    source = [c.copy() for c in quantized.codes]
+    for codes in rebuilt.codes:
+        codes ^= 0xFF
+    for before, after in zip(source, quantized.codes):
+        np.testing.assert_array_equal(before, after)
+
+
+def test_with_flat_codes_round_trip_values_unchanged(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(2, 3)), rng.normal(size=5)])
+    rebuilt = quantized.with_flat_codes(quantized.flat_codes())
+    for a, b in zip(rebuilt.codes, quantized.codes):
+        assert a.dtype == b.dtype
+        np.testing.assert_array_equal(a, b)
+
+
+# -- delta de-quantization -------------------------------------------------
+
+
+def _delta_setup(rng, sizes=((6, 7), (30,), (2, 2, 2))):
+    quantizer = FixedPointQuantizer(rquant(8))
+    arrays = [rng.normal(size=s) for s in sizes]
+    quantized = quantizer.quantize(arrays)
+    clean = quantizer.dequantize(quantized)
+    return quantizer, quantized, clean
+
+
+def test_dequantize_delta_matches_full_decode(rng):
+    from repro.biterror import inject_into_quantized
+
+    quantizer, quantized, clean = _delta_setup(rng)
+    for method in ("dense", "sparse"):
+        perturbed, touched = inject_into_quantized(
+            quantized, 0.05, np.random.default_rng(0), method=method,
+            return_positions=True,
+        )
+        full = quantizer.dequantize(perturbed)
+        delta = quantizer.dequantize_delta(clean, perturbed, touched)
+        for a, b in zip(full, delta):
+            np.testing.assert_array_equal(a, b)  # bit-identical, not allclose
+
+
+def test_dequantize_delta_empty_positions_copies_clean(rng):
+    quantizer, quantized, clean = _delta_setup(rng)
+    out = quantizer.dequantize_delta(clean, quantized, np.empty(0, dtype=np.int64))
+    for a, b in zip(out, clean):
+        np.testing.assert_array_equal(a, b)
+        assert a is not b  # a copy, safe for the caller to mutate
+
+
+def test_dequantize_delta_does_not_mutate_clean_weights(rng):
+    from repro.biterror import inject_into_quantized
+
+    quantizer, quantized, clean = _delta_setup(rng)
+    snapshots = [w.copy() for w in clean]
+    perturbed, touched = inject_into_quantized(
+        quantized, 0.1, np.random.default_rng(1), return_positions=True
+    )
+    quantizer.dequantize_delta(clean, perturbed, touched)
+    for before, after in zip(snapshots, clean):
+        np.testing.assert_array_equal(before, after)
+
+
+def test_dequantize_delta_validation(rng):
+    quantizer, quantized, clean = _delta_setup(rng)
+    with pytest.raises(ValueError, match="clean tensors"):
+        quantizer.dequantize_delta(clean[:-1], quantized, np.array([0]))
+    with pytest.raises(ValueError, match="positions"):
+        quantizer.dequantize_delta(clean, quantized, np.array([-1]))
+    with pytest.raises(ValueError, match="positions"):
+        quantizer.dequantize_delta(clean, quantized, np.array([quantized.num_weights]))
+    bad = [np.zeros((1, 1)) for _ in clean]
+    with pytest.raises(ValueError, match="shape"):
+        quantizer.dequantize_delta(bad, quantized, np.array([0]))
+
+
+def test_decode_array_lut_path_matches_elementwise(rng):
+    """uint8/uint16 full-width arrays take the lookup-table gather; it must be
+    bit-identical to the elementwise reference on the same codes."""
+    for precision, dtype in ((8, np.uint8), (16, np.uint16)):
+        scheme = rquant(precision)
+        codes = rng.integers(0, 2**precision, size=2000).astype(dtype)
+        lut = decode_array(codes, -0.73, 1.19, scheme)
+        reference = decode_array(codes.astype(np.int64), -0.73, 1.19, scheme)
+        np.testing.assert_array_equal(lut, reference)
+
+
+def test_flat_codes_out_dtype_mismatch_raises(rng):
+    quantizer = FixedPointQuantizer(rquant(16))
+    quantized = quantizer.quantize([rng.normal(size=10)])
+    with pytest.raises(ValueError, match="dtype"):
+        quantized.flat_codes(out=np.empty(10, dtype=np.uint8))

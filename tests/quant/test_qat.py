@@ -75,3 +75,29 @@ def test_dequantize_into_writes_model(small_mlp, rquant8):
     assert any(not np.array_equal(a, b) for a, b in zip(before, after))
     for a, b in zip(before, after):
         assert np.abs(a - b).max() < 0.05
+
+
+def test_swap_weights_is_zero_copy_by_reference(small_mlp):
+    """The swap points Parameter.data at the given arrays (no copies) and at
+    the untouched originals afterwards."""
+    originals = [p.data for p in small_mlp.parameters()]
+    replacements = [np.zeros_like(p.data) for p in small_mlp.parameters()]
+    with swap_weights(small_mlp, replacements):
+        for param, replacement in zip(small_mlp.parameters(), replacements):
+            assert param.data is replacement
+    for param, original in zip(small_mlp.parameters(), originals):
+        assert param.data is original
+
+
+def test_swap_weights_validates_like_set_model_weights(small_mlp):
+    arrays = model_weight_arrays(small_mlp)
+    with pytest.raises(ValueError):
+        with swap_weights(small_mlp, arrays[:-1]):
+            pass
+    bad = [np.zeros((1, 1)) for _ in arrays]
+    with pytest.raises(ValueError):
+        with swap_weights(small_mlp, bad):
+            pass
+    # A failed swap must leave the model untouched.
+    for param, original in zip(small_mlp.parameters(), arrays):
+        assert param.data is original

@@ -1,0 +1,39 @@
+"""Tests for the shared array algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.arrays import sorted_unique
+
+
+def test_sorted_unique_matches_np_unique():
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 50, size=300)
+    np.testing.assert_array_equal(sorted_unique(values), np.unique(values))
+
+
+def test_sorted_unique_empty_and_single():
+    empty = sorted_unique(np.empty(0, dtype=np.int64))
+    assert empty.size == 0 and empty.dtype == np.int64
+    np.testing.assert_array_equal(sorted_unique(np.array([7])), [7])
+
+
+def test_sorted_unique_does_not_mutate_input():
+    values = np.array([3, 1, 2, 1])
+    sorted_unique(values)
+    np.testing.assert_array_equal(values, [3, 1, 2, 1])
+
+
+def test_sorted_unique_flattens_like_np_unique():
+    values = np.array([[4, 4], [1, 2]])
+    np.testing.assert_array_equal(sorted_unique(values), np.unique(values))
+
+
+@given(
+    values=st.lists(st.integers(-(10**9), 10**9), min_size=0, max_size=200)
+)
+@settings(max_examples=50, deadline=None)
+def test_sorted_unique_property(values):
+    values = np.asarray(values, dtype=np.int64)
+    np.testing.assert_array_equal(sorted_unique(values), np.unique(values))
