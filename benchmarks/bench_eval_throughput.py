@@ -1,0 +1,297 @@
+"""Macrobenchmark: fused vs. reference RErr evaluation hot path (chip draws/sec).
+
+RErr — the paper's central metric — averages test error over ~50 simulated
+chips per (model, rate) cell, so sweep cost is dominated by the per-draw
+inner loop of ``evaluate_robust_error``.  The reference (seed-era) data flow
+pays, per draw, a dense ``O(W * m)`` injection, a full-model de-quantization
+and a re-batching of the test set.  The fused path replaces them with
+``O(errors)`` corrupted-code deltas (``InjectionBackend.delta_apply``),
+in-place patching of a clean de-quantization computed once per call
+(``DeltaWeightPatcher``) and mini-batches hoisted once per call
+(``BatchPlan``) — per-draw cost scales with the *perturbation*, not the
+model.
+
+This script measures chip draws/sec on a ~1.25M-weight convolutional model
+at the paper's rate ``p = 0.01`` with 50 draws and checks the acceptance
+criterion:
+
+* **>= 3x chip draws/sec** for the fused path (sparse order-statistics
+  fields + delta patching) vs. the reference path (dense fields + full
+  de-quantization per draw, ``fused=False``);
+* the fused path is **bit-identical** to the reference on shared fields
+  (asserted on every timed reference draw, in smoke mode too).
+
+It also reports the fused single-pass encode speedup (the shared cost of
+QAT and every sweep's hoisted quantization) and the peak-memory effect of
+chunked batched injection (``iter_apply_fields_batch(chunk_size=...)``).
+
+Run the full benchmark (a minute or so; the dense reference fields take
+``--ref-draws * W * m * 8`` bytes, ~80 MB each at the default scale)::
+
+    PYTHONPATH=src python benchmarks/bench_eval_throughput.py
+
+Fast smoke mode for CI (tiny model, parity asserted, no speedup checks)::
+
+    PYTHONPATH=src python benchmarks/bench_eval_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.biterror import make_error_fields
+from repro.biterror.random_errors import apply_fields_batch, iter_apply_fields_batch
+from repro.data import ArrayDataset
+from repro.eval.robust_error import evaluate_robust_error, model_error_and_confidence
+from repro.nn import Conv2d, Flatten, GlobalAvgPool2d, Linear, ReLU, Sequential
+from repro.quant import FixedPointQuantizer, rquant
+from repro.quant.fixed_point import QuantizationScheme, encode_array
+from repro.quant.qat import model_weight_arrays, quantize_model
+from repro.utils.tables import Table
+
+EVAL_RATE = 0.01
+PRECISION = 8
+
+
+def make_conv_model(widths, in_channels, num_classes, seed=0):
+    """A 3x3 conv stack + global average pool classifier at given widths."""
+    rng = np.random.default_rng(seed)
+    layers = []
+    channels = in_channels
+    for width in widths:
+        layers.append(Conv2d(channels, width, kernel_size=3, padding=1, rng=rng))
+        layers.append(ReLU())
+        channels = width
+    layers.extend(
+        [GlobalAvgPool2d(), Flatten(), Linear(channels, num_classes, rng=rng)]
+    )
+    return Sequential(*layers)
+
+
+def make_dataset(examples, in_channels, image_size, num_classes, seed=1):
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(0.0, 1.0, size=(examples, in_channels, image_size, image_size))
+    labels = rng.integers(0, num_classes, size=examples)
+    return ArrayDataset(inputs, labels, num_classes=num_classes)
+
+
+def reference_encode(weights, q_min, q_max, scheme):
+    """The seed-era elementwise-temporary encode chain (ground truth)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    levels = scheme.levels
+    if scheme.asymmetric:
+        values = (weights - q_min) / (q_max - q_min) * 2.0 - 1.0
+    else:
+        values = weights / max(abs(q_min), abs(q_max))
+    values = np.clip(values, -1.0, 1.0)
+    scaled = values * levels
+    integers = np.rint(scaled) if scheme.rounding else np.trunc(scaled)
+    integers = np.clip(integers, -levels, levels).astype(np.int64)
+    codes = integers + levels if scheme.unsigned else np.mod(integers, scheme.num_codes)
+    return codes.astype(np.uint8 if scheme.precision <= 8 else np.uint16)
+
+
+def timed_call(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def evaluate_config(model, quantizer, dataset, fields, batch, fused, hoisted):
+    quantized, clean_stats = hoisted
+    return evaluate_robust_error(
+        model,
+        quantizer,
+        dataset,
+        EVAL_RATE,
+        error_fields=fields,
+        batch_size=batch,
+        quantized=quantized,
+        clean_stats=clean_stats,
+        fused=fused,
+    )
+
+
+def bench_encode(model, reps):
+    """Fused vs. reference single-pass encode over the model's weight arrays."""
+    scheme = QuantizationScheme(precision=PRECISION)
+    arrays = model_weight_arrays(model)
+    ranges = [(float(a.min()), float(a.max() + 1e-6)) for a in arrays]
+    for array, (lo, hi) in zip(arrays, ranges):
+        np.testing.assert_array_equal(
+            encode_array(array, lo, hi, scheme), reference_encode(array, lo, hi, scheme)
+        )
+    samples = {"reference": [], "fused": []}
+    for _ in range(reps):
+        start = time.perf_counter()
+        for array, (lo, hi) in zip(arrays, ranges):
+            reference_encode(array, lo, hi, scheme)
+        samples["reference"].append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for array, (lo, hi) in zip(arrays, ranges):
+            encode_array(array, lo, hi, scheme)
+        samples["fused"].append(time.perf_counter() - start)
+    return {name: float(np.median(times)) for name, times in samples.items()}
+
+
+def bench_chunked_memory(fields, quantized):
+    """Peak traced memory: materialized chip set vs. chunked streaming."""
+    peaks = {}
+    checksums = {}
+    tracemalloc.start()
+    batch = apply_fields_batch(fields, quantized, EVAL_RATE)
+    checksums["materialized"] = sum(int(q.flat_codes().sum()) for q in batch)
+    _, peaks["materialized"] = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del batch
+    tracemalloc.start()
+    total = 0
+    for corrupted in iter_apply_fields_batch(fields, quantized, EVAL_RATE, chunk_size=4):
+        total += int(corrupted.flat_codes().sum())
+    checksums["chunked"] = total
+    _, peaks["chunked"] = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert checksums["materialized"] == checksums["chunked"]
+    return peaks
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--widths", type=int, nargs="+", default=[96, 256, 448],
+                        help="conv stage widths (default reaches ~1.25M weights)")
+    parser.add_argument("--channels", type=int, default=8)
+    parser.add_argument("--image-size", type=int, default=4)
+    parser.add_argument("--classes", type=int, default=10)
+    parser.add_argument("--examples", type=int, default=2,
+                        help="evaluation examples (a tiny calibration set)")
+    parser.add_argument("--batch", type=int, default=2)
+    parser.add_argument("--draws", type=int, default=50,
+                        help="simulated chips for the fused (sparse) timing")
+    parser.add_argument("--ref-draws", type=int, default=8,
+                        help="dense chips for the reference timing (each "
+                             "holds a W x m float64 threshold field)")
+    parser.add_argument("--encode-reps", type=int, default=9)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fast run for CI; keeps the bit-parity "
+                             "assertion, skips the speedup checks")
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.widths = [16, 24]
+        args.draws = 4
+        args.ref_draws = 2
+        args.encode_reps = 3
+
+    model = make_conv_model(args.widths, args.channels, args.classes, seed=0)
+    num_weights = sum(p.data.size for p in model.parameters())
+    quantizer = FixedPointQuantizer(rquant(PRECISION))
+    dataset = make_dataset(args.examples, args.channels, args.image_size, args.classes)
+    print(f"model: conv widths {args.widths}, W = {num_weights:,} weights x "
+          f"m = {PRECISION} bits, p = {EVAL_RATE}, {args.examples} examples @ "
+          f"batch {args.batch}, {args.draws} fused draws / "
+          f"{args.ref_draws} reference draws")
+
+    # Hoisted once, exactly like the sweep drivers do: the timing below is
+    # pure per-draw work (plus, for the fused path, its one clean decode).
+    quantized = quantize_model(model, quantizer)
+    clean_weights = quantizer.dequantize(quantized)
+    clean_stats = model_error_and_confidence(
+        model, clean_weights, dataset, args.batch
+    )
+    hoisted = (quantized, clean_stats)
+
+    dense_fields = make_error_fields(
+        num_weights, PRECISION, args.ref_draws, seed=7, backend="dense"
+    )
+    sparse_fields = make_error_fields(
+        num_weights, PRECISION, args.draws, seed=7, backend="sparse"
+    )
+
+    # Warmup (BLAS initialisation, decode-table caches).
+    for fused in (False, True):
+        evaluate_config(model, quantizer, dataset, dense_fields[:1], args.batch,
+                        fused, hoisted)
+
+    reference, reference_s = timed_call(
+        evaluate_config, model, quantizer, dataset, dense_fields, args.batch,
+        False, hoisted,
+    )
+    fused_dense, fused_dense_s = timed_call(
+        evaluate_config, model, quantizer, dataset, dense_fields, args.batch,
+        True, hoisted,
+    )
+    fused_sparse, fused_sparse_s = timed_call(
+        evaluate_config, model, quantizer, dataset, sparse_fields, args.batch,
+        True, hoisted,
+    )
+
+    # Bit-parity on the shared dense fields — the fused path must be an
+    # optimization, not a semantic change (checked in smoke mode too).
+    assert fused_dense.errors == reference.errors, "fused errors diverged"
+    assert fused_dense.confidence_perturbed == reference.confidence_perturbed, (
+        "fused confidences diverged"
+    )
+
+    ref_rate = args.ref_draws / reference_s
+    dense_rate = args.ref_draws / fused_dense_s
+    sparse_rate = args.draws / fused_sparse_s
+    speedup = sparse_rate / ref_rate
+
+    table = Table(
+        title="RErr evaluation throughput (chip draws/sec)",
+        headers=["configuration", "ms/draw", "draws/sec", "vs. reference"],
+        float_digits=2,
+    )
+    rows = [
+        ("reference (dense fields, full dequantize per draw)",
+         reference_s / args.ref_draws, ref_rate, "1.00x"),
+        ("fused (same dense fields, delta patching)",
+         fused_dense_s / args.ref_draws, dense_rate,
+         f"{dense_rate / ref_rate:.2f}x"),
+        ("fused (sparse fields + delta patching)",
+         fused_sparse_s / args.draws, sparse_rate, f"{speedup:.2f}x"),
+    ]
+    for name, per_draw, rate, factor in rows:
+        table.add_row(name, per_draw * 1e3, rate, factor)
+    print("\n" + table.render())
+
+    encode = bench_encode(model, args.encode_reps)
+    encode_speedup = encode["reference"] / max(encode["fused"], 1e-12)
+    print(f"\nfused single-pass encode: {encode['fused'] * 1e3:.2f} ms vs. "
+          f"reference {encode['reference'] * 1e3:.2f} ms per full-model "
+          f"quantize ({encode_speedup:.2f}x, bit-identical)")
+
+    peaks = bench_chunked_memory(sparse_fields, quantized)
+    print(f"chunked injection peak memory ({args.draws} chips, chunk_size=4): "
+          f"{peaks['chunked'] / 1e6:.1f} MB streamed vs. "
+          f"{peaks['materialized'] / 1e6:.1f} MB materialized "
+          f"({peaks['materialized'] / max(peaks['chunked'], 1):.1f}x smaller peak)")
+
+    if args.smoke:
+        print("\nsmoke mode: bit-parity asserted, skipping speedup assertions")
+        return 0
+    failures = []
+    if speedup < 3.0:
+        failures.append(
+            f"fused eval speedup {speedup:.2f}x below the 3x criterion"
+        )
+    if peaks["chunked"] >= peaks["materialized"]:
+        failures.append(
+            "chunked injection peak memory is not below the materialized peak"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"\nOK: fused eval {speedup:.2f}x (>= 3x), bit-identical on shared "
+          f"fields; encode {encode_speedup:.2f}x; chunked peak "
+          f"{peaks['materialized'] / max(peaks['chunked'], 1):.1f}x smaller")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,7 @@ __all__ = [
     "xor_from_bit_positions",
     "sample_distinct_positions",
     "batch_apply",
+    "iter_batch_apply",
     "BACKENDS",
 ]
 
@@ -158,6 +159,46 @@ class InjectionBackend:
         """Flip the erroneous bits of a flat code vector at rate ``p``."""
         flat_codes = self._checked_flat(flat_codes)
         return flat_codes ^ self.xor_values(p, flat_codes.dtype)
+
+    def delta_apply(
+        self, flat_codes: np.ndarray, p: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Corrupted codes restricted to the touched weights.
+
+        Returns ``(touched, values)`` where ``touched`` holds the sorted
+        distinct flat weight indices with at least one erroneous bit at rate
+        ``p`` and ``values[i] == self.apply(flat_codes, p)[touched[i]]``
+        exactly.  Nothing code-shaped is materialized: past
+        :meth:`error_positions`, cost and memory are ``O(errors)``, not
+        ``O(W)`` — the primitive behind delta de-quantization on the RErr
+        evaluation hot path, where at the paper's rates only ``~p * m * W``
+        weights change per simulated chip.
+        """
+        flat_codes = self._checked_flat(flat_codes)
+        positions = np.sort(self.error_positions(p))
+        weight_idx = positions // self.precision
+        if weight_idx.size == 0:
+            touched = np.empty(0, dtype=np.int64)
+            return touched, flat_codes[touched]
+        # positions are sorted and distinct, so weight_idx is sorted with
+        # runs of duplicates; an adjacent-difference mask dedups it and its
+        # cumsum maps every erroneous bit onto its run ("compressed" weight
+        # slot) without any searchsorted over the needles.
+        keep = np.empty(weight_idx.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(weight_idx[1:], weight_idx[:-1], out=keep[1:])
+        touched = weight_idx[keep]
+        compressed = np.cumsum(keep) - 1
+        # Distinct (weight, bit) pairs sum distinct powers of two, so the
+        # float64 bincount accumulation equals the XOR mask exactly
+        # (precision <= MAX_PRECISION keeps every sum below 2**17).
+        xor = np.bincount(
+            compressed,
+            weights=(1 << (positions % self.precision)).astype(np.float64),
+            minlength=touched.size,
+        )
+        values = flat_codes[touched] ^ xor.astype(np.int64).astype(flat_codes.dtype)
+        return touched, values
 
 
 class DenseFieldBackend(InjectionBackend):
@@ -266,20 +307,18 @@ class SparseFieldBackend(InjectionBackend):
         return out
 
 
-def batch_apply(
-    backends: Sequence[InjectionBackend], flat_codes: np.ndarray, p: float
-) -> np.ndarray:
-    """Apply a whole chip-set's errors to one code vector in a single scatter.
+def _checked_batch(
+    backends: Sequence[InjectionBackend],
+    flat_codes: np.ndarray,
+    p: float,
+    chunk_size: Optional[int],
+) -> Tuple[list, np.ndarray, int]:
+    """Shared validation of the batched-injection entry points.
 
-    Returns a ``(len(backends), num_weights)`` array whose ``i``-th row equals
-    ``backends[i].apply(flat_codes, p)`` exactly: every chip's erroneous bit
-    positions are offset into a disjoint block of a virtual
-    ``len(backends) * W`` weight space and XOR-scattered in **one**
-    ``np.bitwise_xor.at`` pass over the tiled codes.  Distinct
-    ``(chip, weight, bit)`` triples never collide, so the batched result is
-    bit-identical to the per-chip path while paying the scatter bookkeeping
-    once per rate instead of once per chip.
+    Includes the rate, so the streaming entry point rejects a bad ``p`` at
+    the call instead of at first iteration.
     """
+    _validate_rate(p)
     backends = list(backends)
     if not backends:
         raise ValueError("batch_apply requires at least one backend")
@@ -295,20 +334,105 @@ def batch_apply(
     flat_codes = np.asarray(flat_codes)
     if flat_codes.size != num_weights:
         raise ValueError(f"expected {num_weights} codes, got {flat_codes.size}")
-    out = np.tile(flat_codes.reshape(-1), (len(backends), 1))
-    position_blocks = [backend.error_positions(p) for backend in backends]
-    total = sum(block.size for block in position_blocks)
-    if total:
-        flat_view = out.reshape(-1)
-        weight_idx = np.concatenate(
-            [
-                chip * num_weights + block // precision
-                for chip, block in enumerate(position_blocks)
-            ]
-        )
-        bit_idx = np.concatenate(position_blocks) % precision
-        np.bitwise_xor.at(flat_view, weight_idx, (1 << bit_idx).astype(out.dtype))
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+    step = len(backends) if chunk_size is None else int(chunk_size)
+    return backends, flat_codes.reshape(-1), step
+
+
+def _scatter_xor_blocks(
+    rows: np.ndarray, position_blocks: Sequence[np.ndarray], precision: int
+) -> None:
+    """XOR every block's erroneous bits into its row of ``rows``, in place.
+
+    Each chip's flat bit positions are offset into a disjoint block of a
+    virtual ``len(rows) * W`` weight space and scattered in **one**
+    ``np.bitwise_xor.at`` pass.  Distinct ``(chip, weight, bit)`` triples
+    never collide, so the batched result is bit-identical to per-chip
+    :meth:`InjectionBackend.apply` calls.
+    """
+    if not sum(block.size for block in position_blocks):
+        return
+    num_weights = rows.shape[1]
+    flat_view = rows.reshape(-1)
+    weight_idx = np.concatenate(
+        [
+            chip * num_weights + block // precision
+            for chip, block in enumerate(position_blocks)
+        ]
+    )
+    bit_idx = np.concatenate(position_blocks) % precision
+    np.bitwise_xor.at(flat_view, weight_idx, (1 << bit_idx).astype(rows.dtype))
+
+
+def batch_apply(
+    backends: Sequence[InjectionBackend],
+    flat_codes: np.ndarray,
+    p: float,
+    chunk_size: Optional[int] = None,
+) -> np.ndarray:
+    """Apply a whole chip-set's errors to one code vector in batched scatters.
+
+    Returns a ``(len(backends), num_weights)`` array whose ``i``-th row equals
+    ``backends[i].apply(flat_codes, p)`` exactly, paying the scatter
+    bookkeeping once per ``chunk_size`` chips instead of once per chip.  By
+    default (``chunk_size=None``) the whole set scatters in one pass — the
+    historical single-scatter behaviour.  A chunk size bounds the *working*
+    set (position blocks and scatter indices) to ``chunk_size`` chips at a
+    time; the result array itself is still ``O(len(backends) * W)``, so
+    callers that consume chips one at a time should use
+    :func:`iter_batch_apply`, which holds at most one ``chunk_size``-row
+    block in memory.
+    """
+    backends, flat, step = _checked_batch(backends, flat_codes, p, chunk_size)
+    precision = backends[0].precision
+    out = np.tile(flat, (len(backends), 1))
+    for start in range(0, len(backends), step):
+        chunk = backends[start : start + step]
+        blocks = [backend.error_positions(p) for backend in chunk]
+        _scatter_xor_blocks(out[start : start + len(chunk)], blocks, precision)
     return out
+
+
+def iter_batch_apply(
+    backends: Sequence[InjectionBackend],
+    flat_codes: np.ndarray,
+    p: float,
+    chunk_size: Optional[int] = None,
+    return_positions: bool = False,
+):
+    """Stream a chip-set's corrupted code vectors, ``chunk_size`` at a time.
+
+    Yields one row per backend, in order, each bit-identical to
+    ``backends[i].apply(flat_codes, p)``.  Rows are views into per-chunk
+    arrays, so a consumer that drops each row after use keeps peak memory at
+    ``O(chunk_size * W)`` instead of the ``O(len(backends) * W)`` a
+    materialized :func:`batch_apply` costs — the memory seam the sweep
+    engine's chunked injection rides on (``chunk_size=None`` processes the
+    whole set as one chunk, the historical peak).  With
+    ``return_positions=True`` every row comes as a ``(row, touched)`` pair,
+    ``touched`` being the sorted distinct flat *weight* indices with at
+    least one erroneous bit — the input of delta de-quantization.
+
+    Validation happens eagerly, at the call; only the corruption work is
+    deferred to iteration.
+    """
+    backends, flat, step = _checked_batch(backends, flat_codes, p, chunk_size)
+    precision = backends[0].precision
+
+    def _rows():
+        for start in range(0, len(backends), step):
+            chunk = backends[start : start + step]
+            blocks = [backend.error_positions(p) for backend in chunk]
+            rows = np.tile(flat, (len(chunk), 1))
+            _scatter_xor_blocks(rows, blocks, precision)
+            for row, block in zip(rows, blocks):
+                if return_positions:
+                    yield row, sorted_unique(block // precision)
+                else:
+                    yield row
+
+    return _rows()
 
 
 def sample_distinct_positions(

@@ -311,6 +311,23 @@ class ChipProfile:
         corrupted[faulty & ~stuck_one] = 0
         return corrupted
 
+    def _corrupt_codes_with_hits(
+        self,
+        codes: np.ndarray,
+        precision: int,
+        idx: np.ndarray,
+        stuck: np.ndarray,
+    ) -> np.ndarray:
+        """Sparse corruption body given precomputed payload hits."""
+        keep_mask = (1 << precision) - 1
+        out = (codes.astype(np.int64) & keep_mask).astype(codes.dtype)
+        if idx.size:
+            weight_idx = idx // precision
+            values = (1 << (idx % precision)).astype(out.dtype)
+            np.bitwise_or.at(out, weight_idx[stuck], values[stuck])
+            np.bitwise_and.at(out, weight_idx[~stuck], np.bitwise_not(values[~stuck]))
+        return out
+
     def apply_to_codes(
         self, codes: np.ndarray, precision: int, rate: float, offset: int = 0
     ) -> np.ndarray:
@@ -324,17 +341,8 @@ class ChipProfile:
         """
         codes = np.asarray(codes).reshape(-1)
         if self.backend == "sparse":
-            keep_mask = (1 << precision) - 1
-            out = (codes.astype(np.int64) & keep_mask).astype(codes.dtype)
             idx, stuck = self._payload_hits(rate, offset, codes.size * precision)
-            if idx.size:
-                weight_idx = idx // precision
-                values = (1 << (idx % precision)).astype(out.dtype)
-                np.bitwise_or.at(out, weight_idx[stuck], values[stuck])
-                np.bitwise_and.at(
-                    out, weight_idx[~stuck], np.bitwise_not(values[~stuck])
-                )
-            return out
+            return self._corrupt_codes_with_hits(codes, precision, idx, stuck)
         bit_positions = np.arange(precision)
         bits = ((codes[:, None].astype(np.int64) >> bit_positions) & 1).astype(np.uint8)
         corrupted_bits = self.apply_to_bits(bits.reshape(-1), rate, offset=offset)
@@ -357,14 +365,41 @@ class ChipProfile:
         return sorted_unique(idx // precision)
 
     def apply_to_quantized(
-        self, quantized: QuantizedWeights, rate: float, offset: int = 0
-    ) -> QuantizedWeights:
-        """Corrupt a :class:`QuantizedWeights` stored linearly on this chip."""
+        self,
+        quantized: QuantizedWeights,
+        rate: float,
+        offset: int = 0,
+        return_positions: bool = False,
+    ):
+        """Corrupt a :class:`QuantizedWeights` stored linearly on this chip.
+
+        With ``return_positions=True`` the sorted distinct flat weight
+        indices whose payload bits sit on faulty cells are returned alongside
+        (see :meth:`touched_weight_indices`) — a superset of the weights
+        whose codes actually changed, which is exactly what delta
+        de-quantization needs on the profiled evaluation hot path.  On the
+        sparse backend the payload hits are enumerated once and shared
+        between the corruption and the touched set; the dense backend keeps
+        its ``O(capacity)`` unpack-repack reference path and enumerates the
+        hits separately.
+        """
         flat = quantized.flat_codes(copy=False)
-        corrupted = self.apply_to_codes(
-            flat, quantized.scheme.precision, rate, offset=offset
-        )
-        return quantized.with_flat_codes(corrupted, copy=False)
+        precision = quantized.scheme.precision
+        if not return_positions:
+            corrupted = self.apply_to_codes(flat, precision, rate, offset=offset)
+            return quantized.with_flat_codes(corrupted, copy=False)
+        if self.backend == "sparse":
+            idx, stuck = self._payload_hits(rate, offset, flat.size * precision)
+            corrupted = self._corrupt_codes_with_hits(
+                flat.reshape(-1), precision, idx, stuck
+            )
+            touched = sorted_unique(idx // precision)
+        else:
+            corrupted = self.apply_to_codes(flat, precision, rate, offset=offset)
+            touched = self.touched_weight_indices(
+                quantized.num_weights, precision, rate, offset=offset
+            )
+        return quantized.with_flat_codes(corrupted, copy=False), touched
 
     def observed_bit_error_rate(
         self, quantized: QuantizedWeights, rate: float, offset: int = 0

@@ -27,6 +27,7 @@ from repro.biterror.backends import (
     MAX_PRECISION,
     InjectionBackend,
     batch_apply,
+    iter_batch_apply,
     make_backend,
     sample_distinct_positions,
     xor_from_bit_positions,
@@ -41,6 +42,7 @@ __all__ = [
     "BitErrorField",
     "make_error_fields",
     "apply_fields_batch",
+    "iter_apply_fields_batch",
     "expected_bit_errors",
     "flip_probability_from_counts",
     "DRAW_METHODS",
@@ -240,46 +242,134 @@ class BitErrorField:
         """Flip the erroneous bits of a flat code vector at rate ``p``."""
         return self.backend.apply(flat_codes, p)
 
-    def apply_to_quantized(self, quantized: QuantizedWeights, p: float) -> QuantizedWeights:
-        """Apply this field to a :class:`QuantizedWeights` instance."""
+    def delta_apply(
+        self, flat_codes: np.ndarray, p: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(touched weights, corrupted codes at them)`` in ``O(errors)``.
+
+        The evaluation-side analogue of the sparse training draw: nothing
+        code-shaped is materialized, so per-draw cost scales with the
+        perturbation (see :meth:`InjectionBackend.delta_apply`).
+        """
+        return self.backend.delta_apply(flat_codes, p)
+
+    def _check_quantized(self, quantized: QuantizedWeights) -> None:
         if quantized.scheme.precision != self.precision:
             raise ValueError(
                 f"field precision ({self.precision}) does not match "
                 f"quantization precision ({quantized.scheme.precision})"
             )
-        perturbed = self.apply(quantized.flat_codes(copy=False), p)
-        return quantized.with_flat_codes(perturbed, copy=False)
+
+    def apply_to_quantized(
+        self,
+        quantized: QuantizedWeights,
+        p: float,
+        return_positions: bool = False,
+    ) -> Union[QuantizedWeights, Tuple[QuantizedWeights, np.ndarray]]:
+        """Apply this field to a :class:`QuantizedWeights` instance.
+
+        With ``return_positions=True`` the sorted distinct flat *weight*
+        indices whose codes had at least one bit flipped are returned
+        alongside — the input of delta de-quantization
+        (:meth:`repro.quant.fixed_point.FixedPointQuantizer.dequantize_delta`).
+        That path is also cheaper, not just more informative: the corrupted
+        vector is built as one memcpy plus an ``O(touched)`` scatter of the
+        delta codes instead of a code-shaped XOR mask.
+        """
+        self._check_quantized(quantized)
+        flat = quantized.flat_codes(copy=False)
+        if not return_positions:
+            perturbed = self.apply(flat, p)
+            return quantized.with_flat_codes(perturbed, copy=False)
+        touched, values = self.delta_apply(flat, p)
+        perturbed = flat.copy()
+        perturbed[touched] = values
+        return quantized.with_flat_codes(perturbed, copy=False), touched
 
 
-def apply_fields_batch(
-    fields: Sequence["BitErrorField"],
-    quantized: QuantizedWeights,
-    p: float,
-) -> List[QuantizedWeights]:
-    """Corrupt ``quantized`` with every field of a chip set in one scatter pass.
-
-    Equivalent — bit for bit — to ``[f.apply_to_quantized(quantized, p) for f
-    in fields]``, but all chips' XOR masks are scattered through the backend
-    seam in a single :func:`repro.biterror.backends.batch_apply` call, so the
-    per-chip bookkeeping (flatten, validate, scatter setup) is paid once per
-    rate.  This is the injection hot path of the sweep-execution engine
-    (:mod:`repro.runtime`).
-    """
-    fields = list(fields)
-    if not fields:
-        return []
+def _checked_field_backends(
+    fields: Sequence["BitErrorField"], quantized: QuantizedWeights
+) -> List[InjectionBackend]:
     for field in fields:
         if field.precision != quantized.scheme.precision:
             raise ValueError(
                 f"field precision ({field.precision}) does not match "
                 f"quantization precision ({quantized.scheme.precision})"
             )
+    return [field.backend for field in fields]
+
+
+def apply_fields_batch(
+    fields: Sequence["BitErrorField"],
+    quantized: QuantizedWeights,
+    p: float,
+    chunk_size: Optional[int] = None,
+) -> List[QuantizedWeights]:
+    """Corrupt ``quantized`` with every field of a chip set in batched scatters.
+
+    Equivalent — bit for bit — to ``[f.apply_to_quantized(quantized, p) for f
+    in fields]``, but the chips' XOR masks are scattered through the backend
+    seam in batched :func:`repro.biterror.backends.batch_apply` passes
+    (``chunk_size`` chips per pass; ``None`` scatters the whole set at once),
+    so the per-chip bookkeeping (flatten, validate, scatter setup) is paid
+    once per chunk.  The returned list still materializes every chip's codes;
+    :func:`iter_apply_fields_batch` is the ``O(chunk_size * W)``-peak
+    streaming variant the sweep-execution engine (:mod:`repro.runtime`)
+    consumes.
+    """
+    fields = list(fields)
+    if not fields:
+        return []
     batch = batch_apply(
-        [field.backend for field in fields], quantized.flat_codes(copy=False), p
+        _checked_field_backends(fields, quantized),
+        quantized.flat_codes(copy=False),
+        p,
+        chunk_size=chunk_size,
     )
     # Each chip's row of the batch is exclusively owned by its result, so the
     # rebuilt QuantizedWeights can view it without a copy.
     return [quantized.with_flat_codes(row, copy=False) for row in batch]
+
+
+def iter_apply_fields_batch(
+    fields: Sequence["BitErrorField"],
+    quantized: QuantizedWeights,
+    p: float,
+    chunk_size: Optional[int] = None,
+    return_positions: bool = False,
+):
+    """Stream a chip set's corrupted :class:`QuantizedWeights`, chunk by chunk.
+
+    Yields one corrupted instance per field, in order, each bit-identical to
+    ``field.apply_to_quantized(quantized, p)`` — but at most ``chunk_size``
+    chips' codes are alive at any moment (``None``: the whole set, the
+    historical :func:`apply_fields_batch` peak), so a chip set of ``n``
+    fields corrupts in ``O(chunk_size * W)`` peak memory instead of
+    ``O(n * W)``.  With ``return_positions=True`` each item is a
+    ``(quantized, touched)`` pair, ``touched`` being the sorted distinct
+    flat weight indices the chip perturbs — what the engine's delta
+    de-quantization patches.  Validation is eager; corruption is lazy.
+    """
+    fields = list(fields)
+    if not fields:
+        return iter(())
+    stream = iter_batch_apply(
+        _checked_field_backends(fields, quantized),
+        quantized.flat_codes(copy=False),
+        p,
+        chunk_size=chunk_size,
+        return_positions=return_positions,
+    )
+
+    def _items():
+        for item in stream:
+            if return_positions:
+                row, touched = item
+                yield quantized.with_flat_codes(row, copy=False), touched
+            else:
+                yield quantized.with_flat_codes(item, copy=False)
+
+    return _items()
 
 
 def make_error_fields(

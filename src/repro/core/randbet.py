@@ -197,7 +197,17 @@ class RandBETTrainer(Trainer):
             float(np.abs(param.data).max()) for param in self.model.parameters()
         ]
         quantized = self.quantizer.quantize(model_weight_arrays(self.model))
-        perturbed_weights = self._perturbed_weights(quantized)
+        # Thread the clean de-quantization through so the sparse draw can
+        # patch only the touched weights (dequantize_delta) instead of
+        # falling back to a second full de-quantization; bit-identical
+        # either way, and the dense default path is unchanged (it never
+        # uses the clean decode).
+        clean_weights = (
+            self.quantizer.dequantize(quantized)
+            if self.config.error_draw == "sparse"
+            else None
+        )
+        perturbed_weights = self._perturbed_weights(quantized, clean_weights)
         self.optimizer.zero_grad()
         with swap_weights(self.model, perturbed_weights):
             logits = self.model(inputs)

@@ -1,5 +1,6 @@
 """Evaluation: robust test error, confidences, redundancy, guarantees, energy."""
 
+from repro.eval.fast_eval import BatchPlan, DeltaWeightPatcher, evaluate_on_plan
 from repro.eval.robust_error import (
     RobustErrorResult,
     evaluate_clean_error,
@@ -27,6 +28,9 @@ from repro.eval.sweeps import (
 )
 
 __all__ = [
+    "BatchPlan",
+    "DeltaWeightPatcher",
+    "evaluate_on_plan",
     "RobustErrorResult",
     "evaluate_clean_error",
     "evaluate_robust_error",

@@ -10,17 +10,17 @@ the data flow of Fig. 5 at inference time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.biterror.patterns import ChipProfile
 from repro.biterror.random_errors import BitErrorField, make_error_fields
 from repro.data.datasets import ArrayDataset
-from repro.nn.losses import confidences
+from repro.eval.fast_eval import BatchPlan, DeltaWeightPatcher, evaluate_on_plan
 from repro.nn.module import Module
 from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
-from repro.quant.qat import model_weight_arrays, quantize_model, swap_weights
+from repro.quant.qat import model_weight_arrays, quantize_model
 
 __all__ = [
     "RobustErrorResult",
@@ -74,23 +74,21 @@ def model_error_and_confidence(
     dataset: ArrayDataset,
     batch_size: int,
 ) -> tuple:
-    """Error rate and average confidence of ``model`` with ``weights``."""
-    errors = 0
-    total = 0
-    confidence_sum = 0.0
-    was_training = model.training
-    model.eval()
-    with swap_weights(model, weights):
-        for start in range(0, len(dataset), batch_size):
-            index = np.arange(start, min(start + batch_size, len(dataset)))
-            inputs, labels = dataset[index]
-            logits = model(inputs)
-            predictions = logits.argmax(axis=1)
-            errors += int((predictions != labels).sum())
-            total += labels.shape[0]
-            confidence_sum += float(confidences(logits).sum())
-    model.train(was_training)
-    return errors / max(total, 1), confidence_sum / max(total, 1)
+    """Error rate and average confidence of ``model`` with ``weights``.
+
+    ``dataset`` may also be a prebuilt
+    :class:`~repro.eval.fast_eval.BatchPlan`, in which case its hoisted
+    batches are reused as-is (the plan already fixed its batch size, and
+    ``batch_size`` is only validated); per-draw callers like the sweep
+    engine build the plan once per evaluation context.  Either way the
+    result is bit-identical to the historical per-call batching loop.
+    ``batch_size`` must be at least 1 — a non-positive value used to
+    silently yield an empty batch range and a 0/0 evaluation.
+    """
+    if int(batch_size) < 1:
+        raise ValueError(f"batch_size must be at least 1, got {batch_size}")
+    plan = dataset if isinstance(dataset, BatchPlan) else BatchPlan(dataset, batch_size)
+    return evaluate_on_plan(model, weights, plan)
 
 
 def evaluate_clean_error(
@@ -119,6 +117,7 @@ def evaluate_robust_error(
     backend: str = "dense",
     quantized: Optional[QuantizedWeights] = None,
     clean_stats: Optional[tuple] = None,
+    fused: bool = True,
 ) -> RobustErrorResult:
     """Average RErr of ``model`` under random bit errors at ``bit_error_rate``.
 
@@ -139,13 +138,27 @@ def evaluate_robust_error(
         pair.  Sweep drivers (:func:`repro.eval.sweeps.rerr_sweep`) pass
         these so the model is quantized and clean-evaluated once per sweep
         instead of once per rate.
+    fused:
+        Run the fused per-draw loop (the default): the clean de-quantization
+        is computed once, every draw reports only its touched weights
+        (:meth:`BitErrorField.delta_apply`), patches them into the clean
+        weights in place
+        (:class:`~repro.eval.fast_eval.DeltaWeightPatcher`) and evaluates
+        over mini-batches hoisted once per call
+        (:class:`~repro.eval.fast_eval.BatchPlan`) — ``O(touched)`` per draw
+        instead of ``O(W)``.  ``fused=False`` runs the pre-fusion reference
+        data flow (full de-quantization and per-call batching per draw);
+        both paths are bit-identical, so the flag only exists for parity
+        tests and benchmarks.
     """
     if quantized is None:
         quantized = quantize_model(model, quantizer)
+    plan = BatchPlan(dataset, batch_size) if fused else None
+    clean_weights = None
     if clean_stats is None:
         clean_weights = quantizer.dequantize(quantized)
         clean_stats = model_error_and_confidence(
-            model, clean_weights, dataset, batch_size
+            model, clean_weights, plan if fused else dataset, batch_size
         )
     clean_error, clean_confidence = clean_stats
     result = RobustErrorResult(
@@ -174,12 +187,33 @@ def evaluate_robust_error(
             backend=backend,
         )
     perturbed_confidences = []
-    for fld in error_fields:
-        corrupted = fld.apply_to_quantized(quantized, bit_error_rate)
-        weights = quantizer.dequantize(corrupted)
-        error, confidence = model_error_and_confidence(model, weights, dataset, batch_size)
-        result.errors.append(error)
-        perturbed_confidences.append(confidence)
+    if fused:
+        if clean_weights is None:
+            # clean_stats were hoisted by the caller; the patcher still
+            # needs the clean decode, computed once for all draws.
+            clean_weights = quantizer.dequantize(quantized)
+        patcher = DeltaWeightPatcher(quantized, clean_weights)
+        # Borrowed flat snapshot, hoisted out of the draw loop (refilling it
+        # per draw would re-pay an O(W) concatenation per chip).
+        flat = quantized.flat_codes(copy=False)
+        for fld in error_fields:
+            fld._check_quantized(quantized)
+            touched, values = fld.delta_apply(flat, bit_error_rate)
+            with patcher.patched(touched, values) as weights:
+                error, confidence = model_error_and_confidence(
+                    model, weights, plan, batch_size
+                )
+            result.errors.append(error)
+            perturbed_confidences.append(confidence)
+    else:
+        for fld in error_fields:
+            corrupted = fld.apply_to_quantized(quantized, bit_error_rate)
+            weights = quantizer.dequantize(corrupted)
+            error, confidence = model_error_and_confidence(
+                model, weights, dataset, batch_size
+            )
+            result.errors.append(error)
+            perturbed_confidences.append(confidence)
     result.confidence_perturbed = float(np.mean(perturbed_confidences))
     return result
 

@@ -130,29 +130,85 @@ def _denormalize(values: np.ndarray, q_min: float, q_max: float) -> np.ndarray:
     return (values + 1.0) / 2.0 * (q_max - q_min) + q_min
 
 
+#: Signed-wrap lookup tables: ``table[v + levels] = v mod 2**m`` for the
+#: ``2 * levels + 1`` representable integers ``v`` of an ``m``-bit scheme.
+#: Keyed by precision (the cap is 16, so every table fits in a few KiB).
+_SIGNED_WRAP_TABLES: Dict[int, np.ndarray] = {}
+
+
+def _signed_wrap_table(precision: int) -> np.ndarray:
+    """LUT turning offset integers ``v + levels`` into two's-complement codes."""
+    table = _SIGNED_WRAP_TABLES.get(precision)
+    if table is None:
+        levels = 2 ** (precision - 1) - 1
+        values = np.arange(-levels, levels + 1, dtype=np.int64)
+        table = np.mod(values, 2**precision).astype(_code_dtype(precision))
+        table.setflags(write=False)
+        _SIGNED_WRAP_TABLES[precision] = table
+    return table
+
+
 def encode_array(
-    weights: np.ndarray, q_min: float, q_max: float, scheme: QuantizationScheme
+    weights: np.ndarray,
+    q_min: float,
+    q_max: float,
+    scheme: QuantizationScheme,
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Quantize ``weights`` into ``m``-bit codes (returned as unsigned ints).
 
-    The arithmetic runs in place on one scratch buffer — every step applies
-    the exact operation sequence of the original expression chain
-    (normalize, clip, scale, round/truncate, clip, offset), so the codes are
-    bit-identical to the historical implementation while touching one
-    allocation instead of one per intermediate.  This is the largest shared
-    per-step cost of the QAT/RandBET training loop.
+    The encode is fused into a single pass over one float64 scratch buffer:
+    every step applies the exact operation sequence of the original
+    expression chain (normalize, clip, scale, round/truncate, clip, offset,
+    wrap), so the codes are bit-identical to the historical ~10-temporary
+    implementation while touching two allocations (scratch + codes) — or
+    zero, when the caller supplies both.  The offset values are integral and
+    non-negative after the final clip, so unsigned schemes finish with one
+    direct cast; signed schemes wrap through a ``2 * levels + 1``-entry
+    lookup table (``m <= 16`` always holds, see
+    :class:`QuantizationScheme`) instead of an int64 round trip through
+    ``np.mod``.  This is the largest remaining shared cost of the QAT /
+    RandBET training step and of every sweep's hoisted quantization.
+
+    Parameters
+    ----------
+    out:
+        Optional preallocated code array (``weights.shape``, the scheme's
+        code dtype) the result is written into and returned.
+    scratch:
+        Optional preallocated float64 work buffer of ``weights.shape``; its
+        contents are destroyed.  Must not alias ``weights``.
     """
     weights = np.asarray(weights, dtype=np.float64)
+    dtype = _code_dtype(scheme.precision)
+    if out is not None:
+        if out.shape != weights.shape or out.dtype != dtype:
+            raise ValueError(
+                f"out must have shape {weights.shape} and dtype {dtype}, "
+                f"got shape {out.shape} and dtype {out.dtype}"
+            )
+    if scratch is None:
+        buf = np.empty(weights.shape, dtype=np.float64)
+    else:
+        if scratch.shape != weights.shape or scratch.dtype != np.float64:
+            raise ValueError(
+                f"scratch must have shape {weights.shape} and dtype float64, "
+                f"got shape {scratch.shape} and dtype {scratch.dtype}"
+            )
+        if np.may_share_memory(scratch, weights):
+            raise ValueError("scratch must not alias weights")
+        buf = scratch
     levels = scheme.levels
     if scheme.asymmetric:
         # (w - q_min) / (q_max - q_min) * 2 - 1, as in _normalize (Eq. (3)).
-        buf = weights - q_min
+        np.subtract(weights, q_min, out=buf)
         buf /= q_max - q_min
         buf *= 2.0
         buf -= 1.0
     else:
         scale = max(abs(q_min), abs(q_max))
-        buf = weights / scale
+        np.divide(weights, scale, out=buf)
     np.clip(buf, -1.0, 1.0, out=buf)
     buf *= levels
     if scheme.rounding:
@@ -160,13 +216,22 @@ def encode_array(
     else:
         np.trunc(buf, out=buf)
     np.clip(buf, -levels, levels, out=buf)
-    integers = buf.astype(np.int64)
+    # The buffer now holds exactly integral values in [-levels, levels];
+    # adding the offset keeps them exact (|v| < 2**17 << 2**53).
+    buf += levels
     if scheme.unsigned:
-        integers += levels
-        codes = integers
-    else:
-        codes = np.mod(integers, scheme.num_codes)
-    return codes.astype(_code_dtype(scheme.precision))
+        # Offset codes *are* v + levels — one cast finishes the encode, and
+        # the values are non-negative so the float -> unsigned cast is exact.
+        if out is None:
+            return buf.astype(dtype)
+        np.copyto(out, buf, casting="unsafe")
+        return out
+    indices = buf.astype(np.intp)
+    table = _signed_wrap_table(scheme.precision)
+    if out is None:
+        return table[indices]
+    np.take(table, indices, out=out)
+    return out
 
 
 def decode_array(

@@ -29,7 +29,7 @@ from __future__ import annotations
 import os
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.biterror.random_errors import apply_fields_batch
+from repro.biterror.random_errors import iter_apply_fields_batch
 from repro.runtime.spec import CellResult, EvalJob, SweepContext
 
 __all__ = ["SerialExecutor", "ParallelExecutor", "execute_group", "group_jobs"]
@@ -59,7 +59,7 @@ def group_jobs(jobs: Sequence[EvalJob]) -> List[List[EvalJob]]:
     return [grouped[key] for key in order]
 
 
-def _evaluate(context: SweepContext, model, weights) -> Tuple[float, float]:
+def _evaluate(context: SweepContext, model, weights, plan=None) -> Tuple[float, float]:
     # Looked up through the module (not imported at module load) so the
     # once-per-sweep spy tests — and any instrumentation — that patch
     # ``repro.eval.robust_error.model_error_and_confidence`` observe every
@@ -68,43 +68,67 @@ def _evaluate(context: SweepContext, model, weights) -> Tuple[float, float]:
     from repro.eval import robust_error
 
     return robust_error.model_error_and_confidence(
-        model, weights, context.dataset, context.batch_size
+        model,
+        weights,
+        context.dataset if plan is None else plan,
+        context.batch_size,
     )
 
 
-def execute_group(context: SweepContext, group: Sequence[EvalJob]) -> GroupOutput:
+def execute_group(
+    context: SweepContext,
+    group: Sequence[EvalJob],
+    chunk_size: Optional[int] = None,
+) -> GroupOutput:
     """Execute one job group against the shipped context.
 
-    Pure function of ``(context, group)``; both executors and every worker
-    process funnel through here, which is what guarantees serial/parallel
-    equivalence.
+    Pure function of ``(context, group, chunk_size)``; both executors and
+    every worker process funnel through here, which is what guarantees
+    serial/parallel equivalence.  The evaluation runs the fused hot path —
+    mini-batches hoisted once per group, the model's clean de-quantization
+    decoded once per worker (:meth:`~repro.runtime.spec.ModelEntry.clean_weights`)
+    and per-draw delta patching of only the touched weights — which is
+    bit-identical to the historical full-de-quantization flow (enforced by
+    the legacy-parity tests).  ``chunk_size`` bounds how many chips' corrupted
+    codes a ``field`` group materializes at once (``None``: the whole cell,
+    the historical peak); results are identical for every value.
     """
+    # Imported lazily for the same circularity reason as ``_evaluate``.
+    from repro.eval.fast_eval import BatchPlan, DeltaWeightPatcher
+
     group = list(group)
     first = group[0]
     entry = context.models[first.model_key]
-    quantizer = entry.quantizer
-    out: GroupOutput = []
+    plan = BatchPlan(context.dataset, context.batch_size)
+    clean = entry.clean_weights()
     if first.kind == "clean":
-        weights = quantizer.dequantize(entry.quantized)
-        error, confidence = _evaluate(context, entry.model, weights)
+        error, confidence = _evaluate(context, entry.model, clean, plan)
         return [(job.content_key, CellResult(error, confidence)) for job in group]
+    patcher = DeltaWeightPatcher(entry.quantized, clean)
+    out: GroupOutput = []
     if first.kind == "field":
         fields = context.field_sets[first.source_key]
         selected = [fields[job.index] for job in group]
-        corrupted_batch = apply_fields_batch(selected, entry.quantized, first.rate)
-        for job, corrupted in zip(group, corrupted_batch):
-            weights = quantizer.dequantize(corrupted)
-            error, confidence = _evaluate(context, entry.model, weights)
+        stream = iter_apply_fields_batch(
+            selected,
+            entry.quantized,
+            first.rate,
+            chunk_size=chunk_size,
+            return_positions=True,
+        )
+        for job, (corrupted, touched) in zip(group, stream):
+            with patcher.patched_quantized(corrupted, touched) as weights:
+                error, confidence = _evaluate(context, entry.model, weights, plan)
             out.append((job.content_key, CellResult(error, confidence)))
         return out
     if first.kind == "chip":
         chip = context.chips[first.source_key]
         for job in group:
-            corrupted = chip.apply_to_quantized(
-                entry.quantized, job.rate, offset=job.offset
+            corrupted, touched = chip.apply_to_quantized(
+                entry.quantized, job.rate, offset=job.offset, return_positions=True
             )
-            weights = quantizer.dequantize(corrupted)
-            error, confidence = _evaluate(context, entry.model, weights)
+            with patcher.patched_quantized(corrupted, touched) as weights:
+                error, confidence = _evaluate(context, entry.model, weights, plan)
             out.append((job.content_key, CellResult(error, confidence)))
         return out
     raise ValueError(f"unknown job kind {first.kind!r}")
@@ -115,32 +139,45 @@ class SerialExecutor:
 
     ``run`` yields each group's results as soon as the group finishes, so
     the engine can persist completed cells incrementally — an interrupted
-    sweep keeps everything executed so far.
+    sweep keeps everything executed so far.  ``chunk_size`` bounds how many
+    chips' corrupted codes a field group materializes at once (see
+    :func:`execute_group`); results are identical for every value.
     """
 
     max_workers = 1
+    #: Class-level default so subclasses overriding ``__init__`` without
+    #: chaining up keep the historical (unchunked) behaviour.
+    chunk_size: Optional[int] = None
+
+    def __init__(self, chunk_size: Optional[int] = None):
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        self.chunk_size = chunk_size
 
     def run(
         self, context: SweepContext, groups: Sequence[Sequence[EvalJob]]
     ) -> Iterator[GroupOutput]:
         for group in groups:
-            yield execute_group(context, group)
+            yield execute_group(context, group, chunk_size=self.chunk_size)
 
 
-# Per-worker context installed by the pool initializer; module-global so the
-# heavy payload is shipped once per worker process, not once per task.
+# Per-worker context (and injection chunk size) installed by the pool
+# initializer; module-global so the heavy payload is shipped once per worker
+# process, not once per task.
 _WORKER_CONTEXT: Optional[SweepContext] = None
+_WORKER_CHUNK_SIZE: Optional[int] = None
 
 
-def _init_worker(context: SweepContext) -> None:
-    global _WORKER_CONTEXT
+def _init_worker(context: SweepContext, chunk_size: Optional[int] = None) -> None:
+    global _WORKER_CONTEXT, _WORKER_CHUNK_SIZE
     _WORKER_CONTEXT = context
+    _WORKER_CHUNK_SIZE = chunk_size
 
 
 def _run_group_in_worker(group: Sequence[EvalJob]) -> GroupOutput:
     if _WORKER_CONTEXT is None:  # pragma: no cover - misconfigured pool
         raise RuntimeError("worker context was not initialized")
-    return execute_group(_WORKER_CONTEXT, group)
+    return execute_group(_WORKER_CONTEXT, group, chunk_size=_WORKER_CHUNK_SIZE)
 
 
 class ParallelExecutor:
@@ -156,10 +193,18 @@ class ParallelExecutor:
         Optional ``multiprocessing`` start method (``"fork"``/``"spawn"``);
         ``None`` uses the platform default.  Unknown names raise here, at
         construction — a typo is a caller bug, not a host limitation.
+    chunk_size:
+        Per-worker bound on how many chips' corrupted codes a field group
+        materializes at once (see :func:`execute_group`); shipped to the
+        workers alongside the context.  Results are identical for every
+        value.
     """
 
     def __init__(
-        self, max_workers: Optional[int] = None, start_method: Optional[str] = None
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -172,8 +217,11 @@ class ParallelExecutor:
                     f"unknown start_method {start_method!r}; "
                     f"choose from {available}"
                 )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
         self.max_workers = int(max_workers or (os.cpu_count() or 1))
         self.start_method = start_method
+        self.chunk_size = chunk_size
 
     def run(
         self, context: SweepContext, groups: Sequence[Sequence[EvalJob]]
@@ -187,19 +235,21 @@ class ParallelExecutor:
         groups = [list(group) for group in groups]
         workers = min(self.max_workers, len(groups))
         if workers <= 1:
-            return SerialExecutor().run(context, groups)
+            return SerialExecutor(chunk_size=self.chunk_size).run(context, groups)
         try:
             import multiprocessing
 
             mp_context = multiprocessing.get_context(self.start_method)
             pool = mp_context.Pool(
-                processes=workers, initializer=_init_worker, initargs=(context,)
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(context, self.chunk_size),
             )
         except (ImportError, OSError, PermissionError):
             # No usable pool on this host (single-CPU CI runners, containers
             # without POSIX semaphores, restricted sandboxes): degrade to the
             # bit-identical serial path rather than failing the sweep.
-            return SerialExecutor().run(context, groups)
+            return SerialExecutor(chunk_size=self.chunk_size).run(context, groups)
         return self._stream(pool, groups)
 
     @staticmethod

@@ -123,6 +123,30 @@ class ModelEntry:
     digest: str
     clean_stats: Optional[Tuple[float, float]] = None
 
+    def __post_init__(self) -> None:
+        # Lazily memoized clean de-quantization of ``quantized`` — decoded
+        # once per process (worker) and shared by every group that evaluates
+        # this model, instead of once per cell.  Not part of the dataclass
+        # identity and never pickled (each worker decodes its own copy;
+        # shipping ~W float64s per model would bloat the context payload).
+        self._clean_weights_cache = None
+
+    def clean_weights(self):
+        """The clean de-quantized weights, decoded once and memoized.
+
+        ``quantized`` is treated as immutable once registered (specs are
+        pure data); mutating its codes after the first call would go
+        unnoticed here.
+        """
+        if self._clean_weights_cache is None:
+            self._clean_weights_cache = self.quantizer.dequantize(self.quantized)
+        return self._clean_weights_cache
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_clean_weights_cache"] = None
+        return state
+
 
 @dataclass
 class SweepContext:

@@ -216,3 +216,27 @@ def test_make_profiled_chips_sparse_twins_match():
         a = dense[name].apply_to_quantized(quantized, 0.02, offset=333)
         b = sparse[name].apply_to_quantized(quantized, 0.02, offset=333)
         np.testing.assert_array_equal(a.flat_codes(), b.flat_codes())
+
+
+def test_chip_apply_to_quantized_return_positions(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(12, 10)), rng.normal(size=200)])
+    for backend in ("dense", "sparse"):
+        chip = ChipProfile(rows=64, columns=32, column_alignment=0.4,
+                           seed=5, backend=backend)
+        for rate, offset in ((0.0, 0), (0.02, 0), (0.02, 777)):
+            reference = chip.apply_to_quantized(quantized, rate, offset=offset)
+            corrupted, touched = chip.apply_to_quantized(
+                quantized, rate, offset=offset, return_positions=True
+            )
+            for a, b in zip(corrupted.codes, reference.codes):
+                np.testing.assert_array_equal(a, b)
+            np.testing.assert_array_equal(
+                touched,
+                chip.touched_weight_indices(
+                    quantized.num_weights, 8, rate, offset=offset
+                ),
+            )
+            # touched is a superset of the weights whose codes changed.
+            changed = np.flatnonzero(corrupted.flat_codes() != quantized.flat_codes())
+            assert np.isin(changed, touched).all()

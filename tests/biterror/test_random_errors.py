@@ -314,3 +314,81 @@ def test_apply_fields_batch_rejects_precision_mismatch(rng):
     fields = make_error_fields(quantized.num_weights, 4, 2, seed=0)
     with pytest.raises(ValueError, match="precision"):
         apply_fields_batch(fields, quantized, 0.01)
+
+
+# -- fused evaluation seams: positions, delta apply, streaming chunks --------
+
+
+@pytest.mark.parametrize("backend", ["dense", "sparse"])
+def test_apply_to_quantized_return_positions(rng, backend):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(20, 10)), rng.normal(size=150)])
+    field = BitErrorField(
+        quantized.num_weights, 8, np.random.default_rng(11), backend=backend
+    )
+    for p in (0.0, 0.01, 0.05):
+        reference = field.apply_to_quantized(quantized, p)
+        corrupted, touched = field.apply_to_quantized(quantized, p, return_positions=True)
+        for a, b in zip(corrupted.codes, reference.codes):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(
+            touched, np.unique(field.error_positions(p) // 8)
+        )
+
+
+def test_field_delta_apply_matches_apply(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=500)])
+    flat = quantized.flat_codes()
+    field = BitErrorField(500, 8, np.random.default_rng(4), backend="sparse")
+    touched, values = field.delta_apply(flat, 0.02)
+    np.testing.assert_array_equal(values, field.apply(flat, 0.02)[touched])
+
+
+@pytest.mark.parametrize("chunk_size", [None, 1, 2, 5])
+def test_iter_apply_fields_batch_matches_materialized(rng, chunk_size):
+    from repro.biterror import apply_fields_batch, make_error_fields
+    from repro.biterror.random_errors import iter_apply_fields_batch
+
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=250), rng.normal(size=(10, 8))])
+    fields = make_error_fields(quantized.num_weights, 8, 4, seed=17, backend="sparse")
+    reference = apply_fields_batch(fields, quantized, 0.02)
+    items = list(
+        iter_apply_fields_batch(
+            fields, quantized, 0.02, chunk_size=chunk_size, return_positions=True
+        )
+    )
+    assert len(items) == len(fields)
+    for fld, (corrupted, touched), ref in zip(fields, items, reference):
+        for a, b in zip(corrupted.codes, ref.codes):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(
+            touched, np.unique(fld.error_positions(0.02) // 8)
+        )
+
+
+def test_iter_apply_fields_batch_empty_and_validation(rng):
+    from repro.biterror import make_error_fields
+    from repro.biterror.random_errors import iter_apply_fields_batch
+
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=60)])
+    assert list(iter_apply_fields_batch([], quantized, 0.01)) == []
+    mismatched = make_error_fields(quantized.num_weights, 4, 2, seed=0)
+    with pytest.raises(ValueError, match="precision"):
+        iter_apply_fields_batch(mismatched, quantized, 0.01)
+
+
+@pytest.mark.parametrize("chunk_size", [1, 3])
+def test_apply_fields_batch_chunked_matches_default(rng, chunk_size):
+    from repro.biterror import apply_fields_batch, make_error_fields
+
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=320)])
+    fields = make_error_fields(quantized.num_weights, 8, 5, seed=29)
+    reference = apply_fields_batch(fields, quantized, 0.03)
+    chunked = apply_fields_batch(fields, quantized, 0.03, chunk_size=chunk_size)
+    for a, b in zip(chunked, reference):
+        for x, y in zip(a.codes, b.codes):
+            np.testing.assert_array_equal(x, y)

@@ -222,3 +222,64 @@ def test_sparse_delta_equals_sparse_full_dequantize(blob_data):
         [p.grad.reshape(-1).copy() for p in ref_model.parameters()]
     )
     np.testing.assert_array_equal(got, expected)
+
+
+def test_alternating_sparse_threads_clean_weights_through_delta_path(blob_data):
+    """The alternating variant's second update must reuse the delta path when
+    error_draw="sparse" — bit-identical to the historical full-dequantize
+    fallback, so final trajectories match exactly."""
+    from repro.core import randbet as randbet_module
+
+    train, _ = blob_data
+
+    # Stock trainer: threads clean weights into _perturbed_weights.
+    trainer, model = make_trainer(
+        blob_data, epochs=3, variant="alternating",
+        start_loss_threshold=100.0, error_draw="sparse",
+    )
+    delta_calls = {"n": 0}
+    real_delta = trainer.quantizer.dequantize_delta
+
+    def counting_delta(*args, **kwargs):
+        delta_calls["n"] += 1
+        return real_delta(*args, **kwargs)
+
+    trainer.quantizer.dequantize_delta = counting_delta
+    trainer.train(train)
+    assert delta_calls["n"] > 0, "second update never took the delta path"
+
+    # Reference trainer: force the historical fallback (no clean weights
+    # threaded into the second update's injection).
+    ref_trainer, ref_model = make_trainer(
+        blob_data, epochs=3, variant="alternating",
+        start_loss_threshold=100.0, error_draw="sparse",
+    )
+    original_update = randbet_module.RandBETTrainer._alternating_perturbed_update
+
+    def legacy_update(self, inputs, labels):
+        from repro.quant.qat import model_weight_arrays, swap_weights
+
+        pre_update_max = [
+            float(np.abs(param.data).max()) for param in self.model.parameters()
+        ]
+        quantized = self.quantizer.quantize(model_weight_arrays(self.model))
+        perturbed_weights = self._perturbed_weights(quantized)
+        self.optimizer.zero_grad()
+        with swap_weights(self.model, perturbed_weights):
+            logits = self.model(inputs)
+            _, grad = self.loss_fn(logits, labels)
+            self.model.backward(grad)
+        self.optimizer.step()
+        for param, bound in zip(self.model.parameters(), pre_update_max):
+            if bound > 0:
+                np.clip(param.data, -bound, bound, out=param.data)
+
+    ref_trainer._alternating_perturbed_update = legacy_update.__get__(ref_trainer)
+    ref_trainer.train(train)
+
+    for (name, ours), (ref_name, reference) in zip(
+        model.state_dict().items(), ref_model.state_dict().items()
+    ):
+        assert name == ref_name
+        np.testing.assert_array_equal(ours, reference)
+    assert original_update is randbet_module.RandBETTrainer._alternating_perturbed_update

@@ -80,3 +80,81 @@ def test_no_quantizer_clean_error(trained, blob_data):
     model, _ = trained
     error = evaluate_clean_error(model, None, test)
     assert 0.0 <= error <= 1.0
+
+
+# -- fused evaluation parity --------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["dense", "sparse"])
+def test_fused_evaluation_is_bit_identical_to_reference(trained, blob_data, backend):
+    """Same fields: the fused per-draw loop equals the pre-fusion data flow."""
+    _, test = blob_data
+    model, quantizer = trained
+    fields = make_error_fields(model.num_parameters(), 8, 5, seed=21, backend=backend)
+    for rate in (0.005, 0.02):
+        fused = evaluate_robust_error(
+            model, quantizer, test, rate, error_fields=fields
+        )
+        reference = evaluate_robust_error(
+            model, quantizer, test, rate, error_fields=fields, fused=False
+        )
+        assert fused.errors == reference.errors  # exact floats, same order
+        assert fused.clean_error == reference.clean_error
+        assert fused.confidence_clean == reference.confidence_clean
+        assert fused.confidence_perturbed == reference.confidence_perturbed
+
+
+def test_fused_evaluation_with_hoisted_inputs_matches_reference(trained, blob_data):
+    """Precomputed quantized/clean_stats still decode clean weights for patching."""
+    from repro.eval.robust_error import model_error_and_confidence
+    from repro.quant.qat import quantize_model
+
+    _, test = blob_data
+    model, quantizer = trained
+    fields = make_error_fields(model.num_parameters(), 8, 4, seed=23)
+    quantized = quantize_model(model, quantizer)
+    clean_weights = quantizer.dequantize(quantized)
+    clean_stats = model_error_and_confidence(model, clean_weights, test, 64)
+    hoisted = evaluate_robust_error(
+        model, quantizer, test, 0.01, error_fields=fields,
+        quantized=quantized, clean_stats=clean_stats,
+    )
+    reference = evaluate_robust_error(
+        model, quantizer, test, 0.01, error_fields=fields, fused=False
+    )
+    assert hoisted.errors == reference.errors
+    assert hoisted.confidence_perturbed == reference.confidence_perturbed
+
+
+def test_fused_evaluation_leaves_model_weights_clean(trained, blob_data):
+    """Per-draw patching restores every parameter tensor exactly."""
+    _, test = blob_data
+    model, quantizer = trained
+    before = [param.data.copy() for param in model.parameters()]
+    evaluate_robust_error(model, quantizer, test, 0.02, num_samples=3, seed=31)
+    for param, original in zip(model.parameters(), before):
+        np.testing.assert_array_equal(param.data, original)
+
+
+def test_fused_field_precision_mismatch_raises(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    wrong = make_error_fields(model.num_parameters(), 4, 1, seed=2)
+    with pytest.raises(ValueError, match="precision"):
+        evaluate_robust_error(model, quantizer, test, 0.01, error_fields=wrong)
+
+
+def test_batch_size_must_be_positive(trained, blob_data):
+    from repro.eval.robust_error import model_error_and_confidence
+    from repro.quant.qat import model_weight_arrays
+
+    _, test = blob_data
+    model, quantizer = trained
+    weights = model_weight_arrays(model)
+    for bad in (0, -4):
+        with pytest.raises(ValueError, match="batch_size"):
+            model_error_and_confidence(model, weights, test, bad)
+        with pytest.raises(ValueError, match="batch_size"):
+            evaluate_clean_error(model, quantizer, test, batch_size=bad)
+        with pytest.raises(ValueError, match="batch_size"):
+            evaluate_robust_error(model, quantizer, test, 0.01, batch_size=bad)

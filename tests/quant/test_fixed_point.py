@@ -332,3 +332,153 @@ def test_flat_codes_out_dtype_mismatch_raises(rng):
     quantized = quantizer.quantize([rng.normal(size=10)])
     with pytest.raises(ValueError, match="dtype"):
         quantized.flat_codes(out=np.empty(10, dtype=np.uint8))
+
+
+# -- fused single-pass encode -------------------------------------------------
+
+
+def _reference_encode(weights, q_min, q_max, scheme):
+    """The historical elementwise-temporary encode chain, kept as ground truth."""
+    weights = np.asarray(weights, dtype=np.float64)
+    levels = scheme.levels
+    if scheme.asymmetric:
+        values = (weights - q_min) / (q_max - q_min) * 2.0 - 1.0
+    else:
+        scale = max(abs(q_min), abs(q_max))
+        values = weights / scale
+    values = np.clip(values, -1.0, 1.0)
+    scaled = values * levels
+    integers = np.rint(scaled) if scheme.rounding else np.trunc(scaled)
+    integers = np.clip(integers, -levels, levels).astype(np.int64)
+    if scheme.unsigned:
+        codes = integers + levels
+    else:
+        codes = np.mod(integers, scheme.num_codes)
+    dtype = np.uint8 if scheme.precision <= 8 else np.uint16
+    return codes.astype(dtype)
+
+
+def _edge_case_weights(q_min, q_max, rng):
+    """Weights hitting every encode edge: boundaries, overflow, zeros, ties."""
+    span = q_max - q_min
+    return np.concatenate(
+        [
+            rng.normal(0.0, max(abs(q_min), abs(q_max)), size=400),
+            np.array(
+                [
+                    q_min,
+                    q_max,
+                    q_min - span,  # clipped below
+                    q_max + span,  # clipped above
+                    0.0,
+                    -0.0,
+                    (q_min + q_max) / 2.0,  # rounding tie candidates
+                    np.nextafter(q_min, q_max),
+                    np.nextafter(q_max, q_min),
+                ]
+            ),
+        ]
+    )
+
+
+@pytest.mark.parametrize("precision", [2, 3, 8, 12, 16])
+@pytest.mark.parametrize("asymmetric", [False, True])
+@pytest.mark.parametrize("unsigned", [False, True])
+@pytest.mark.parametrize("rounding", [False, True])
+def test_fused_encode_matches_reference_all_schemes(
+    precision, asymmetric, unsigned, rounding, rng
+):
+    scheme = QuantizationScheme(
+        precision=precision,
+        asymmetric=asymmetric,
+        unsigned=unsigned,
+        rounding=rounding,
+    )
+    for q_min, q_max in [(-1.0, 1.0), (-0.37, 0.81), (0.1, 0.9), (-2.5, -0.5)]:
+        weights = _edge_case_weights(q_min, q_max, rng)
+        expected = _reference_encode(weights, q_min, q_max, scheme)
+        actual = encode_array(weights, q_min, q_max, scheme)
+        assert actual.dtype == expected.dtype
+        np.testing.assert_array_equal(actual, expected)
+
+
+def test_fused_encode_out_and_scratch_buffers(rng):
+    scheme = QuantizationScheme(precision=8)
+    weights = rng.normal(0.0, 1.0, size=(13, 7))
+    q_min, q_max = weight_range(weights, scheme.asymmetric)
+    expected = encode_array(weights, q_min, q_max, scheme)
+    out = np.empty(weights.shape, dtype=np.uint8)
+    scratch = np.empty(weights.shape, dtype=np.float64)
+    result = encode_array(weights, q_min, q_max, scheme, out=out, scratch=scratch)
+    assert result is out
+    np.testing.assert_array_equal(result, expected)
+    # Buffers are reusable across calls with fresh inputs.
+    shifted = weights + 0.1
+    lo2, hi2 = weight_range(shifted, scheme.asymmetric)
+    result2 = encode_array(shifted, lo2, hi2, scheme, out=out, scratch=scratch)
+    np.testing.assert_array_equal(result2, encode_array(shifted, lo2, hi2, scheme))
+
+
+def test_fused_encode_signed_out_buffer(rng):
+    scheme = QuantizationScheme(precision=8, unsigned=False, asymmetric=False)
+    weights = rng.normal(0.0, 1.0, size=64)
+    q_min, q_max = weight_range(weights, scheme.asymmetric)
+    out = np.empty(weights.shape, dtype=np.uint8)
+    result = encode_array(weights, q_min, q_max, scheme, out=out)
+    assert result is out
+    np.testing.assert_array_equal(out, _reference_encode(weights, q_min, q_max, scheme))
+
+
+def test_fused_encode_buffer_validation(rng):
+    scheme = QuantizationScheme(precision=8)
+    weights = rng.normal(size=10)
+    q_min, q_max = weight_range(weights, scheme.asymmetric)
+    with pytest.raises(ValueError, match="out"):
+        encode_array(weights, q_min, q_max, scheme, out=np.empty(9, dtype=np.uint8))
+    with pytest.raises(ValueError, match="out"):
+        encode_array(weights, q_min, q_max, scheme, out=np.empty(10, dtype=np.uint16))
+    with pytest.raises(ValueError, match="scratch"):
+        encode_array(weights, q_min, q_max, scheme, scratch=np.empty(9))
+    with pytest.raises(ValueError, match="scratch"):
+        encode_array(
+            weights, q_min, q_max, scheme, scratch=np.empty(10, dtype=np.float32)
+        )
+    with pytest.raises(ValueError, match="alias"):
+        encode_array(weights, q_min, q_max, scheme, scratch=weights)
+
+
+def test_fused_encode_does_not_mutate_input(rng):
+    scheme = QuantizationScheme(precision=8)
+    weights = rng.normal(size=50)
+    original = weights.copy()
+    q_min, q_max = weight_range(weights, scheme.asymmetric)
+    encode_array(weights, q_min, q_max, scheme)
+    np.testing.assert_array_equal(weights, original)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    weights=hnp.arrays(
+        np.float64,
+        hnp.array_shapes(max_dims=2, max_side=20),
+        elements=st.floats(-10.0, 10.0, allow_nan=False),
+    ),
+    precision=st.integers(2, 16),
+    asymmetric=st.booleans(),
+    unsigned=st.booleans(),
+    rounding=st.booleans(),
+)
+def test_property_fused_encode_matches_reference(
+    weights, precision, asymmetric, unsigned, rounding
+):
+    scheme = QuantizationScheme(
+        precision=precision,
+        asymmetric=asymmetric,
+        unsigned=unsigned,
+        rounding=rounding,
+    )
+    q_min, q_max = weight_range(weights, asymmetric)
+    np.testing.assert_array_equal(
+        encode_array(weights, q_min, q_max, scheme),
+        _reference_encode(weights, q_min, q_max, scheme),
+    )

@@ -118,3 +118,49 @@ def test_executor_context_ships_once_per_worker(grid):
 def test_invalid_start_method_raises_at_construction():
     with pytest.raises(ValueError, match="start_method"):
         ParallelExecutor(max_workers=2, start_method="forkserve")  # typo
+
+
+@pytest.mark.parametrize("chunk_size", [1, 2, 3])
+def test_chunked_injection_is_result_identical(grid, chunk_size):
+    reference = run_sweep(grid(), executor=SerialExecutor())
+    chunked = run_sweep(grid(), executor=SerialExecutor(chunk_size=chunk_size))
+    assert chunked == reference
+
+
+def test_chunk_size_threads_through_parallel_degradation(grid, monkeypatch):
+    import multiprocessing
+
+    def broken_context(*args, **kwargs):
+        raise OSError("no POSIX semaphores on this host")
+
+    monkeypatch.setattr(multiprocessing, "get_context", broken_context)
+    chunked = run_sweep(grid(), executor=ParallelExecutor(max_workers=4, chunk_size=2))
+    assert chunked == run_sweep(grid(), executor=SerialExecutor())
+
+
+@pytest.mark.slow
+def test_parallel_chunked_matches_serial(grid):
+    parallel = run_sweep(
+        grid(), executor=ParallelExecutor(max_workers=2, chunk_size=1)
+    )
+    assert parallel == run_sweep(grid(), executor=SerialExecutor())
+
+
+def test_executor_chunk_size_validation():
+    with pytest.raises(ValueError, match="chunk_size"):
+        SerialExecutor(chunk_size=0)
+    with pytest.raises(ValueError, match="chunk_size"):
+        ParallelExecutor(max_workers=2, chunk_size=0)
+
+
+def test_model_entry_clean_weights_memoized_and_not_pickled(grid):
+    import pickle
+
+    spec = grid()
+    entry = spec.models["m"]
+    first = entry.clean_weights()
+    assert entry.clean_weights() is first  # memoized per process
+    for ours, reference in zip(first, entry.quantizer.dequantize(entry.quantized)):
+        np.testing.assert_array_equal(ours, reference)
+    shipped = pickle.loads(pickle.dumps(entry))
+    assert shipped._clean_weights_cache is None  # decoded per worker, not shipped
