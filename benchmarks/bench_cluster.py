@@ -1,0 +1,182 @@
+"""Macrobenchmark: serial vs. distributed (cluster) sweep execution.
+
+Builds a Fig. 7-shaped synthetic RErr grid — one MLP, ``--rates`` bit error
+rates x ``--fields`` pre-determined error fields — and executes the identical
+:class:`~repro.runtime.spec.SweepSpec` through the serial reference executor
+and through :class:`~repro.cluster.ClusterExecutor`, which shards the job
+groups into an atomically-leased filesystem queue served by ``--workers``
+local worker daemons (separate processes, coordinating through the run
+directory alone — exactly how a multi-host fleet would).
+
+Before any timing is reported the merged cluster results are checked for
+**exact** equality with the serial run (cell for cell, plus one
+duplicate-free canonical ``results.jsonl`` line per cell), so the speedup is
+never bought with divergence or double counting.
+
+**Acceptance criterion: >= 2x wall-clock speedup with 4 worker daemons** on
+the full synthetic grid.  The check is skipped when the host has fewer CPUs
+than workers — the subsystem degrades gracefully there, but the assertion
+would only measure oversubscription.
+
+Run the full benchmark (tens of seconds on >= 4 cores)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+
+Fast smoke mode for CI (tiny grid, 2 daemons, completion + bit-parity
+asserted, no speedup assertion)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.biterror import make_error_fields
+from repro.cluster import ClusterExecutor
+from repro.data import make_blob_dataset, train_test_split
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+from repro.quant.qat import quantize_model
+from repro.runtime import ResultStore, SerialExecutor, SweepSpec, run_sweep
+from repro.utils.tables import Table
+
+
+def build_spec(args):
+    """One synthetic sweep spec (fresh object per run, identical content)."""
+    dataset = make_blob_dataset(
+        num_classes=6,
+        samples_per_class=args.samples,
+        num_features=32,
+        separation=2.5,
+        rng=np.random.default_rng(0),
+    )
+    _, test = train_test_split(dataset, test_fraction=0.5, rng=np.random.default_rng(1))
+    model = MLP(
+        in_features=32, num_classes=6, hidden=(args.hidden, args.hidden),
+        rng=np.random.default_rng(2),
+    )
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantize_model(model, quantizer)
+    fields = make_error_fields(
+        quantized.num_weights, 8, args.fields, seed=3, backend="sparse"
+    )
+    rates = np.linspace(0.002, 0.05, args.rates)
+    spec = SweepSpec(test, batch_size=64)
+    spec.add_model("mlp", model, quantizer, quantized)
+    spec.add_field_set("fields", fields)
+    for rate in rates:
+        spec.add_field_jobs("mlp", "fields", float(rate))
+    return spec
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rates", type=int, default=24,
+                        help="number of bit error rates in the grid")
+    parser.add_argument("--fields", type=int, default=8,
+                        help="number of error fields (chips) per rate")
+    parser.add_argument("--samples", type=int, default=2400,
+                        help="synthetic samples per class")
+    parser.add_argument("--hidden", type=int, default=256,
+                        help="hidden width of the evaluated MLP")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="local worker daemons for the cluster run")
+    parser.add_argument("--run-dir", default=None,
+                        help="cluster run directory (default: fresh temp dir)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fast run for CI; 2 daemons, parity asserted, "
+                             "no speedup assertion")
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.rates = min(args.rates, 3)
+        args.fields = min(args.fields, 2)
+        args.samples = min(args.samples, 60)
+        args.hidden = min(args.hidden, 24)
+        args.workers = min(args.workers, 2)
+
+    cells = args.rates * args.fields + 1  # + the hoisted clean cell
+    print(f"synthetic grid: {args.rates} rates x {args.fields} fields "
+          f"({cells} cells), {args.workers} worker daemon(s), "
+          f"host CPUs: {os.cpu_count()}")
+
+    serial_spec = build_spec(args)
+    start = time.perf_counter()
+    serial_results = run_sweep(serial_spec, executor=SerialExecutor())
+    serial_time = time.perf_counter() - start
+
+    run_dir = args.run_dir or tempfile.mkdtemp(prefix="bench-cluster-")
+    try:
+        executor = ClusterExecutor(
+            run_dir=run_dir,
+            max_workers=args.workers,
+            lease_timeout=30.0,
+            poll_interval=0.02,
+        )
+        start = time.perf_counter()
+        cluster_results = run_sweep(build_spec(args), executor=executor)
+        cluster_time = time.perf_counter() - start
+
+        # -- exactness gates (before any timing is reported) ------------------
+        mismatched = [
+            key for key, cell in serial_results.items()
+            if cluster_results.get(key) != cell
+        ]
+        if mismatched or set(serial_results) != set(cluster_results):
+            print(f"FAIL: cluster results diverge from serial on "
+                  f"{len(mismatched) or 'missing'} cells")
+            return 1
+        store = ResultStore(run_dir)
+        if any(store.get(k) != cell for k, cell in serial_results.items()):
+            print("FAIL: merged canonical store diverges from the serial run")
+            return 1
+        with open(os.path.join(run_dir, "results.jsonl")) as handle:
+            keys = [json.loads(line)["key"] for line in handle if line.strip()]
+        if len(keys) != len(set(keys)) or set(keys) != set(serial_results):
+            print(f"FAIL: canonical results.jsonl is not duplicate-free and "
+                  f"complete ({len(keys)} lines, {len(set(keys))} distinct, "
+                  f"{len(serial_results)} expected)")
+            return 1
+    finally:
+        if args.run_dir is None:
+            shutil.rmtree(run_dir, ignore_errors=True)
+
+    speedup = serial_time / max(cluster_time, 1e-12)
+    table = Table(
+        title="cluster sweep throughput (one full synthetic grid)",
+        headers=["executor", "wall [s]", "cells/s", "speedup"],
+        float_digits=3,
+    )
+    table.add_row("serial", serial_time, cells / serial_time, "1.0x")
+    table.add_row(f"cluster ({args.workers} daemons)", cluster_time,
+                  cells / cluster_time, f"{speedup:.1f}x")
+    print("\n" + table.render() + "\n")
+
+    if args.smoke:
+        print("smoke mode: sweep completed, results bit-identical to serial; "
+              "skipping speedup assertion")
+        return 0
+    if (os.cpu_count() or 1) < args.workers:
+        print(f"only {os.cpu_count()} CPU(s): skipping the >=2x assertion "
+              f"(criterion is defined at {args.workers} daemons on >= "
+              f"{args.workers} cores)")
+        return 0
+    if speedup < 2.0:
+        print(f"FAIL: speedup {speedup:.2f}x below the 2x criterion "
+              f"at {args.workers} worker daemons")
+        return 1
+    print(f"OK: {speedup:.1f}x >= 2x speedup at {args.workers} worker daemons, "
+          "results bit-identical, merge duplicate-free")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -401,6 +401,45 @@ class ChipProfile:
             )
         return quantized.with_flat_codes(corrupted, copy=False), touched
 
+    def delta_apply(
+        self, quantized: QuantizedWeights, rate: float, offset: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Corrupted codes restricted to the fault-hit weights.
+
+        Returns ``(touched, values)`` where ``touched`` holds the sorted
+        distinct flat weight indices with at least one payload bit on a
+        faulty cell and ``values[i]`` equals
+        ``self.apply_to_quantized(quantized, rate, offset).flat_codes()[touched[i]]``
+        exactly.  Nothing code-shaped is materialized: past the fault
+        enumeration, cost and memory are ``O(hits)``, not ``O(W)`` — the
+        profiled-chip counterpart of
+        :meth:`repro.biterror.backends.InjectionBackend.delta_apply`, which
+        lets profiled sweeps ride the same O(errors) fused evaluation path
+        as random bit errors.  Works on both chip backends (the sparse
+        backend enumerates faults in ``O(rate * capacity)``, the dense one
+        in ``O(capacity)`` — but neither copies or unpacks the codes).
+        """
+        flat = quantized.flat_codes(copy=False)
+        precision = quantized.scheme.precision
+        idx, stuck = self._payload_hits(rate, offset, flat.size * precision)
+        weight_idx = idx // precision
+        touched = sorted_unique(weight_idx)
+        # The unpack-repack reference drops bits at or above ``precision``;
+        # stored codes never carry them, but masking keeps the contract
+        # "values equal the full corruption at the touched indices" exact.
+        keep_mask = (1 << precision) - 1
+        values = (flat[touched].astype(np.int64) & keep_mask).astype(flat.dtype)
+        if idx.size:
+            compressed = np.searchsorted(touched, weight_idx)
+            bits = (1 << (idx % precision)).astype(values.dtype)
+            # Same operation order as the full-corruption path: OR all
+            # stuck-at-1 bits, then AND-clear all stuck-at-0 bits.  Each
+            # payload bit is hit by at most one cell, so the two passes
+            # never fight over a bit.
+            np.bitwise_or.at(values, compressed[stuck], bits[stuck])
+            np.bitwise_and.at(values, compressed[~stuck], np.bitwise_not(bits[~stuck]))
+        return touched, values
+
     def observed_bit_error_rate(
         self, quantized: QuantizedWeights, rate: float, offset: int = 0
     ) -> float:

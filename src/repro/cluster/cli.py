@@ -1,0 +1,217 @@
+"""Command-line interface of the cluster subsystem.
+
+Everything an operator needs to run a distributed sweep by hand — the same
+primitives :class:`~repro.cluster.coordinator.ClusterExecutor` drives
+programmatically::
+
+    # on one host: publish a pickled SweepSpec into a shared run directory
+    python -m repro.cluster submit runs/fig7 --spec fig7_spec.pkl
+
+    # on every worker host (any number, any time; shared filesystem only)
+    python -m repro.cluster worker runs/fig7
+
+    # anywhere: watch progress, recover crashed workers' leases
+    python -m repro.cluster status runs/fig7
+
+    # when (or while) workers run: fold shards into the canonical results
+    python -m repro.cluster merge runs/fig7
+
+    # long-lived run directories: drop duplicate log lines, collect debris
+    python -m repro.cluster compact runs/fig7
+    python -m repro.cluster gc runs/fig7
+
+``submit`` takes a pickled :class:`~repro.runtime.spec.SweepSpec` (build it
+in Python with the usual ``SweepSpec`` API and ``pickle.dump`` it) because a
+spec is a program-level object; scripted pipelines normally skip the CLI and
+call :func:`repro.cluster.submit_spec` / ``ClusterExecutor`` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import sys
+from typing import Optional, Sequence
+
+from repro.runtime.spec import SweepSpec
+from repro.runtime.store import ResultStore
+
+from repro.cluster.broker import read_manifest, submit_spec
+from repro.cluster.merge import compact_results, gc_run_dir, merge_shards
+from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue
+from repro.cluster.worker import worker_loop
+
+__all__ = ["main"]
+
+
+def _cmd_submit(args) -> int:
+    with open(args.spec, "rb") as handle:
+        spec = pickle.load(handle)
+    if not isinstance(spec, SweepSpec):
+        print(f"error: {args.spec} does not hold a pickled SweepSpec", file=sys.stderr)
+        return 2
+    submission = submit_spec(
+        args.run_dir,
+        spec,
+        chunk_size=args.chunk_size,
+        lease_timeout=args.lease_timeout,
+    )
+    print(
+        f"submitted {len(submission.enqueued)} new item(s) to {submission.run_dir} "
+        f"({len(submission.skipped)} already queued/done, "
+        f"{len(submission.cached_keys)} cell(s) already stored)"
+    )
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.cluster.worker import CRASH_AFTER_CLAIM_ENV
+
+    crash_after_claim = os.environ.get(CRASH_AFTER_CLAIM_ENV)
+    stats = worker_loop(
+        args.run_dir,
+        worker_id=args.id,
+        lease_timeout=args.lease_timeout,
+        poll_interval=args.poll,
+        max_idle=args.max_idle,
+        max_items=args.max_items,
+        exit_when_drained=not args.serve,
+        crash_after_claim=int(crash_after_claim) if crash_after_claim else None,
+    )
+    print(
+        f"worker {stats.worker_id}: {stats.items} item(s), {stats.cells} cell(s), "
+        f"{stats.requeued} expired lease(s) requeued, "
+        f"{stats.lost_leases} lease(s) lost"
+    )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    run_dir = os.path.abspath(args.run_dir)
+    queue = JobQueue(run_dir)
+    counts = queue.counts()
+    store = ResultStore(run_dir)
+    manifest = read_manifest(run_dir) or {}
+    expected = manifest.get("expected_keys") or []
+    stored = sum(1 for key in expected if key in store) if expected else len(store)
+    from repro.cluster.coordinator import live_worker_ids
+
+    live = live_worker_ids(run_dir, ttl=args.worker_ttl)
+    print(f"run dir: {run_dir}")
+    print(
+        f"queue: {counts['pending']} pending, {counts['leased']} leased, "
+        f"{counts['done']} done"
+    )
+    if expected:
+        print(f"results: {stored}/{len(expected)} expected cells stored")
+    else:
+        print(f"results: {len(store)} cells stored")
+    print(f"workers: {len(live)} live ({', '.join(live) if live else 'none'})")
+    if args.requeue_expired:
+        requeued = queue.requeue_expired()
+        print(f"requeued {len(requeued)} expired lease(s)")
+    complete = bool(expected) and stored == len(expected)
+    print(f"status: {'complete' if complete else 'in progress'}")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    stats = merge_shards(args.run_dir)
+    print(
+        f"merged {stats.merged} new cell(s) from {stats.shards} shard(s) "
+        f"({stats.duplicates} duplicate(s) skipped)"
+    )
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    from repro.cluster.coordinator import live_worker_ids
+
+    live = live_worker_ids(args.run_dir, ttl=args.worker_ttl)
+    if live and not args.force:
+        print(
+            f"error: {len(live)} live worker(s) attached ({', '.join(live)}); "
+            "compaction must not race an active writer — wait for the run to "
+            "quiesce or pass --force",
+            file=sys.stderr,
+        )
+        return 2
+    stats = compact_results(args.run_dir)
+    print(
+        f"compacted results.jsonl: {stats.lines_before} -> {stats.lines_after} "
+        f"line(s) ({stats.duplicates_dropped} duplicate(s), "
+        f"{stats.malformed_dropped} malformed dropped)"
+    )
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    stats = gc_run_dir(args.run_dir, worker_ttl=args.worker_ttl)
+    print(
+        f"gc: merged {stats.merge.merged} cell(s), removed "
+        f"{stats.done_items_removed} done item(s), {stats.shards_removed} "
+        f"shard(s), {stats.beacons_removed} stale beacon(s)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Distributed sweep execution over a shared filesystem.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("submit", help="publish a pickled SweepSpec as work items")
+    p.add_argument("run_dir")
+    p.add_argument("--spec", required=True, help="path to a pickled SweepSpec")
+    p.add_argument("--chunk-size", type=int, default=None)
+    p.add_argument("--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT)
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("worker", help="serve the queue: claim, execute, append")
+    p.add_argument("run_dir")
+    p.add_argument("--id", default=None, help="worker id (default host-pid)")
+    p.add_argument("--poll", type=float, default=0.2, help="claim poll seconds")
+    p.add_argument("--lease-timeout", type=float, default=None,
+                   help="override the run's lease timeout")
+    p.add_argument("--max-idle", type=float, default=None,
+                   help="exit after this many idle seconds")
+    p.add_argument("--max-items", type=int, default=None)
+    p.add_argument("--serve", action="store_true",
+                   help="keep serving after the queue drains (daemon mode)")
+    p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser("status", help="queue / results / worker overview")
+    p.add_argument("run_dir")
+    p.add_argument("--worker-ttl", type=float, default=DEFAULT_LEASE_TIMEOUT,
+                   help="beacon freshness horizon for liveness")
+    p.add_argument("--requeue-expired", action="store_true",
+                   help="also requeue expired leases")
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("merge", help="fold worker shards into results.jsonl")
+    p.add_argument("run_dir")
+    p.set_defaults(func=_cmd_merge)
+
+    p = sub.add_parser("compact", help="rewrite results.jsonl without duplicates "
+                                       "(requires a quiesced run directory)")
+    p.add_argument("run_dir")
+    p.add_argument("--worker-ttl", type=float, default=DEFAULT_LEASE_TIMEOUT,
+                   help="beacon freshness horizon for the live-writer guard")
+    p.add_argument("--force", action="store_true",
+                   help="compact even with live workers attached (unsafe)")
+    p.set_defaults(func=_cmd_compact)
+
+    p = sub.add_parser("gc", help="merge shards, then collect run-dir debris")
+    p.add_argument("run_dir")
+    p.add_argument("--worker-ttl", type=float, default=300.0,
+                   help="beacons older than this are considered dead")
+    p.set_defaults(func=_cmd_gc)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,305 @@
+"""Store tooling: merge worker shards into the canonical results, compact, gc.
+
+Every cluster worker appends completed cells to its own shard
+(``<run_dir>/shards/worker-<id>.jsonl``) — single-writer files, so no cross
+host append races exist.  This module folds those shards into the canonical
+:class:`~repro.runtime.store.ResultStore` log (``results.jsonl``):
+
+* :func:`merge_shards` is **idempotent by construction** — records are keyed
+  by their content key and :meth:`ResultStore.put` no-ops on keys it already
+  holds, so re-running a merge (or merging shards holding duplicate cells
+  from a requeued-then-finished-twice group) never duplicates a result;
+* :class:`ShardTail` gives the coordinator incremental merging: it remembers
+  a per-file byte offset and only parses complete new lines, tolerating a
+  shard whose writer is mid-append;
+* :func:`compact_results` rewrites a long-lived ``results.jsonl`` atomically,
+  dropping duplicate keys and malformed lines (the ROADMAP's compaction
+  follow-on) — the store's load-time semantics are unchanged, only the log
+  shrinks;
+* :func:`gc_run_dir` removes the run-directory debris a long campaign
+  accumulates: done queue items, fully-merged shards, and stale worker
+  beacons.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.runtime.spec import CellResult
+from repro.runtime.store import RESULTS_FILENAME, ResultStore
+from repro.utils.serialization import atomic_write_text, read_jsonl
+
+from repro.cluster.broker import SHARDS_DIRNAME, WORKERS_DIRNAME
+from repro.cluster.queue import JobQueue
+
+__all__ = [
+    "ShardTail",
+    "discover_shards",
+    "merge_records",
+    "merge_shards",
+    "compact_results",
+    "gc_run_dir",
+    "MergeStats",
+    "CompactStats",
+    "GcStats",
+]
+
+
+def discover_shards(run_dir: str) -> List[str]:
+    """Paths of every worker shard in ``run_dir``, sorted for determinism."""
+    shards_dir = os.path.join(os.path.abspath(run_dir), SHARDS_DIRNAME)
+    try:
+        names = os.listdir(shards_dir)
+    except FileNotFoundError:
+        return []
+    return sorted(
+        os.path.join(shards_dir, name)
+        for name in names
+        if name.endswith(".jsonl")
+    )
+
+
+class ShardTail:
+    """Incremental reader of one append-only shard file.
+
+    ``read_new`` returns the complete records appended since the last call.
+    The offset only advances past newline-terminated lines, so a record the
+    writer is still flushing is picked up whole on a later call instead of
+    being half-parsed — the property the coordinator's poll loop relies on.
+    A shard that shrinks (recreated after gc) resets the tail to the start.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.offset = 0
+
+    def read_new(self) -> List[dict]:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self.offset:
+            self.offset = 0  # truncated/recreated shard: re-read from scratch
+        if size == self.offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            chunk = handle.read(size - self.offset)
+        last_newline = chunk.rfind(b"\n")
+        if last_newline < 0:
+            return []  # only a partial line so far; keep the offset
+        complete, self.offset = chunk[: last_newline + 1], self.offset + last_newline + 1
+        records = []
+        for line in complete.split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+
+def _record_result(record: dict) -> Optional[CellResult]:
+    key = record.get("key")
+    if not isinstance(key, str):
+        return None
+    try:
+        return CellResult(
+            error=float(record["error"]), confidence=float(record["confidence"])
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+@dataclass
+class MergeStats:
+    """Outcome of one :func:`merge_shards` pass."""
+
+    shards: int = 0
+    records: int = 0  # intact records seen across shards
+    merged: int = 0  # new keys appended to the canonical store
+    duplicates: int = 0  # records whose key was already stored
+
+
+def merge_records(store: ResultStore, records, stats: Optional[MergeStats] = None):
+    """Fold shard-shaped ``records`` into ``store``, deduplicating by key.
+
+    The single merge body behind :func:`merge_shards` and the coordinator's
+    incremental tailing: malformed records are skipped, keys the store
+    already holds count as duplicates, and worker annotations (everything
+    beyond the result fields) are forwarded as record metadata.
+    """
+    stats = MergeStats() if stats is None else stats
+    for record in records:
+        result = _record_result(record)
+        if result is None:
+            continue
+        stats.records += 1
+        if record["key"] in store:
+            stats.duplicates += 1
+        else:
+            metadata = {
+                k: v
+                for k, v in record.items()
+                if k not in ("key", "error", "confidence")
+            }
+            store.put(record["key"], result, metadata=metadata or None)
+            stats.merged += 1
+    return stats
+
+
+def merge_shards(
+    run_dir: str, store: Optional[ResultStore] = None, remove: bool = False
+) -> MergeStats:
+    """Fold every worker shard into the canonical ``results.jsonl``.
+
+    Content keys dedupe: a key already in the store (from an earlier merge,
+    a previous run, or another shard) is counted as a duplicate and not
+    re-appended, which makes the merge idempotent under re-runs and immune
+    to at-least-once execution.  With ``remove=True`` fully-merged shard
+    files are deleted afterwards (only safe once their writers have exited;
+    the gc command gates on that).
+    """
+    store = ResultStore(run_dir) if store is None else store
+    stats = MergeStats()
+    for path in discover_shards(run_dir):
+        stats.shards += 1
+        merge_records(store, read_jsonl(path), stats)
+        if remove:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+    return stats
+
+
+@dataclass
+class CompactStats:
+    """Outcome of one :func:`compact_results` pass."""
+
+    lines_before: int = 0
+    lines_after: int = 0
+    duplicates_dropped: int = 0
+    malformed_dropped: int = 0
+
+
+def compact_results(run_dir: str) -> CompactStats:
+    """Rewrite ``results.jsonl`` keeping one line per content key.
+
+    First-wins (matching :class:`ResultStore`'s append-only no-op-on-rewrite
+    semantics), malformed lines are dropped, and the rewrite is atomic — a
+    reader or crash mid-compaction sees either the old or the new log, never
+    a torn one.  Loadable state is unchanged; only the log shrinks.
+
+    **Quiesce requirement**: compaction is safe against readers and crashes
+    but not against concurrent *appenders* — a record appended between the
+    read and the atomic replace would be lost from the log (its shard copy
+    survives and the next merge restores it, but until then the canonical
+    store under-reports).  Run it only while no coordinator or merge is
+    writing to the run directory; the CLI refuses when live worker beacons
+    are present.
+    """
+    run_dir = os.path.abspath(run_dir)
+    path = os.path.join(run_dir, RESULTS_FILENAME)
+    stats = CompactStats()
+    if not os.path.exists(path):
+        return stats
+    with open(path, "r", encoding="utf-8") as handle:
+        raw_lines = [line for line in handle if line.strip()]
+    stats.lines_before = len(raw_lines)
+    kept: List[str] = []
+    seen: Dict[str, bool] = {}
+    for line in raw_lines:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            stats.malformed_dropped += 1
+            continue
+        if not isinstance(record, dict) or _record_result(record) is None:
+            stats.malformed_dropped += 1
+            continue
+        key = record["key"]
+        if key in seen:
+            stats.duplicates_dropped += 1
+            continue
+        seen[key] = True
+        kept.append(json.dumps(record, sort_keys=True))
+    stats.lines_after = len(kept)
+    atomic_write_text(path, "".join(line + "\n" for line in kept))
+    return stats
+
+
+@dataclass
+class GcStats:
+    """Outcome of one :func:`gc_run_dir` pass."""
+
+    done_items_removed: int = 0
+    shards_removed: int = 0
+    beacons_removed: int = 0
+    merge: MergeStats = field(default_factory=MergeStats)
+
+
+def gc_run_dir(
+    run_dir: str,
+    worker_ttl: float = 300.0,
+    now: Optional[float] = None,
+) -> GcStats:
+    """Garbage-collect a long-lived run directory.
+
+    Merges every shard first (so nothing is lost), then removes done queue
+    items, merged shard files whose writers look gone (no beacon fresher
+    than ``worker_ttl``), and stale worker beacons.  Pending and leased
+    items, the context, the manifest and the canonical results are never
+    touched — gc never loses work or results.
+    """
+    import time
+
+    run_dir = os.path.abspath(run_dir)
+    now = time.time() if now is None else float(now)
+    stats = GcStats()
+    stats.merge = merge_shards(run_dir)
+
+    queue = JobQueue(run_dir)
+    for item_id in queue.done_ids():
+        try:
+            os.unlink(os.path.join(queue.queue_dir, "done", item_id + ".json"))
+            stats.done_items_removed += 1
+        except OSError:
+            pass
+
+    workers_dir = os.path.join(run_dir, WORKERS_DIRNAME)
+    live_workers = False
+    if os.path.isdir(workers_dir):
+        for name in os.listdir(workers_dir):
+            beacon = os.path.join(workers_dir, name)
+            try:
+                age = now - os.stat(beacon).st_mtime
+            except OSError:
+                continue
+            if age > worker_ttl:
+                try:
+                    os.unlink(beacon)
+                    stats.beacons_removed += 1
+                except OSError:
+                    pass
+            else:
+                live_workers = True
+
+    if not live_workers:
+        # No live writers: merged shards are safe to drop (their contents
+        # are in the canonical store; a returning writer recreates its
+        # shard and the next merge dedupes any replayed cells).
+        for path in discover_shards(run_dir):
+            try:
+                os.unlink(path)
+                stats.shards_removed += 1
+            except OSError:
+                pass
+    return stats

@@ -1,0 +1,255 @@
+"""Atomically-leased filesystem job queue: the cluster's coordination core.
+
+Workers that share nothing but a filesystem coordinate through three
+directories under ``<run_dir>/queue/``::
+
+    queue/
+        pending/<item>.json    # claimable work items (one job group each)
+        leased/<item>.json     # claimed; the file's mtime is the heartbeat
+        done/<item>.json       # completed (results live in the shards)
+
+Every state transition is a single :func:`os.rename` of the item file —
+atomic on POSIX filesystems — so exactly one claimant wins a race and a
+crash can never leave an item in two states or in none:
+
+* **claim**: ``pending/x.json -> leased/x.json``.  Losers get
+  ``FileNotFoundError`` and move on to the next candidate.  The winner
+  immediately touches the file, starting its lease.
+* **heartbeat**: ``os.utime`` on the leased file.  Workers heartbeat from a
+  background thread while executing, so a long group never looks abandoned.
+* **expiry / requeue**: any process may move a leased item whose mtime is
+  older than the lease timeout back to ``pending/`` — a SIGKILLed worker's
+  groups are retried elsewhere.  If the original worker was merely slow and
+  finishes anyway, its completion rename simply fails (the lease was lost)
+  and its shard records are deduplicated by content key on merge, so the
+  protocol is at-least-once with exactly-once *results*.
+* **complete**: ``leased/x.json -> done/x.json`` — only after the worker has
+  flushed the group's results to its shard, so a completed item always has
+  durable results.
+
+Item payloads are small JSON documents (the serialized
+:class:`~repro.runtime.spec.EvalJob` records of one executor group), written
+atomically so readers on other hosts never observe partial files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.utils.serialization import atomic_write_json
+
+__all__ = ["JobQueue", "WorkItem", "DEFAULT_LEASE_TIMEOUT"]
+
+#: Seconds a leased item may go without a heartbeat before any process may
+#: requeue it.  Generous relative to the heartbeat interval (a quarter of
+#: it) so transient stalls don't cause spurious requeues.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+STATES = (PENDING, LEASED, DONE)
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One claimed queue item: its id and deserialized payload."""
+
+    item_id: str
+    payload: Dict[str, object]
+
+
+class JobQueue:
+    """The claim-by-rename job queue of one cluster run directory.
+
+    Parameters
+    ----------
+    run_dir:
+        The shared run directory; the queue lives under ``<run_dir>/queue/``.
+    lease_timeout:
+        Seconds without a heartbeat after which a leased item is considered
+        abandoned and :meth:`requeue_expired` moves it back to pending.
+    """
+
+    def __init__(self, run_dir: str, lease_timeout: float = DEFAULT_LEASE_TIMEOUT):
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
+        self.run_dir = os.path.abspath(run_dir)
+        self.queue_dir = os.path.join(self.run_dir, "queue")
+        self.lease_timeout = float(lease_timeout)
+        self.ensure_layout()
+
+    # -- layout ---------------------------------------------------------------
+
+    def ensure_layout(self) -> None:
+        for state in STATES:
+            os.makedirs(os.path.join(self.queue_dir, state), exist_ok=True)
+
+    def _path(self, state: str, item_id: str) -> str:
+        return os.path.join(self.queue_dir, state, item_id + ".json")
+
+    def _ids(self, state: str) -> List[str]:
+        directory = os.path.join(self.queue_dir, state)
+        try:
+            names = os.listdir(directory)
+        except FileNotFoundError:
+            return []
+        return sorted(
+            name[: -len(".json")] for name in names if name.endswith(".json")
+        )
+
+    # -- producer side --------------------------------------------------------
+
+    def enqueue(self, item_id: str, payload: Dict[str, object]) -> bool:
+        """Publish a work item; returns ``False`` if it already exists.
+
+        Idempotent across resubmissions: an item already pending, leased or
+        done (deterministic ids make re-submitted groups collide on purpose)
+        is left untouched.  The payload is written atomically, so a claimant
+        can never read a partial item.
+        """
+        for state in STATES:
+            if os.path.exists(self._path(state, item_id)):
+                return False
+        atomic_write_json(self._path(PENDING, item_id), payload)
+        return True
+
+    # -- worker side ----------------------------------------------------------
+
+    def claim(self, worker_id: str = "") -> Optional[WorkItem]:
+        """Atomically claim one pending item, or ``None`` if none is claimable.
+
+        Candidates are tried in random order so a fleet of workers doesn't
+        stampede the same file; each attempt is one rename, and losing a
+        race just moves on to the next candidate.  The winner's lease starts
+        immediately (the claim touches the file before returning).
+        """
+        candidates = self._ids(PENDING)
+        random.shuffle(candidates)
+        for item_id in candidates:
+            pending_path = self._path(PENDING, item_id)
+            leased_path = self._path(LEASED, item_id)
+            try:
+                os.rename(pending_path, leased_path)
+            except (FileNotFoundError, PermissionError):
+                continue  # lost the race (or racing filesystem); next
+            os.utime(leased_path)  # start the lease at claim time
+            try:
+                with open(leased_path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                # Unreadable item (should be impossible with atomic writes);
+                # surface rather than silently dropping work.
+                raise RuntimeError(f"claimed item {item_id!r} is unreadable")
+            return WorkItem(item_id=item_id, payload=payload)
+        return None
+
+    def heartbeat(self, item_id: str) -> bool:
+        """Refresh the lease on ``item_id``; ``False`` if the lease is lost."""
+        try:
+            os.utime(self._path(LEASED, item_id))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def complete(self, item_id: str) -> bool:
+        """Move a leased item to done; ``False`` if the lease was lost.
+
+        Callers must flush the item's results to durable storage *before*
+        completing, so a done item always has results somewhere.
+        """
+        try:
+            os.rename(self._path(LEASED, item_id), self._path(DONE, item_id))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def release(self, item_id: str) -> bool:
+        """Voluntarily return a leased item to pending (e.g. on shutdown)."""
+        try:
+            os.rename(self._path(LEASED, item_id), self._path(PENDING, item_id))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def requeue_done(self, item_id: str) -> bool:
+        """Return a done item to pending (recovery from lost results).
+
+        Only the coordinator's last-resort path uses this — when an item is
+        marked done but its results are nowhere to be found (e.g. a shard
+        deleted before it was merged).  Re-execution is safe: results are
+        keyed by content and deduplicated on merge.
+        """
+        try:
+            os.rename(self._path(DONE, item_id), self._path(PENDING, item_id))
+            return True
+        except FileNotFoundError:
+            return False
+
+    # -- recovery -------------------------------------------------------------
+
+    def requeue_expired(self, now: Optional[float] = None) -> List[str]:
+        """Return abandoned leased items (stale heartbeat) to pending.
+
+        Any process — coordinator or worker — may call this; the rename is
+        atomic, so concurrent requeuers cannot duplicate an item.  Returns
+        the ids actually requeued.
+        """
+        now = time.time() if now is None else float(now)
+        requeued = []
+        for item_id in self._ids(LEASED):
+            leased_path = self._path(LEASED, item_id)
+            try:
+                heartbeat_at = os.stat(leased_path).st_mtime
+            except FileNotFoundError:
+                continue  # completed or requeued by someone else meanwhile
+            if now - heartbeat_at <= self.lease_timeout:
+                continue
+            try:
+                os.rename(leased_path, self._path(PENDING, item_id))
+            except FileNotFoundError:
+                continue
+            requeued.append(item_id)
+        return requeued
+
+    # -- inspection -----------------------------------------------------------
+
+    def freshest_lease_age(self, now: Optional[float] = None) -> Optional[float]:
+        """Age in seconds of the most recently heartbeaten lease.
+
+        ``None`` when nothing is leased.  A small value proves some worker
+        is alive and executing *right now* even if its idle-loop beacon has
+        gone stale (beacons are only touched between items, heartbeats
+        throughout) — the signal the coordinator's stall detection trusts
+        before stealing work.
+        """
+        now = time.time() if now is None else float(now)
+        ages = []
+        for item_id in self._ids(LEASED):
+            try:
+                ages.append(now - os.stat(self._path(LEASED, item_id)).st_mtime)
+            except FileNotFoundError:
+                continue
+        return min(ages) if ages else None
+
+    def pending_ids(self) -> List[str]:
+        return self._ids(PENDING)
+
+    def leased_ids(self) -> List[str]:
+        return self._ids(LEASED)
+
+    def done_ids(self) -> List[str]:
+        return self._ids(DONE)
+
+    def counts(self) -> Dict[str, int]:
+        """``{"pending": n, "leased": n, "done": n}`` snapshot."""
+        return {state: len(self._ids(state)) for state in STATES}
+
+    def is_drained(self) -> bool:
+        """True when nothing is pending or leased (all published work done)."""
+        return not self._ids(PENDING) and not self._ids(LEASED)

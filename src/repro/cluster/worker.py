@@ -1,0 +1,237 @@
+"""The cluster worker daemon: claim → execute → shard-append → complete.
+
+Run one per process/host against a shared run directory::
+
+    python -m repro.cluster worker <run_dir>
+
+The loop is deliberately simple — all coordination lives in the queue
+protocol (:mod:`repro.cluster.queue`):
+
+1. load the pickled :class:`~repro.runtime.spec.SweepContext` once (the
+   clean de-quantizations, delta patchers and batch plans then memoize per
+   process, exactly as in a ``ParallelExecutor`` worker);
+2. claim one work item; while executing its group on the same
+   :func:`~repro.runtime.executors.execute_group` every other executor uses
+   (which is what makes cluster results bit-identical to serial ones), a
+   background thread heartbeats the lease so long groups never look
+   abandoned;
+3. append the group's results to this worker's **own** shard file —
+   single-writer, append-only, so no cross-host write races exist — and
+   only then mark the item done;
+4. opportunistically requeue expired leases of crashed peers.
+
+If this worker is SIGKILLed mid-group, its lease goes stale and the group
+is retried elsewhere; if it instead finishes after losing its lease, the
+completion rename fails and its shard records are deduplicated by content
+key on merge.  Either way the merged results are complete and exact.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import pickle
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.runtime.executors import execute_group
+from repro.runtime.spec import EvalJob
+from repro.runtime.store import job_metadata
+from repro.utils.serialization import append_jsonl
+
+from repro.cluster.broker import (
+    CONTEXT_FILENAME,
+    SHARDS_DIRNAME,
+    WORKERS_DIRNAME,
+    read_manifest,
+)
+from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue, WorkItem
+
+__all__ = ["WorkerStats", "worker_loop", "default_worker_id"]
+
+#: Fault-injection hook honoured only by the ``repro.cluster worker`` CLI
+#: (never by library callers such as the coordinator's in-process fallback):
+#: when set to ``N``, the worker *process* SIGKILLs itself immediately after
+#: its ``N``-th successful claim — i.e. mid-group, with the lease held and
+#: no results written.  Used by the crash-recovery tests to exercise lease
+#: expiry deterministically.
+CRASH_AFTER_CLAIM_ENV = "REPRO_CLUSTER_CRASH_AFTER_CLAIM"
+
+
+def default_worker_id() -> str:
+    """A worker id unique across the hosts sharing a run directory."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerStats:
+    """What one :func:`worker_loop` call did."""
+
+    worker_id: str = ""
+    items: int = 0
+    cells: int = 0
+    requeued: int = 0
+    lost_leases: int = 0
+    item_ids: List[str] = field(default_factory=list)
+
+
+class _Heartbeat:
+    """Background lease refresher for the item currently executing."""
+
+    def __init__(self, queue: JobQueue, item_id: str, interval: float):
+        self._queue = queue
+        self._item_id = item_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._queue.heartbeat(self._item_id)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+def _load_context(run_dir: str):
+    path = os.path.join(run_dir, CONTEXT_FILENAME)
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _touch_beacon(run_dir: str, worker_id: str) -> None:
+    path = os.path.join(run_dir, WORKERS_DIRNAME, worker_id)
+    try:
+        os.utime(path)
+    except FileNotFoundError:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()) + "\n")
+
+
+def _maybe_crash(claims_done: int, crash_after_claim: Optional[int]) -> None:
+    if crash_after_claim is not None and claims_done == crash_after_claim:
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies here
+
+
+def worker_loop(
+    run_dir: str,
+    worker_id: Optional[str] = None,
+    lease_timeout: Optional[float] = None,
+    poll_interval: float = 0.2,
+    max_idle: Optional[float] = None,
+    max_items: Optional[int] = None,
+    exit_when_drained: bool = True,
+    crash_after_claim: Optional[int] = None,
+) -> WorkerStats:
+    """Run the claim/execute/append/complete loop until there is no work.
+
+    Parameters
+    ----------
+    worker_id:
+        Unique name of this worker (default ``<hostname>-<pid>``); names the
+        shard file and the liveness beacon.
+    lease_timeout:
+        Lease expiry horizon; defaults to the run's manifest value, so every
+        participant agrees on what "abandoned" means.
+    poll_interval:
+        Sleep between claim attempts while the queue is empty.
+    max_idle:
+        Exit after this many seconds without claiming anything (``None``: no
+        idle limit).
+    max_items:
+        Execute at most this many items (testing hook).
+    exit_when_drained:
+        Exit as soon as the queue holds no pending or leased items (the
+        default — right for one-shot fleets and coordinator-spawned
+        daemons).  ``False`` keeps serving across future submissions to the
+        same run directory until ``max_idle`` (or termination) — the
+        long-lived daemon mode (``repro.cluster worker --serve``).
+    crash_after_claim:
+        Fault injection for tests: SIGKILL this process right after the
+        ``N``-th successful claim (see :data:`CRASH_AFTER_CLAIM_ENV`; the
+        CLI wires the environment variable through, library callers must
+        opt in explicitly).
+    """
+    run_dir = os.path.abspath(run_dir)
+    worker_id = worker_id or default_worker_id()
+    manifest = read_manifest(run_dir) or {}
+    if lease_timeout is None:
+        lease_timeout = float(manifest.get("lease_timeout") or DEFAULT_LEASE_TIMEOUT)
+    chunk_size = manifest.get("chunk_size")
+    chunk_size = int(chunk_size) if chunk_size is not None else None
+    queue = JobQueue(run_dir, lease_timeout=lease_timeout)
+    context = _load_context(run_dir)
+    shard_path = os.path.join(run_dir, SHARDS_DIRNAME, f"worker-{worker_id}.jsonl")
+    stats = WorkerStats(worker_id=worker_id)
+    heartbeat_interval = max(lease_timeout / 4.0, 0.05)
+
+    idle_since = time.monotonic()
+    while True:
+        _touch_beacon(run_dir, worker_id)
+        stats.requeued += len(queue.requeue_expired())
+        item = queue.claim(worker_id)
+        if item is None:
+            if exit_when_drained and queue.is_drained():
+                return stats
+            if max_idle is not None and time.monotonic() - idle_since > max_idle:
+                return stats
+            time.sleep(poll_interval)
+            continue
+        idle_since = time.monotonic()
+        _maybe_crash(stats.items + 1, crash_after_claim)
+        _execute_item(
+            queue, context, item, shard_path, worker_id, chunk_size,
+            heartbeat_interval, stats,
+        )
+        if max_items is not None and stats.items >= max_items:
+            return stats
+
+
+def _execute_item(
+    queue: JobQueue,
+    context,
+    item: WorkItem,
+    shard_path: str,
+    worker_id: str,
+    chunk_size: Optional[int],
+    heartbeat_interval: float,
+    stats: WorkerStats,
+) -> None:
+    """Execute one claimed item and publish its results durably."""
+    jobs = [EvalJob.from_record(record) for record in item.payload["jobs"]]
+    jobs_by_key = {job.content_key: job for job in jobs}
+    with _Heartbeat(queue, item.item_id, heartbeat_interval):
+        output = execute_group(context, jobs, chunk_size=chunk_size)
+    records = []
+    for key, cell in output:
+        job = jobs_by_key.get(key)
+        record = {
+            "key": key,
+            "error": float(cell.error),
+            "confidence": float(cell.confidence),
+            "worker": worker_id,
+            "item": item.item_id,
+        }
+        if job is not None:
+            record.update(job_metadata(job))
+        records.append(record)
+    # Durability before visibility: results reach the shard before the item
+    # is marked done, so a done item always has its cells on disk.
+    append_jsonl(shard_path, records)
+    stats.items += 1
+    stats.cells += len(records)
+    stats.item_ids.append(item.item_id)
+    if not queue.complete(item.item_id):
+        # The lease expired mid-execution and someone requeued (and possibly
+        # re-ran) the item.  Our shard records stay — the merge dedupes.
+        stats.lost_leases += 1

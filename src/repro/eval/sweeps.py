@@ -11,12 +11,17 @@ job per (model, rate, field-or-offset) cell — and executes it through
 the PR-1 hoisting (quantize once, clean-evaluate once per sweep):
 
 * **sharding** — pass ``executor=ParallelExecutor(...)`` to spread the cells
-  over worker processes (the default :class:`SerialExecutor` reproduces the
-  pre-engine results bit for bit);
+  over worker processes, or a registered executor name — ``"parallel"``, or
+  ``"cluster"`` for the multi-host :class:`~repro.cluster.ClusterExecutor`
+  (the default :class:`SerialExecutor` reproduces the pre-engine results bit
+  for bit);
 * **caching / resumability** — pass ``store=<run_dir or ResultStore>`` and
   re-running a sweep only executes cells missing from the run directory;
 * **batched injection** — all fields of a cell scatter their XOR masks
-  through the backend seam in one pass.
+  through the backend seam in one pass;
+* **subsampled evaluation** — pass ``subsample=n`` and every cell evaluates
+  a reproducible ``n``-example subset drawn from its derived per-job seed
+  (collision-free across the grid; cache keys include the subsample size).
 
 Fields are created through the pluggable injection backend seam
 (:mod:`repro.biterror.backends`) — pass ``backend="sparse"`` to evaluate
@@ -145,6 +150,7 @@ def rerr_sweep(
     clean_stats=None,
     executor=None,
     store=None,
+    subsample: Optional[int] = None,
 ) -> RErrCurve:
     """Evaluate RErr at every rate in ``rates`` using shared error fields.
 
@@ -162,9 +168,14 @@ def rerr_sweep(
     ``executor`` and ``store`` are forwarded to
     :func:`repro.runtime.engine.run_sweep`: the default serial executor
     reproduces the reference results bit for bit, a
-    :class:`~repro.runtime.executors.ParallelExecutor` shards the grid over
-    worker processes, and a store (run directory path or
-    :class:`~repro.runtime.store.ResultStore`) makes the sweep resumable.
+    :class:`~repro.runtime.executors.ParallelExecutor` (or
+    ``executor="parallel"``) shards the grid over worker processes,
+    ``executor="cluster"`` runs it on the multi-host
+    :class:`~repro.cluster.ClusterExecutor`, and a store (run directory path
+    or :class:`~repro.runtime.store.ResultStore`) makes the sweep resumable.
+    ``subsample=n`` evaluates every cell on a reproducible ``n``-example
+    subset drawn from its derived per-job seed (see
+    :func:`repro.runtime.executors.subsample_plan`).
     """
     rates = list(rates)
     if quantized is None:
@@ -178,7 +189,7 @@ def rerr_sweep(
             backend=backend,
             max_rate=_sweep_max_rate(backend, rates),
         )
-    spec = SweepSpec(dataset, batch_size=batch_size)
+    spec = SweepSpec(dataset, batch_size=batch_size, subsample=subsample)
     spec.add_model("model", model, quantizer, quantized, clean_stats=clean_stats)
     spec.add_field_set("fields", error_fields)
     for rate in rates:
@@ -202,6 +213,7 @@ def compare_models(
     batch_size: int = 64,
     executor=None,
     store=None,
+    subsample: Optional[int] = None,
 ) -> Dict[str, RErrCurve]:
     """Sweep several ``{name: (model, quantizer)}`` pairs over the same rates.
 
@@ -212,7 +224,7 @@ def compare_models(
     — across workers at once.
     """
     rates = list(rates)
-    spec = SweepSpec(dataset, batch_size=batch_size)
+    spec = SweepSpec(dataset, batch_size=batch_size, subsample=subsample)
     field_set_by_precision: Dict[int, str] = {}
     for name, (model, quantizer) in models.items():
         precision = quantizer.precision
@@ -260,6 +272,7 @@ def profiled_sweep(
     clean_stats=None,
     executor=None,
     store=None,
+    subsample: Optional[int] = None,
 ) -> ProfiledCurve:
     """RErr of ``model`` on a profiled ``chip`` across cell fault rates.
 
@@ -276,7 +289,7 @@ def profiled_sweep(
     rates = list(rates)
     if quantized is None:
         quantized = quantize_model(model, quantizer)
-    spec = SweepSpec(dataset, batch_size=batch_size)
+    spec = SweepSpec(dataset, batch_size=batch_size, subsample=subsample)
     spec.add_model("model", model, quantizer, quantized, clean_stats=clean_stats)
     spec.add_chip("chip", chip)
     for rate in rates:

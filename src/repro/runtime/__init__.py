@@ -24,7 +24,16 @@ this engine; later scaling work (memmapped fields, distributed backends,
 """
 
 from repro.runtime.engine import assemble_robust_result, clean_stats_for, run_sweep
-from repro.runtime.executors import ParallelExecutor, SerialExecutor, execute_group, group_jobs
+from repro.runtime.executors import (
+    EXECUTORS,
+    ParallelExecutor,
+    SerialExecutor,
+    execute_group,
+    group_jobs,
+    register_executor,
+    resolve_executor,
+    subsample_plan,
+)
 from repro.runtime.spec import (
     CellResult,
     EvalJob,
@@ -45,6 +54,10 @@ __all__ = [
     "ParallelExecutor",
     "execute_group",
     "group_jobs",
+    "subsample_plan",
+    "register_executor",
+    "resolve_executor",
+    "EXECUTORS",
     "SweepSpec",
     "EvalJob",
     "CellResult",

@@ -30,7 +30,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
-from repro.runtime.executors import SerialExecutor, group_jobs
+from repro.runtime.executors import group_jobs, resolve_executor
 from repro.runtime.spec import CellResult, SweepSpec
 from repro.runtime.store import ResultStore
 
@@ -47,18 +47,26 @@ def run_sweep(
     Parameters
     ----------
     executor:
-        Anything with ``run(context, groups) -> [[(key, CellResult)]]``;
-        defaults to the in-process :class:`SerialExecutor`.
+        Anything with ``run(context, groups) -> [[(key, CellResult)]]``, or
+        a registered executor name (``"serial"``, ``"parallel"``,
+        ``"cluster"`` — see
+        :func:`repro.runtime.executors.resolve_executor`); defaults to the
+        in-process :class:`~repro.runtime.executors.SerialExecutor`.
     store:
         Optional :class:`ResultStore` (or a run-directory path, which is
         opened as one).  Cells whose content keys are already stored are
         returned without executing any job; fresh results are appended so an
         interrupted sweep resumes where it stopped.
     """
-    if executor is None:
-        executor = SerialExecutor()
+    executor = resolve_executor(executor)
     if isinstance(store, str):
         store = ResultStore(store)
+    # An executor that persists to the very same canonical log (the cluster
+    # coordinator with run_dir == the store's directory) already writes every
+    # fresh cell; appending here too would duplicate each record.
+    persist = store is not None and store.path != getattr(
+        executor, "results_path", None
+    )
     results: Dict[str, CellResult] = {}
     missing = []
     for job in spec.jobs:
@@ -75,7 +83,7 @@ def run_sweep(
         for group_output in executor.run(spec.context(), groups):
             for key, cell in group_output:
                 results[key] = cell
-                if store is not None:
+                if persist:
                     store.put(key, cell, job=jobs_by_key.get(key))
     return results
 

@@ -27,12 +27,23 @@ provide a pool (e.g. missing ``/dev/shm`` semaphores on minimal containers).
 from __future__ import annotations
 
 import os
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.biterror.random_errors import iter_apply_fields_batch
 from repro.runtime.spec import CellResult, EvalJob, SweepContext
 
-__all__ = ["SerialExecutor", "ParallelExecutor", "execute_group", "group_jobs"]
+__all__ = [
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_group",
+    "group_jobs",
+    "subsample_plan",
+    "register_executor",
+    "resolve_executor",
+    "EXECUTORS",
+]
 
 GroupOutput = List[Tuple[str, CellResult]]
 
@@ -75,6 +86,31 @@ def _evaluate(context: SweepContext, model, weights, plan=None) -> Tuple[float, 
     )
 
 
+def subsample_plan(context: SweepContext, job: EvalJob):
+    """The per-job evaluation :class:`~repro.eval.fast_eval.BatchPlan`.
+
+    With ``context.subsample`` unset this is the process-wide memoized
+    full-dataset plan.  With ``subsample=n`` set, every job evaluates its
+    own reproducible ``n``-example subset: the indices are drawn without
+    replacement from ``np.random.default_rng(job.derived_seed)`` and kept in
+    sorted (dataset) order.  The derived seed is a function of the content
+    key — which folds in the subsample size — so re-runs draw identical
+    subsets, distinct cells draw independent ones, and cached results can
+    never be served across different subset sizes.  A subsample at least as
+    large as the dataset degrades to the full plan (natural order).
+    """
+    if context.subsample is None:
+        return context.batch_plan()
+    n = len(context.dataset)
+    if context.subsample >= n:
+        return context.batch_plan()
+    from repro.eval.fast_eval import BatchPlan
+
+    rng = np.random.default_rng(job.derived_seed)
+    indices = np.sort(rng.choice(n, size=context.subsample, replace=False))
+    return BatchPlan(context.dataset.subset(indices), context.batch_size)
+
+
 def execute_group(
     context: SweepContext,
     group: Sequence[EvalJob],
@@ -82,30 +118,38 @@ def execute_group(
 ) -> GroupOutput:
     """Execute one job group against the shipped context.
 
-    Pure function of ``(context, group, chunk_size)``; both executors and
-    every worker process funnel through here, which is what guarantees
-    serial/parallel equivalence.  The evaluation runs the fused hot path —
-    mini-batches hoisted once per group, the model's clean de-quantization
-    decoded once per worker (:meth:`~repro.runtime.spec.ModelEntry.clean_weights`)
-    and per-draw delta patching of only the touched weights — which is
+    Pure function of ``(context, group, chunk_size)``; both executors, every
+    multiprocessing worker and every cluster worker daemon funnel through
+    here, which is what guarantees serial/parallel/distributed equivalence.
+    The evaluation runs the fused hot path — mini-batches cut once per
+    process (:meth:`~repro.runtime.spec.SweepContext.batch_plan`), the
+    model's clean de-quantization decoded and its delta patcher built once
+    per process (:meth:`~repro.runtime.spec.ModelEntry.clean_weights` /
+    :meth:`~repro.runtime.spec.ModelEntry.patcher`) and per-draw delta
+    patching of only the touched weights (profiled chips included, via
+    :meth:`~repro.biterror.patterns.ChipProfile.delta_apply`) — which is
     bit-identical to the historical full-de-quantization flow (enforced by
-    the legacy-parity tests).  ``chunk_size`` bounds how many chips' corrupted
-    codes a ``field`` group materializes at once (``None``: the whole cell,
-    the historical peak); results are identical for every value.
+    the legacy-parity tests).  ``chunk_size`` bounds how many chips'
+    corrupted codes a ``field`` group materializes at once (``None``: the
+    whole cell, the historical peak); results are identical for every value.
+    With ``context.subsample`` set, each job evaluates its own derived-seed
+    subset instead of the shared full-dataset plan (see
+    :func:`subsample_plan`).
     """
-    # Imported lazily for the same circularity reason as ``_evaluate``.
-    from repro.eval.fast_eval import BatchPlan, DeltaWeightPatcher
-
     group = list(group)
     first = group[0]
     entry = context.models[first.model_key]
-    plan = BatchPlan(context.dataset, context.batch_size)
     clean = entry.clean_weights()
     if first.kind == "clean":
-        error, confidence = _evaluate(context, entry.model, clean, plan)
-        return [(job.content_key, CellResult(error, confidence)) for job in group]
-    patcher = DeltaWeightPatcher(entry.quantized, clean)
-    out: GroupOutput = []
+        out = []
+        for job in group:
+            error, confidence = _evaluate(
+                context, entry.model, clean, subsample_plan(context, job)
+            )
+            out.append((job.content_key, CellResult(error, confidence)))
+        return out
+    patcher = entry.patcher()
+    out = []
     if first.kind == "field":
         fields = context.field_sets[first.source_key]
         selected = [fields[job.index] for job in group]
@@ -118,17 +162,21 @@ def execute_group(
         )
         for job, (corrupted, touched) in zip(group, stream):
             with patcher.patched_quantized(corrupted, touched) as weights:
-                error, confidence = _evaluate(context, entry.model, weights, plan)
+                error, confidence = _evaluate(
+                    context, entry.model, weights, subsample_plan(context, job)
+                )
             out.append((job.content_key, CellResult(error, confidence)))
         return out
     if first.kind == "chip":
         chip = context.chips[first.source_key]
         for job in group:
-            corrupted, touched = chip.apply_to_quantized(
-                entry.quantized, job.rate, offset=job.offset, return_positions=True
+            touched, values = chip.delta_apply(
+                entry.quantized, job.rate, offset=job.offset
             )
-            with patcher.patched_quantized(corrupted, touched) as weights:
-                error, confidence = _evaluate(context, entry.model, weights, plan)
+            with patcher.patched(touched, values) as weights:
+                error, confidence = _evaluate(
+                    context, entry.model, weights, subsample_plan(context, job)
+                )
             out.append((job.content_key, CellResult(error, confidence)))
         return out
     raise ValueError(f"unknown job kind {first.kind!r}")
@@ -262,3 +310,53 @@ class ParallelExecutor:
             raise
         finally:
             pool.join()
+
+
+#: Executor factories resolvable by name through :func:`resolve_executor`
+#: (and therefore through ``run_sweep(..., executor="name")`` and every sweep
+#: driver).  ``"cluster"`` registers itself lazily on first use so importing
+#: :mod:`repro.runtime` never pulls in the distributed subsystem.
+EXECUTORS: Dict[str, Callable[[], object]] = {}
+
+
+def register_executor(name: str, factory: Callable[[], object]) -> None:
+    """Register an executor ``factory`` under ``name``.
+
+    ``factory`` takes no arguments and returns an object with
+    ``run(context, groups)``; re-registering a name overwrites it (latest
+    wins), so tests and plugins can shadow the built-ins.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError("executor name must be a non-empty string")
+    if not callable(factory):
+        raise TypeError(f"executor factory for {name!r} must be callable")
+    EXECUTORS[name] = factory
+
+
+register_executor("serial", SerialExecutor)
+register_executor("parallel", ParallelExecutor)
+
+
+def resolve_executor(executor: Union[None, str, object]):
+    """Resolve ``executor`` to an executor instance.
+
+    ``None`` yields the default :class:`SerialExecutor` (reference
+    semantics); a string is looked up in the :data:`EXECUTORS` registry
+    (``"serial"``, ``"parallel"``, ``"cluster"``); anything else is assumed
+    to already be an executor and passed through.
+    """
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, str):
+        if executor == "cluster" and executor not in EXECUTORS:
+            # Importing the subsystem registers its executor.
+            import repro.cluster  # noqa: F401
+
+        factory = EXECUTORS.get(executor)
+        if factory is None:
+            raise ValueError(
+                f"unknown executor {executor!r}; registered executors: "
+                f"{sorted(EXECUTORS)}"
+            )
+        return factory()
+    return executor

@@ -93,6 +93,37 @@ class EvalJob:
         """Deterministic per-job seed derived from the content key."""
         return int(self.content_key[:16], 16) % (2**31 - 1)
 
+    def to_record(self) -> Dict[str, object]:
+        """JSON-safe dict round-trippable through :meth:`from_record`.
+
+        The serialization the cluster queue ships job groups with: plain
+        scalars only, so a work item is a small human-inspectable JSON file
+        and any host that shares the run directory can reconstruct the job
+        exactly.
+        """
+        return {
+            "kind": self.kind,
+            "model_key": self.model_key,
+            "source_key": self.source_key,
+            "rate": self.rate,
+            "index": self.index,
+            "offset": self.offset,
+            "content_key": self.content_key,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "EvalJob":
+        """Reconstruct a job from a :meth:`to_record` dict."""
+        return cls(
+            kind=str(record["kind"]),
+            model_key=str(record["model_key"]),
+            source_key=str(record["source_key"]),
+            rate=float(record["rate"]),
+            index=int(record["index"]),
+            offset=int(record["offset"]),
+            content_key=str(record["content_key"]),
+        )
+
     @property
     def cell_key(self) -> Tuple[str, str, str, float]:
         """Spec bookkeeping key: all jobs of one (model, kind, source, rate)."""
@@ -130,6 +161,7 @@ class ModelEntry:
         # identity and never pickled (each worker decodes its own copy;
         # shipping ~W float64s per model would bloat the context payload).
         self._clean_weights_cache = None
+        self._patcher_cache = None
 
     def clean_weights(self):
         """The clean de-quantized weights, decoded once and memoized.
@@ -142,21 +174,69 @@ class ModelEntry:
             self._clean_weights_cache = self.quantizer.dequantize(self.quantized)
         return self._clean_weights_cache
 
+    def patcher(self):
+        """One :class:`~repro.eval.fast_eval.DeltaWeightPatcher` per process.
+
+        Built over the memoized :meth:`clean_weights` and shared by every
+        engine group that evaluates this model, instead of rebuilt per
+        group.  Groups run sequentially within a process (executor workers
+        are single-threaded), so reusing the in-place patch/restore buffers
+        is safe; like the clean weights, the patcher is never pickled.
+        """
+        if self._patcher_cache is None:
+            # Imported here so repro.runtime never circularly imports
+            # repro.eval at module load (see executors._evaluate).
+            from repro.eval.fast_eval import DeltaWeightPatcher
+
+            self._patcher_cache = DeltaWeightPatcher(
+                self.quantized, self.clean_weights()
+            )
+        return self._patcher_cache
+
     def __getstate__(self):
         state = dict(self.__dict__)
         state["_clean_weights_cache"] = None
+        state["_patcher_cache"] = None
         return state
 
 
 @dataclass
 class SweepContext:
-    """The heavy, picklable payload shipped once per executor worker."""
+    """The heavy, picklable payload shipped once per executor worker.
+
+    ``subsample`` (when set) is the per-cell evaluation subset size: every
+    job evaluates ``subsample`` examples drawn reproducibly from its
+    :attr:`EvalJob.derived_seed` instead of the full dataset (see
+    :func:`repro.runtime.executors.subsample_plan`).
+    """
 
     dataset: object
     batch_size: int
     models: Dict[str, ModelEntry]
     field_sets: Dict[str, List[BitErrorField]]
     chips: Dict[str, ChipProfile]
+    subsample: Optional[int] = None
+
+    def batch_plan(self):
+        """The full-dataset :class:`~repro.eval.fast_eval.BatchPlan`, memoized.
+
+        Hoisted once per process and shared by every engine group (the
+        batches are read-only slice views), instead of re-cut per group.
+        Never pickled — each worker cuts its own views over its own copy of
+        the dataset.
+        """
+        plan = self.__dict__.get("_plan_cache")
+        if plan is None:
+            from repro.eval.fast_eval import BatchPlan
+
+            plan = BatchPlan(self.dataset, self.batch_size)
+            self.__dict__["_plan_cache"] = plan
+        return plan
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_plan_cache", None)
+        return state
 
 
 def _sha(payload: dict) -> str:
@@ -285,11 +365,18 @@ class SweepSpec:
     evaluation are hoisted out of every rate/offset loop by construction.
     """
 
-    def __init__(self, dataset, batch_size: int = 64):
+    def __init__(
+        self, dataset, batch_size: int = 64, subsample: Optional[int] = None
+    ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if subsample is not None:
+            subsample = int(subsample)
+            if subsample < 1:
+                raise ValueError(f"subsample must be at least 1, got {subsample}")
         self.dataset = dataset
         self.batch_size = int(batch_size)
+        self.subsample = subsample
         self.models: Dict[str, ModelEntry] = {}
         self.field_sets: Dict[str, List[BitErrorField]] = {}
         self.chips: Dict[str, ChipProfile] = {}
@@ -464,6 +551,7 @@ class SweepSpec:
             models=self.models,
             field_sets=self.field_sets,
             chips=self.chips,
+            subsample=self.subsample,
         )
 
     @property
@@ -484,5 +572,12 @@ class SweepSpec:
             "dataset": self._dataset_digest,
             "batch_size": self.batch_size,
         }
+        if self.subsample is not None:
+            # Only folded in when set, so full-dataset sweeps keep their
+            # historical keys (warm result stores stay warm across this
+            # feature).  The derived per-job seed — and through it the drawn
+            # example subset — follows the key, so distinct cells draw
+            # collision-free subsets and re-runs draw identical ones.
+            payload["subsample"] = self.subsample
         payload.update(extra)
         return _sha(payload)

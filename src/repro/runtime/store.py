@@ -26,9 +26,26 @@ from typing import Dict, Optional
 from repro.runtime.spec import CellResult, EvalJob
 from repro.utils.serialization import append_jsonl, read_jsonl
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "job_metadata"]
 
 RESULTS_FILENAME = "results.jsonl"
+
+
+def job_metadata(job: EvalJob) -> Dict[str, object]:
+    """The canonical human-inspection fields a result record carries.
+
+    One definition shared by :meth:`ResultStore.put` and the cluster
+    workers' shard records, so every ``results.jsonl``-shaped file uses the
+    same annotation schema regardless of which process wrote it.
+    """
+    return {
+        "kind": job.kind,
+        "model": job.model_key,
+        "source": job.source_key,
+        "rate": job.rate,
+        "index": job.index,
+        "offset": job.offset,
+    }
 
 
 class ResultStore:
@@ -70,30 +87,35 @@ class ResultStore:
         """The cached result for ``key``, or ``None`` on a miss."""
         return self._cache.get(key)
 
-    def put(self, key: str, result: CellResult, job: Optional[EvalJob] = None) -> None:
+    def put(
+        self,
+        key: str,
+        result: CellResult,
+        job: Optional[EvalJob] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
         """Record ``result`` under ``key`` (appends one JSONL line).
 
         Re-putting an existing key is a no-op, so replayed cells never bloat
-        the log.  ``job`` metadata, when given, is stored alongside for
-        human inspection of the run directory — it is not part of the key.
+        the log.  ``job`` metadata (or an arbitrary JSON-safe ``metadata``
+        dict — the shard merger forwards worker annotations through it),
+        when given, is stored alongside for human inspection of the run
+        directory — it is not part of the key and cannot shadow the result
+        fields.
         """
         if key in self._cache:
             return
-        record = {
-            "key": key,
-            "error": float(result.error),
-            "confidence": float(result.confidence),
-        }
+        record = {}
+        if metadata is not None:
+            record.update(metadata)
         if job is not None:
-            record.update(
-                {
-                    "kind": job.kind,
-                    "model": job.model_key,
-                    "source": job.source_key,
-                    "rate": job.rate,
-                    "index": job.index,
-                    "offset": job.offset,
-                }
-            )
+            record.update(job_metadata(job))
+        record.update(
+            {
+                "key": key,
+                "error": float(result.error),
+                "confidence": float(result.confidence),
+            }
+        )
         append_jsonl(self.path, [record])
         self._cache[key] = result

@@ -11,6 +11,13 @@ interrupted sweep leaves at worst one truncated trailing line — which
 :func:`read_jsonl` skips — and every completed cell remains resumable.
 :func:`array_digest` provides the stable content hashes the engine derives
 its cache keys and per-job seeds from.
+
+The atomic-write helpers back the distributed sweep subsystem
+(:mod:`repro.cluster`): every shared file a cluster run directory publishes
+(queue items, the pickled context, the manifest, compacted result logs) is
+written to a temporary sibling and moved into place with :func:`os.replace`,
+so concurrent readers on other hosts only ever observe absent or complete
+files, never partial ones.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from typing import Dict, Iterable, List
 
 import numpy as np
@@ -28,6 +36,9 @@ __all__ = [
     "array_digest",
     "append_jsonl",
     "read_jsonl",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
 ]
 
 
@@ -69,6 +80,43 @@ def append_jsonl(path: str, records: Iterable[dict]) -> None:
     with open(path, "a", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp sibling + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary; readers observe either the
+    old content, nothing, or the complete new content — the invariant the
+    cluster queue's claim-by-rename protocol builds on.
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix="~")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Atomically write ``text`` (UTF-8) to ``path``."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str, obj) -> None:
+    """Atomically write one canonical JSON document to ``path``."""
+    atomic_write_text(path, json.dumps(obj, sort_keys=True) + "\n")
 
 
 def read_jsonl(path: str) -> List[dict]:

@@ -240,3 +240,34 @@ def test_chip_apply_to_quantized_return_positions(rng):
             # touched is a superset of the weights whose codes changed.
             changed = np.flatnonzero(corrupted.flat_codes() != quantized.flat_codes())
             assert np.isin(changed, touched).all()
+
+
+def test_chip_delta_apply_matches_full_corruption(rng):
+    """delta_apply reports exactly the full corruption at the touched weights."""
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=(12, 10)), rng.normal(size=200)])
+    for backend in ("dense", "sparse"):
+        chip = ChipProfile(rows=64, columns=32, column_alignment=0.4,
+                           seed=5, backend=backend,
+                           stuck_at_one_fraction=0.7)
+        for rate, offset in ((0.0, 0), (0.02, 0), (0.02, 777), (0.05, 123)):
+            touched, values = chip.delta_apply(quantized, rate, offset=offset)
+            reference, ref_touched = chip.apply_to_quantized(
+                quantized, rate, offset=offset, return_positions=True
+            )
+            np.testing.assert_array_equal(touched, ref_touched)
+            np.testing.assert_array_equal(values, reference.flat_codes()[touched])
+            assert values.dtype == quantized.flat_codes().dtype
+            # Nothing outside the touched set may be implied to change.
+            changed = np.flatnonzero(
+                reference.flat_codes() != quantized.flat_codes()
+            )
+            assert np.isin(changed, touched).all()
+
+
+def test_chip_delta_apply_zero_rate_is_empty(rng):
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantizer.quantize([rng.normal(size=50)])
+    chip = ChipProfile(rows=32, columns=16, seed=3)
+    touched, values = chip.delta_apply(quantized, 0.0)
+    assert touched.size == 0 and values.size == 0

@@ -1,0 +1,132 @@
+"""Tests for shard merging, log compaction and run-directory gc."""
+
+import json
+import os
+
+from repro.cluster import (
+    JobQueue,
+    ShardTail,
+    compact_results,
+    gc_run_dir,
+    merge_shards,
+)
+from repro.runtime import ResultStore
+from repro.utils.serialization import append_jsonl
+
+
+def _shard(run_dir, name, records):
+    path = os.path.join(run_dir, "shards", f"worker-{name}.jsonl")
+    append_jsonl(path, records)
+    return path
+
+
+def _cell(key, error, worker="w", **extra):
+    record = {"key": key, "error": error, "confidence": 0.5, "worker": worker}
+    record.update(extra)
+    return record
+
+
+def test_merge_is_idempotent_under_reruns(tmp_path):
+    run_dir = str(tmp_path)
+    _shard(run_dir, "a", [_cell("k1", 0.1), _cell("k2", 0.2)])
+    first = merge_shards(run_dir)
+    assert (first.merged, first.duplicates) == (2, 0)
+    second = merge_shards(run_dir)
+    assert (second.merged, second.duplicates) == (0, 2)
+    # The canonical log did not grow on the second pass.
+    with open(os.path.join(run_dir, "results.jsonl")) as handle:
+        assert len(handle.readlines()) == 2
+    store = ResultStore(run_dir)
+    assert store.get("k1").error == 0.1 and store.get("k2").error == 0.2
+
+
+def test_merge_dedupes_across_shards_and_keeps_metadata(tmp_path):
+    run_dir = str(tmp_path)
+    # Two workers executed the same requeued group: same keys, same results.
+    _shard(run_dir, "a", [_cell("k1", 0.1, worker="a", kind="field", rate=0.01)])
+    _shard(run_dir, "b", [_cell("k1", 0.1, worker="b"), _cell("k2", 0.2, worker="b")])
+    stats = merge_shards(run_dir)
+    assert stats.merged == 2 and stats.duplicates == 1
+    with open(os.path.join(run_dir, "results.jsonl")) as handle:
+        records = [json.loads(line) for line in handle]
+    by_key = {record["key"]: record for record in records}
+    assert len(by_key) == 2
+    assert by_key["k1"]["kind"] == "field"  # worker annotations survive
+    assert by_key["k1"]["rate"] == 0.01
+
+
+def test_merge_skips_malformed_records(tmp_path):
+    run_dir = str(tmp_path)
+    path = _shard(run_dir, "a", [_cell("k1", 0.1)])
+    with open(path, "a") as handle:
+        handle.write('{"key": "k2", "error": "truncat')  # interrupted append
+    stats = merge_shards(run_dir)
+    assert stats.merged == 1
+
+
+def test_shard_tail_reads_incrementally_and_tolerates_partial_lines(tmp_path):
+    path = str(tmp_path / "shard.jsonl")
+    tail = ShardTail(path)
+    assert tail.read_new() == []  # missing file
+    with open(path, "w") as handle:
+        handle.write(json.dumps({"key": "k1"}) + "\n")
+        handle.write('{"key": "k2"')  # writer mid-append
+    assert [r["key"] for r in tail.read_new()] == ["k1"]
+    assert tail.read_new() == []  # partial line not consumed
+    with open(path, "a") as handle:
+        handle.write(', "error": 0.5}\n')
+    assert [r["key"] for r in tail.read_new()] == ["k2"]  # whole record now
+
+
+def test_compact_drops_duplicates_and_malformed(tmp_path):
+    run_dir = str(tmp_path)
+    path = os.path.join(run_dir, "results.jsonl")
+    append_jsonl(path, [_cell("k1", 0.1), _cell("k2", 0.2), _cell("k1", 0.9)])
+    with open(path, "a") as handle:
+        handle.write("not json at all\n")
+    stats = compact_results(run_dir)
+    assert stats.lines_before == 4 and stats.lines_after == 2
+    assert stats.duplicates_dropped == 1 and stats.malformed_dropped == 1
+    store = ResultStore(run_dir)
+    assert store.get("k1").error == 0.1  # first record wins, as on load
+    # Compacting an already-compact log is a no-op.
+    again = compact_results(run_dir)
+    assert again.lines_before == again.lines_after == 2
+
+
+def test_compact_missing_log_is_a_noop(tmp_path):
+    stats = compact_results(str(tmp_path))
+    assert stats.lines_before == 0 and stats.lines_after == 0
+
+
+def test_gc_merges_then_collects_debris(tmp_path):
+    run_dir = str(tmp_path)
+    queue = JobQueue(run_dir)
+    queue.enqueue("a", {"jobs": []})
+    item = queue.claim("w")
+    queue.complete(item.item_id)
+    _shard(run_dir, "w", [_cell("k1", 0.1)])
+    os.makedirs(os.path.join(run_dir, "workers"), exist_ok=True)
+    with open(os.path.join(run_dir, "workers", "w"), "w") as handle:
+        handle.write("1\n")
+    stats = gc_run_dir(run_dir, worker_ttl=0.0)
+    assert stats.merge.merged == 1  # merged before anything was removed
+    assert stats.done_items_removed == 1
+    assert stats.shards_removed == 1
+    assert stats.beacons_removed == 1
+    assert ResultStore(run_dir).get("k1") is not None  # results survive gc
+    # Pending work is never collected.
+    queue.enqueue("b", {"jobs": []})
+    gc_run_dir(run_dir, worker_ttl=0.0)
+    assert queue.counts()["pending"] == 1
+
+
+def test_gc_keeps_shards_of_live_workers(tmp_path):
+    run_dir = str(tmp_path)
+    path = _shard(run_dir, "w", [_cell("k1", 0.1)])
+    os.makedirs(os.path.join(run_dir, "workers"), exist_ok=True)
+    with open(os.path.join(run_dir, "workers", "w"), "w") as handle:
+        handle.write("1\n")  # fresh beacon: the worker is alive
+    stats = gc_run_dir(run_dir, worker_ttl=300.0)
+    assert stats.shards_removed == 0
+    assert os.path.exists(path)

@@ -1,0 +1,100 @@
+"""Tests for the claim-by-rename leased job queue."""
+
+import os
+import time
+
+import pytest
+
+from repro.cluster import JobQueue
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(str(tmp_path), lease_timeout=0.2)
+
+
+def test_enqueue_claim_complete_lifecycle(queue):
+    assert queue.enqueue("a", {"item": "a", "jobs": []})
+    assert queue.counts() == {"pending": 1, "leased": 0, "done": 0}
+    item = queue.claim("w1")
+    assert item is not None and item.item_id == "a"
+    assert item.payload == {"item": "a", "jobs": []}
+    assert queue.counts() == {"pending": 0, "leased": 1, "done": 0}
+    assert not queue.is_drained()
+    assert queue.complete("a")
+    assert queue.counts() == {"pending": 0, "leased": 0, "done": 1}
+    assert queue.is_drained()
+
+
+def test_enqueue_is_idempotent_across_states(queue):
+    assert queue.enqueue("a", {"jobs": []})
+    assert not queue.enqueue("a", {"jobs": ["other"]})  # pending: kept as-is
+    item = queue.claim("w")
+    assert not queue.enqueue("a", {"jobs": []})  # leased
+    queue.complete(item.item_id)
+    assert not queue.enqueue("a", {"jobs": []})  # done
+    assert queue.counts()["done"] == 1
+
+
+def test_each_item_claimed_exactly_once(queue):
+    for index in range(8):
+        queue.enqueue(f"item-{index}", {"jobs": []})
+    claimed = []
+    while True:
+        item = queue.claim("w")
+        if item is None:
+            break
+        claimed.append(item.item_id)
+    assert sorted(claimed) == [f"item-{i}" for i in range(8)]
+    assert queue.claim("w") is None  # nothing claimable twice
+
+
+def test_requeue_expired_returns_stale_leases(queue):
+    queue.enqueue("a", {"jobs": []})
+    queue.enqueue("b", {"jobs": []})
+    first = queue.claim("w1")
+    assert queue.requeue_expired() == []  # fresh lease stays leased
+    # Age the lease past the timeout and requeue it.
+    assert queue.requeue_expired(now=time.time() + 1.0) == [first.item_id]
+    assert queue.counts() == {"pending": 2, "leased": 0, "done": 0}
+    # The requeued item is claimable again.
+    again = {queue.claim("w2").item_id, queue.claim("w2").item_id}
+    assert first.item_id in again
+
+
+def test_heartbeat_extends_the_lease(queue):
+    queue.enqueue("a", {"jobs": []})
+    queue.claim("w1")
+    later = time.time() + 1.0
+    assert queue.heartbeat("a")
+    os.utime(os.path.join(queue.queue_dir, "leased", "a.json"), (later, later))
+    assert queue.requeue_expired(now=later + 0.1) == []  # heartbeat counted
+
+
+def test_complete_after_lost_lease_reports_failure(queue):
+    queue.enqueue("a", {"jobs": []})
+    queue.claim("w1")
+    queue.requeue_expired(now=time.time() + 1.0)  # lease expires
+    other = queue.claim("w2")  # another worker takes over
+    assert other.item_id == "a"
+    # The original worker finishes late: its complete must fail, not clobber.
+    queue.release(other.item_id)
+    queue.claim("w2")
+    assert queue.complete("a")
+    assert not queue.complete("a")  # second completion finds nothing
+
+
+def test_release_and_requeue_done(queue):
+    queue.enqueue("a", {"jobs": []})
+    queue.claim("w")
+    assert queue.release("a")
+    assert queue.counts()["pending"] == 1
+    queue.claim("w")
+    queue.complete("a")
+    assert queue.requeue_done("a")
+    assert queue.counts() == {"pending": 1, "leased": 0, "done": 0}
+
+
+def test_lease_timeout_validation(tmp_path):
+    with pytest.raises(ValueError, match="lease_timeout"):
+        JobQueue(str(tmp_path), lease_timeout=0.0)

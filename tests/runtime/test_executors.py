@@ -164,3 +164,26 @@ def test_model_entry_clean_weights_memoized_and_not_pickled(grid):
         np.testing.assert_array_equal(ours, reference)
     shipped = pickle.loads(pickle.dumps(entry))
     assert shipped._clean_weights_cache is None  # decoded per worker, not shipped
+
+
+def test_patcher_and_batch_plan_are_reused_across_groups(grid):
+    """One DeltaWeightPatcher / BatchPlan pair per (model, process)."""
+    spec = grid()
+    context = spec.context()
+    entry = context.models["m"]
+    plan = context.batch_plan()
+    patcher = entry.patcher()
+    assert context.batch_plan() is plan
+    assert entry.patcher() is patcher
+    groups = group_jobs(spec.jobs)
+    for group in groups:
+        executors_module.execute_group(context, group)
+    # Executing every group created no new plan or patcher.
+    assert context.batch_plan() is plan
+    assert entry.patcher() is patcher
+    # Neither cache ships to workers.
+    import pickle
+
+    blob = pickle.loads(pickle.dumps(context))
+    assert "_plan_cache" not in blob.__dict__
+    assert blob.models["m"]._patcher_cache is None

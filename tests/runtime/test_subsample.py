@@ -1,0 +1,107 @@
+"""Tests for subsampled per-cell evaluation (``SweepSpec(subsample=n)``)."""
+
+import numpy as np
+import pytest
+
+from repro.biterror import make_error_fields
+from repro.eval.sweeps import rerr_sweep
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+from repro.quant.qat import quantize_model
+from repro.runtime import SerialExecutor, SweepSpec, run_sweep, subsample_plan
+
+
+@pytest.fixture(scope="module")
+def resources(blob_data):
+    _, test = blob_data
+    model = MLP(
+        in_features=test.input_shape[0], num_classes=test.num_classes,
+        hidden=(16,), rng=np.random.default_rng(1),
+    )
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantize_model(model, quantizer)
+    fields = make_error_fields(quantized.num_weights, 8, 3, seed=9)
+    return test, model, quantizer, quantized, fields
+
+
+def _spec(resources, subsample=None):
+    test, model, quantizer, quantized, fields = resources
+    spec = SweepSpec(test, batch_size=16, subsample=subsample)
+    spec.add_model("m", model, quantizer, quantized)
+    spec.add_field_set("f", fields)
+    for rate in (0.01, 0.02):
+        spec.add_field_jobs("m", "f", rate)
+    return spec
+
+
+def test_subsample_changes_content_keys_only_when_set(resources):
+    full = _spec(resources)
+    legacy = _spec(resources, subsample=None)
+    sub8 = _spec(resources, subsample=8)
+    sub16 = _spec(resources, subsample=16)
+    assert [j.content_key for j in full.jobs] == [j.content_key for j in legacy.jobs]
+    keys8 = {j.content_key for j in sub8.jobs}
+    keys16 = {j.content_key for j in sub16.jobs}
+    full_keys = {j.content_key for j in full.jobs}
+    # Different subsample sizes can never alias each other or the full grid.
+    assert not keys8 & keys16
+    assert not keys8 & full_keys
+
+
+def test_subsample_plans_are_reproducible_and_distinct_per_cell(resources):
+    spec = _spec(resources, subsample=8)
+    context = spec.context()
+    jobs = [job for job in spec.jobs if job.kind == "field"]
+    plan_a = subsample_plan(context, jobs[0])
+    plan_b = subsample_plan(context, jobs[0])
+    assert plan_a.num_examples == 8
+    np.testing.assert_array_equal(plan_a.dataset.inputs, plan_b.dataset.inputs)
+    np.testing.assert_array_equal(plan_a.dataset.labels, plan_b.dataset.labels)
+    # Distinct cells draw their own subsets (derived seeds never collide).
+    others = [subsample_plan(context, job) for job in jobs[1:4]]
+    assert any(
+        not np.array_equal(plan_a.dataset.inputs, other.dataset.inputs)
+        for other in others
+    )
+    # Indices are sorted and unique (dataset-order subsets).
+    seeds = {job.derived_seed for job in spec.jobs}
+    assert len(seeds) == len(spec.jobs)
+
+
+def test_subsample_at_or_above_dataset_size_degrades_to_full_plan(resources):
+    test = resources[0]
+    spec = _spec(resources, subsample=len(test) + 5)
+    context = spec.context()
+    plan = subsample_plan(context, spec.jobs[0])
+    assert plan is context.batch_plan()  # the memoized full-dataset plan
+    assert plan.num_examples == len(test)
+
+
+def test_subsampled_sweep_runs_and_is_deterministic(resources):
+    first = run_sweep(_spec(resources, subsample=10), executor=SerialExecutor())
+    second = run_sweep(_spec(resources, subsample=10), executor=SerialExecutor())
+    assert first == second
+    full = run_sweep(_spec(resources), executor=SerialExecutor())
+    # Errors are plausible error rates, computed over 10 examples each.
+    assert all(
+        cell.error * 10 == round(cell.error * 10) for cell in first.values()
+    )
+    assert set(first) != set(full)  # different cache keyspace
+
+
+def test_rerr_sweep_forwards_subsample(resources):
+    test, model, quantizer, quantized, fields = resources
+    curve = rerr_sweep(
+        model, quantizer, test, rates=[0.0, 0.01], error_fields=fields,
+        quantized=quantized, batch_size=16, subsample=6,
+    )
+    assert len(curve.results) == 2
+    for result in curve.results:
+        for error in result.errors:
+            assert abs(error * 6 - round(error * 6)) < 1e-9
+
+
+def test_subsample_validation(resources):
+    test = resources[0]
+    with pytest.raises(ValueError, match="subsample"):
+        SweepSpec(test, batch_size=8, subsample=0)
