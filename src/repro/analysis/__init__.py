@@ -1,0 +1,44 @@
+"""Project-aware static analysis: the repository's invariants, enforced.
+
+Five PRs of fused hot paths, twin reference implementations and distributed
+execution rest on conventions no interpreter checks: RNG is threaded, twin
+seams carry parity tests, run-dir writes are atomic, hot paths avoid
+allocation-heavy idioms, content keys are complete, and per-process caches
+never cross pickling boundaries.  This package checks them at lint time —
+an AST rule engine (:mod:`repro.analysis.engine`) with per-rule
+configuration (:mod:`repro.analysis.config`), inline waivers with mandatory
+reasons (:mod:`repro.analysis.waivers`), a committed baseline for
+grandfathered findings (:mod:`repro.analysis.baseline`) and a CLI::
+
+    python -m repro.analysis check            # exit 1 on new findings
+    python -m repro.analysis check --format json
+    python -m repro.analysis baseline         # regenerate the baseline
+    python -m repro.analysis rules            # list rules
+
+See :mod:`repro.analysis.rules` for the rule table.
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.config import AnalysisConfig, default_config
+from repro.analysis.engine import AnalysisContext, Report, run_analysis
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, default_rules
+from repro.analysis.visitor import Rule, SourceFile
+from repro.analysis.waivers import parse_waivers
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "AnalysisContext",
+    "Baseline",
+    "Finding",
+    "Report",
+    "Rule",
+    "SourceFile",
+    "default_config",
+    "default_rules",
+    "load_baseline",
+    "parse_waivers",
+    "run_analysis",
+    "write_baseline",
+]

@@ -1,0 +1,84 @@
+"""The committed baseline: grandfathered findings that do not fail ``check``.
+
+The baseline is a JSON document mapping finding fingerprints (see
+:attr:`repro.analysis.findings.Finding.fingerprint`) to a short record of
+what was grandfathered and why.  ``python -m repro.analysis baseline``
+regenerates it from the current tree; ``check`` then only fails on findings
+whose fingerprint is *not* in the baseline, so new violations surface while
+known ones age out as they are fixed (a baseline entry whose finding no
+longer exists is dropped on the next regeneration).
+
+Fingerprints hash (rule, path, enclosing symbol, source line) — not line
+numbers — so the baseline survives unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.findings import Finding
+from repro.utils.serialization import atomic_write_text
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Grandfathered fingerprints plus their human-readable records."""
+
+    path: str = ""
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def reason(self, fingerprint: str) -> str:
+        return str(self.entries.get(fingerprint, {}).get("reason", ""))
+
+
+def load_baseline(path: str) -> Baseline:
+    """Load ``path`` (an absent file is an empty baseline, not an error)."""
+    baseline = Baseline(path=path)
+    if not os.path.exists(path):
+        return baseline
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    for entry in document.get("findings", []):
+        fingerprint = str(entry.get("fingerprint", ""))
+        if fingerprint:
+            baseline.entries[fingerprint] = dict(entry)
+    return baseline
+
+
+def write_baseline(
+    path: str, findings: Sequence[Finding], reasons: Dict[str, str] = None
+) -> Baseline:
+    """Write ``findings`` as the new baseline (atomically) and return it.
+
+    ``reasons`` maps fingerprints to grandfathering reasons; entries of an
+    existing baseline keep their reason when the finding persists, so
+    regenerating never erases documented justifications.
+    """
+    previous = load_baseline(path)
+    records: List[dict] = []
+    entries: Dict[str, dict] = {}
+    for finding in sorted(set(findings), key=lambda f: f.sort_key):
+        record = {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule_id,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "message": finding.message,
+            "reason": (reasons or {}).get(
+                finding.fingerprint, previous.reason(finding.fingerprint)
+            ),
+        }
+        records.append(record)
+        entries[finding.fingerprint] = record
+    document = {"version": BASELINE_VERSION, "findings": records}
+    atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return Baseline(path=path, entries=entries)

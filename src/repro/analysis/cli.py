@@ -1,0 +1,144 @@
+"""``python -m repro.analysis`` — check the tree, or regenerate the baseline.
+
+Commands
+--------
+
+``check``
+    Run every rule.  Exit ``0`` when no *new* findings exist (waived and
+    baselined ones are tolerated), ``1`` otherwise.  ``--format json``
+    emits a machine-readable report for CI annotation.
+
+``baseline``
+    Regenerate the committed baseline from the current tree's findings so
+    they are grandfathered; pre-existing reasons are preserved, entries for
+    fixed findings are dropped.  Intended flow: run ``check``, fix what is
+    real, then ``baseline`` for what is consciously tolerated (and say why
+    in review).
+
+``rules``
+    List the registered rules.
+
+Exit codes: ``0`` success, ``1`` new findings, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.config import default_config
+from repro.analysis.engine import run_analysis
+from repro.analysis.rules import ALL_RULES
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-aware invariant linter (determinism, parity, "
+        "hot-path and atomicity contracts).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--root",
+            default=os.getcwd(),
+            help="repository root (default: current directory)",
+        )
+        command.add_argument(
+            "--src",
+            action="append",
+            default=None,
+            metavar="PATH",
+            help="source path(s) to scan, relative to root (default: src)",
+        )
+        command.add_argument(
+            "--tests",
+            action="append",
+            default=None,
+            metavar="PATH",
+            help="test path(s) for cross-module rules (default: tests)",
+        )
+        command.add_argument(
+            "--baseline",
+            default="",
+            metavar="FILE",
+            help="baseline file (default: <root>/analysis-baseline.json)",
+        )
+
+    check = sub.add_parser("check", help="run every rule; fail on new findings")
+    add_common(check)
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    check.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding fails the check",
+    )
+
+    baseline = sub.add_parser(
+        "baseline", help="regenerate the baseline from current findings"
+    )
+    add_common(baseline)
+
+    sub.add_parser("rules", help="list registered rules")
+    return parser
+
+
+def _config_from(args: argparse.Namespace):
+    return default_config(
+        root=args.root,
+        src_paths=args.src,
+        test_paths=args.tests,
+        baseline_path=(
+            args.baseline
+            if not args.baseline or os.path.isabs(args.baseline)
+            else os.path.join(args.root, args.baseline)
+        ),
+    )
+
+
+def main(argv: Optional[List[str]] = None, stream=None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_:  # argparse uses 2 for usage errors already
+        return int(exit_.code or 0)
+
+    if args.command == "rules":
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}", file=stream)
+        return EXIT_OK
+
+    config = _config_from(args)
+    if args.command == "check":
+        report = run_analysis(config, use_baseline=not args.no_baseline)
+        if args.fmt == "json":
+            print(report.render_json(), file=stream)
+        else:
+            print(report.render_text(), file=stream)
+        return EXIT_OK if report.ok else EXIT_FINDINGS
+
+    if args.command == "baseline":
+        # The baseline grandfathers everything currently found (waivers
+        # still apply first — waived findings never enter the baseline).
+        report = run_analysis(config, use_baseline=False)
+        write_baseline(config.baseline_path, report.findings)
+        print(
+            f"baselined {len(report.findings)} finding(s) -> "
+            f"{os.path.relpath(config.baseline_path, config.root)}",
+            file=stream,
+        )
+        return EXIT_OK
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return EXIT_USAGE  # pragma: no cover

@@ -1,0 +1,197 @@
+"""The analysis engine: parse once, run every rule, apply waivers + baseline.
+
+:func:`run_analysis` is the single entry point (the CLI is a thin wrapper):
+
+1. collect and parse every ``.py`` file under the configured source and
+   test paths into :class:`~repro.analysis.visitor.SourceFile` objects
+   (files that fail to parse become findings, not crashes);
+2. run every rule — per-file checks over the source tree, project checks
+   over the whole :class:`AnalysisContext` (test files are parsed but only
+   project rules look at them);
+3. parse inline waivers, suppress waived findings, and emit ``REP000``
+   findings for malformed or unused waivers (a waiver that suppresses
+   nothing is stale);
+4. split the survivors against the committed baseline: **new** findings
+   fail ``check``; baselined ones are reported but tolerated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import default_rules
+from repro.analysis.visitor import Rule, SourceFile
+from repro.analysis.waivers import (
+    WaiverSet,
+    parse_waivers,
+    unused_waiver_findings,
+)
+
+__all__ = ["AnalysisContext", "Report", "collect_sources", "run_analysis"]
+
+
+@dataclass
+class AnalysisContext:
+    """Everything rules may look at: config plus the parsed trees."""
+
+    config: AnalysisConfig
+    src_files: List[SourceFile] = field(default_factory=list)
+    test_files: List[SourceFile] = field(default_factory=list)
+    parse_findings: List[Finding] = field(default_factory=list)
+
+    def file_by_relpath(self, relpath: str) -> Optional[SourceFile]:
+        for source in self.src_files + self.test_files:
+            if source.relpath == relpath:
+                return source
+        return None
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)  # unsuppressed
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    waived: int = 0
+    files_scanned: int = 0
+    baseline: Optional[Baseline] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for finding in sorted(self.new_findings, key=lambda f: f.sort_key):
+            lines.append(finding.render())
+        if self.baselined:
+            lines.append("")
+            lines.append(f"{len(self.baselined)} baselined finding(s) tolerated:")
+            for finding in sorted(self.baselined, key=lambda f: f.sort_key):
+                lines.append("  " + finding.render())
+        lines.append("")
+        lines.append(
+            f"{self.files_scanned} files scanned: "
+            f"{len(self.new_findings)} new finding(s), "
+            f"{len(self.baselined)} baselined, {self.waived} waived"
+        )
+        return "\n".join(lines).lstrip("\n")
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "files_scanned": self.files_scanned,
+                "waived": self.waived,
+                "new": [f.to_record() for f in sorted(self.new_findings, key=lambda f: f.sort_key)],
+                "baselined": [
+                    f.to_record() for f in sorted(self.baselined, key=lambda f: f.sort_key)
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _iter_python_files(root: str, paths: Sequence[str], exclude_parts) -> List[str]:
+    found: List[str] = []
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(absolute):
+            found.append(absolute)
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = [d for d in dirnames if d not in exclude_parts]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def collect_sources(
+    root: str, paths: Sequence[str], exclude_parts=("__pycache__",)
+) -> tuple:
+    """Parse every ``.py`` under ``paths``; syntax errors become findings."""
+    sources: List[SourceFile] = []
+    findings: List[Finding] = []
+    for path in _iter_python_files(root, paths, exclude_parts):
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            sources.append(SourceFile(path, relpath, text))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    rule_id="REP000",
+                    path=relpath,
+                    line=error.lineno or 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+    return sources, findings
+
+
+def build_context(config: AnalysisConfig) -> AnalysisContext:
+    src_files, src_errors = collect_sources(
+        config.root, config.src_paths, config.exclude_parts
+    )
+    test_files, test_errors = collect_sources(
+        config.root, config.test_paths, config.exclude_parts
+    )
+    return AnalysisContext(
+        config=config,
+        src_files=src_files,
+        test_files=test_files,
+        parse_findings=src_errors + test_errors,
+    )
+
+
+def run_analysis(
+    config: AnalysisConfig,
+    rules: Optional[Sequence[Rule]] = None,
+    use_baseline: bool = True,
+) -> Report:
+    """Run ``rules`` (default: all) under ``config`` and return the report."""
+    context = build_context(config)
+    rules = list(rules) if rules is not None else default_rules()
+
+    raw: List[Finding] = list(context.parse_findings)
+    for rule in rules:
+        for source in context.src_files:
+            raw.extend(rule.check_file(source, context))
+        raw.extend(rule.check_project(context))
+
+    # Waivers: parsed for every scanned file, applied to every finding.
+    waiver_sets: Dict[str, WaiverSet] = {}
+    for source in context.src_files + context.test_files:
+        waiver_sets[source.relpath] = parse_waivers(source.relpath, source.source)
+
+    report = Report(files_scanned=len(context.src_files) + len(context.test_files))
+    kept: List[Finding] = []
+    for finding in raw:
+        waivers = waiver_sets.get(finding.path)
+        if waivers is not None and waivers.suppresses(finding.rule_id, finding.line):
+            report.waived += 1
+            continue
+        kept.append(finding)
+    for waiver_set in waiver_sets.values():
+        kept.extend(waiver_set.findings)  # malformed waivers
+    kept.extend(unused_waiver_findings(waiver_sets))
+
+    baseline = load_baseline(config.baseline_path) if use_baseline else Baseline()
+    report.baseline = baseline
+    report.findings = kept
+    for finding in kept:
+        if finding.fingerprint in baseline:
+            report.baselined.append(finding)
+        else:
+            report.new_findings.append(finding)
+    return report

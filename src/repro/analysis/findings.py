@@ -1,0 +1,57 @@
+"""Findings: what a rule reports, and how findings are identified over time.
+
+A :class:`Finding` pins one contract violation to a file, line and enclosing
+symbol.  Its :attr:`~Finding.fingerprint` deliberately excludes the line
+number — it hashes the rule, the file, the enclosing symbol and the stripped
+source line — so a committed baseline (see :mod:`repro.analysis.baseline`)
+survives unrelated edits above a grandfathered finding, while moving the
+offending line to another file or function, or editing it, surfaces it again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str  # repository-relative, "/"-separated
+    line: int
+    message: str
+    symbol: str = ""  # enclosing ``Class.method`` / function qualname
+    snippet: str = ""  # stripped source of the offending line
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of this finding across unrelated edits."""
+        hasher = hashlib.sha256()
+        for part in (self.rule_id, self.path, self.symbol, self.snippet):
+            hasher.update(part.encode("utf-8"))
+            hasher.update(b"\x00")
+        return hasher.hexdigest()[:16]
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.rule_id, self.message)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.location()}: {self.rule_id}{where}: {self.message}"
+
+    def to_record(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "snippet": self.snippet,
+        }

@@ -1,0 +1,47 @@
+"""Rule registry: the repository contracts the linter enforces.
+
+==========  ==============================================================
+Rule        Contract
+==========  ==============================================================
+``REP000``  Waiver hygiene: waivers parse, carry a reason, suppress
+            something (emitted by the engine, not a rule class).
+``REP001``  No global RNG outside :mod:`repro.utils.rng`.
+``REP002``  No allocation-heavy numpy idioms inside ``@hot_path``.
+``REP003``  Run-dir writes in cluster/store modules are atomic.
+``REP004``  Every fused/backend twin seam has a flag-spelled-out test.
+``REP005``  Spec fields are folded into the content-key hash.
+``REP006``  No-pickle payloads are cleared in ``__getstate__``.
+==========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.rules.rep001_global_rng import GlobalRngRule
+from repro.analysis.rules.rep002_hot_alloc import HotPathAllocRule
+from repro.analysis.rules.rep003_atomic_write import AtomicWriteRule
+from repro.analysis.rules.rep004_parity_seams import ParitySeamRule
+from repro.analysis.rules.rep005_content_key import ContentKeyRule
+from repro.analysis.rules.rep006_pickle_boundary import PickleBoundaryRule
+from repro.analysis.visitor import Rule
+
+__all__ = ["ALL_RULES", "default_rules", "rule_registry"]
+
+ALL_RULES: List[Type[Rule]] = [
+    GlobalRngRule,
+    HotPathAllocRule,
+    AtomicWriteRule,
+    ParitySeamRule,
+    ContentKeyRule,
+    PickleBoundaryRule,
+]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [rule() for rule in ALL_RULES]
+
+
+def rule_registry() -> Dict[str, Type[Rule]]:
+    return {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,95 @@
+"""REP001 — no global RNG state outside :mod:`repro.utils.rng`.
+
+Every stochastic component of this library threads an explicit
+``numpy.random.Generator`` derived from an experiment seed; that is what
+makes the paper's 50 pre-determined "chips", the engine's per-job derived
+seeds and the golden-trajectory tests possible.  A single call into the
+*global* RNG (``np.random.seed``, the legacy ``np.random.rand``-style
+samplers, ``random.seed`` / ``random.random``, a shared ``RandomState``)
+reintroduces cross-component stream coupling and makes results depend on
+call order — silent nondeterminism, the exact failure this rule exists to
+catch at lint time.
+
+Explicit-generator constructors (``np.random.default_rng``,
+``np.random.Generator``, ``SeedSequence``, bit generators, stdlib
+``random.Random``) are allowed everywhere: they *create* threaded state
+rather than mutating shared state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import Rule, SourceFile, call_name
+
+
+class GlobalRngRule(Rule):
+    rule_id = "REP001"
+    title = "no global RNG outside utils/rng.py"
+
+    def check_file(self, source: SourceFile, context) -> Iterable[Finding]:
+        config = context.config.rep001
+        if source.relpath in config.allowed_files:
+            return ()
+        numpy_random_aliases = {"np.random", "numpy.random"}
+        stdlib_alias = "random"
+        # Names imported straight out of the RNG modules, e.g.
+        # ``from numpy.random import seed`` / ``from random import randint``.
+        imported_numpy: dict = {}
+        imported_stdlib: dict = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "numpy.random",
+                "random",
+            ):
+                target = (
+                    imported_numpy if node.module == "numpy.random" else imported_stdlib
+                )
+                for alias in node.names:
+                    target[alias.asname or alias.name] = alias.name
+
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            head, _, attr = name.rpartition(".")
+            if head in numpy_random_aliases:
+                if attr == "RandomState" or attr not in config.allowed_numpy_attrs:
+                    findings.append(
+                        source.finding(
+                            self.rule_id,
+                            node,
+                            f"global numpy RNG call `{name}` — thread an "
+                            "explicit Generator derived via repro.utils.rng",
+                        )
+                    )
+            elif head == stdlib_alias:
+                if attr not in config.allowed_stdlib_attrs:
+                    findings.append(
+                        source.finding(
+                            self.rule_id,
+                            node,
+                            f"stdlib global RNG call `{name}` — thread an "
+                            "explicit Generator derived via repro.utils.rng",
+                        )
+                    )
+            elif not head:
+                origin = imported_numpy.get(name) or imported_stdlib.get(name)
+                if origin is not None and origin not in (
+                    config.allowed_numpy_attrs + config.allowed_stdlib_attrs
+                ):
+                    findings.append(
+                        source.finding(
+                            self.rule_id,
+                            node,
+                            f"`{name}` is imported from a global RNG module — "
+                            "thread an explicit Generator derived via "
+                            "repro.utils.rng",
+                        )
+                    )
+        return findings

@@ -1,0 +1,66 @@
+"""REP002 — allocation-heavy numpy idioms banned inside ``@hot_path``.
+
+PR 3 measured ``np.unique`` (and friends: ``np.union1d``, ``np.append``,
+``.tolist()``) dominating the fused training step — generic dispatch plus a
+fresh allocation per call, paid once per draw on paths that run millions of
+times per sweep.  The fix was :func:`repro.utils.arrays.sorted_unique` and
+preallocated scratch; this rule keeps the regression from creeping back.
+
+The hot set is declared in the code itself: functions decorated with
+:func:`repro.utils.markers.hot_path` (the fused injection, training and
+evaluation paths).  The marker is a runtime no-op — it exists so the hot
+set lives next to the code it protects and travels with refactors, instead
+of in a path list here.  Nested functions inherit their enclosing marker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import Rule, SourceFile, call_name, has_decorator
+
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class HotPathAllocRule(Rule):
+    rule_id = "REP002"
+    title = "no allocation-heavy numpy idioms on @hot_path functions"
+
+    def check_file(self, source: SourceFile, context) -> Iterable[Finding]:
+        config = context.config.rep002
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, FUNCTION_NODES):
+                continue
+            if not has_decorator(node, config.marker):
+                continue
+            hot_name = source.qualname(node)
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                name = call_name(call)
+                if name is None:
+                    continue
+                head, _, attr = name.rpartition(".")
+                if head in config.banned_modules and attr in config.banned_calls:
+                    findings.append(
+                        source.finding(
+                            self.rule_id,
+                            call,
+                            f"`{name}` inside hot path `{hot_name}` — use the "
+                            "preallocated/sort-based equivalents "
+                            "(repro.utils.arrays) instead",
+                        )
+                    )
+                elif head and attr in config.banned_methods:
+                    findings.append(
+                        source.finding(
+                            self.rule_id,
+                            call,
+                            f"`.{attr}()` inside hot path `{hot_name}` — keep "
+                            "data in ndarrays on hot paths",
+                        )
+                    )
+        return findings

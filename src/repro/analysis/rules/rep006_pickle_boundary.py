@@ -1,0 +1,156 @@
+"""REP006 — no-pickle types must be cleared before serialization boundaries.
+
+Some objects must never cross the executor/cluster pickling boundary:
+:class:`~repro.eval.fast_eval.DeltaWeightPatcher` and
+:class:`~repro.eval.fast_eval.BatchPlan` hold per-process scratch buffers
+and zero-copy views whose aliasing contracts do not survive a round-trip,
+and memoized clean decodes are ``O(W)`` float64 payloads that would bloat
+every context shipment (each worker re-derives its own).  The repository's
+pattern is: cache them on an attribute, and null/drop that attribute in the
+owner's ``__getstate__``.
+
+Statically, the rule checks exactly that pattern.  No-pickle classes are
+declared in the code with :func:`repro.utils.markers.no_pickle` (plus the
+configured cache-attribute names whose payload type is not statically
+visible, like the memoized clean decode).  Any class that stores one —
+``self.x = BatchPlan(...)``, via a local temporary, or through
+``self.__dict__["x"] = ...`` — must define ``__getstate__``, and that
+``__getstate__`` must mention the attribute (clearing or popping it).
+Forgetting either is how a patcher silently ends up inside ``context.pkl``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import (
+    Rule,
+    SourceFile,
+    callee_basename,
+    has_decorator,
+    string_constants,
+)
+
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def collect_no_pickle_classes(sources: Iterable[SourceFile], marker: str) -> Set[str]:
+    names: Set[str] = set()
+    for source in sources:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and has_decorator(node, marker):
+                names.add(node.name)
+    return names
+
+
+def _self_attr(target: ast.AST) -> Optional[str]:
+    """``x`` for ``self.x`` or ``self.__dict__["x"]`` targets."""
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    if (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.value, ast.Attribute)
+        and isinstance(target.value.value, ast.Name)
+        and target.value.value.id == "self"
+        and target.value.attr == "__dict__"
+        and isinstance(target.slice, ast.Constant)
+        and isinstance(target.slice.value, str)
+    ):
+        return target.slice.value
+    return None
+
+
+def _no_pickle_attrs(
+    class_node: ast.ClassDef, registry: Set[str], extra_attrs: Set[str]
+) -> Dict[str, ast.AST]:
+    """Attributes of ``class_node`` that hold no-pickle payloads."""
+    held: Dict[str, ast.AST] = {}
+    for method in class_node.body:
+        if not isinstance(method, FUNCTION_NODES):
+            continue
+        if method.name == "__getstate__":
+            continue
+        # Locals assigned from a no-pickle constructor in this method.
+        tainted_locals: Set[str] = set()
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            value_is_no_pickle = (
+                isinstance(value, ast.Call) and callee_basename(value) in registry
+            ) or (isinstance(value, ast.Name) and value.id in tainted_locals)
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    if value_is_no_pickle or attr in extra_attrs:
+                        # ``self.attr = None`` resets a cache; only non-None
+                        # assignments make the attribute hold a payload.
+                        if not (
+                            isinstance(value, ast.Constant) and value.value is None
+                        ):
+                            held.setdefault(attr, node)
+                elif isinstance(target, ast.Name) and value_is_no_pickle:
+                    tainted_locals.add(target.id)
+    return held
+
+
+def _getstate_mentions(class_node: ast.ClassDef) -> Optional[Set[str]]:
+    """Attribute names ``__getstate__`` clears, or None if undefined."""
+    for method in class_node.body:
+        if isinstance(method, FUNCTION_NODES) and method.name == "__getstate__":
+            return set(string_constants(method))
+    return None
+
+
+class PickleBoundaryRule(Rule):
+    rule_id = "REP006"
+    title = "no-pickle payloads are cleared in __getstate__"
+
+    def check_project(self, context) -> Iterable[Finding]:
+        config = context.config.rep006
+        registry = collect_no_pickle_classes(context.src_files, config.marker)
+        extra = set(config.extra_attrs)
+        if not registry and not extra:
+            return ()
+        findings: List[Finding] = []
+        for source in context.src_files:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if has_decorator(node, config.marker):
+                    continue  # a no-pickle type may compose other ones freely
+                held = _no_pickle_attrs(node, registry, extra)
+                if not held:
+                    continue
+                cleared = _getstate_mentions(node)
+                for attr, assign in sorted(held.items()):
+                    if cleared is None:
+                        findings.append(
+                            source.finding(
+                                self.rule_id,
+                                assign,
+                                f"`{node.name}.{attr}` caches a no-pickle "
+                                "payload but the class defines no "
+                                "`__getstate__` — the payload would ship "
+                                "inside every pickled context",
+                                symbol=f"{node.name}.{attr}",
+                            )
+                        )
+                    elif attr not in cleared:
+                        findings.append(
+                            source.finding(
+                                self.rule_id,
+                                assign,
+                                f"`{node.name}.{attr}` caches a no-pickle "
+                                f"payload but `{node.name}.__getstate__` "
+                                "never clears it",
+                                symbol=f"{node.name}.{attr}",
+                            )
+                        )
+        return findings

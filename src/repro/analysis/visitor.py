@@ -1,0 +1,148 @@
+"""The visitor framework the rules build on.
+
+:class:`SourceFile` parses one file once and exposes the derived views every
+rule needs — the AST with parent links, enclosing-scope qualnames, dotted
+call names — so individual rules stay small ``ast.NodeVisitor`` subclasses
+over shared machinery instead of re-deriving it.
+
+Rules come in two shapes:
+
+* **per-file** rules implement :meth:`Rule.check_file` and see one
+  :class:`SourceFile` at a time (REP001–REP003);
+* **project** rules implement :meth:`Rule.check_project` and see the whole
+  :class:`repro.analysis.engine.AnalysisContext` — required when the
+  contract spans modules, like "every twin seam has a parity test"
+  (REP004) or "no-pickle types never cross a serialization boundary"
+  (REP006).
+
+The engine calls both; either may return no findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.findings import Finding
+
+SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class SourceFile:
+    """One parsed source file plus the lookups rules share."""
+
+    def __init__(self, path: str, relpath: str, source: str):
+        self.path = path
+        self.relpath = relpath.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted name of the scopes enclosing ``node`` (may be empty)."""
+        parts: List[str] = []
+        current = node
+        while current is not None:
+            if isinstance(current, SCOPE_NODES):
+                parts.append(current.name)
+            current = self._parents.get(current)
+        return ".".join(reversed(parts))
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = self._parents.get(current)
+        return None
+
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(
+        self, rule_id: str, node: ast.AST, message: str, symbol: Optional[str] = None
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule_id=rule_id,
+            path=self.relpath,
+            line=lineno,
+            message=message,
+            symbol=self.qualname(node) if symbol is None else symbol,
+            snippet=self.snippet(lineno),
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Dotted name a call targets (``np.random.seed``), else ``None``."""
+    return dotted_name(call.func)
+
+
+def callee_basename(call: ast.Call) -> Optional[str]:
+    """The unqualified callee name (``seed`` for ``np.random.seed(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def decorator_names(node: ast.AST) -> List[str]:
+    """Unqualified decorator names of a function or class definition."""
+    names: List[str] = []
+    for decorator in getattr(node, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def has_decorator(node: ast.AST, name: str) -> bool:
+    return name in decorator_names(node)
+
+
+def keyword_names(call: ast.Call) -> List[str]:
+    return [kw.arg for kw in call.keywords if kw.arg is not None]
+
+
+def string_constants(node: ast.AST) -> Iterable[str]:
+    """Every string literal appearing anywhere under ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and isinstance(child.value, str):
+            yield child.value
+
+
+class Rule:
+    """Base class: one contract, one rule id, per-file and/or project checks."""
+
+    rule_id: str = "REP000"
+    title: str = ""
+
+    def check_file(self, source: SourceFile, context) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, context) -> Iterable[Finding]:
+        return ()

@@ -1,0 +1,160 @@
+"""Inline waivers: ``# repro: ignore[REP003] <mandatory reason>``.
+
+A waiver suppresses named rules on its own line — or, when the comment
+stands alone, on the next code line below it (so long lines can carry their
+waiver above).  The reason is not optional: a waiver without one does not
+suppress anything and is itself reported as a :data:`WAIVER_RULE_ID`
+finding, as is a waiver whose bracket list is malformed.  Unused waivers
+are also reported — a waiver that no longer suppresses anything is stale
+documentation of a contract violation that no longer exists.
+
+Comments are found with :mod:`tokenize` (not regex over raw lines), so a
+``# repro: ignore[...]`` inside a string literal is never treated as a
+waiver.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.findings import Finding
+
+#: Rule id under which malformed / unused waivers are reported.
+WAIVER_RULE_ID = "REP000"
+
+_WAIVER_RE = re.compile(r"#\s*repro:\s*ignore\s*(?:\[([^\]]*)\])?\s*(.*)$")
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass
+class Waiver:
+    """One parsed inline waiver."""
+
+    path: str
+    line: int  # line the comment sits on
+    applies_to: List[int]  # code lines it suppresses
+    rule_ids: List[str]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class WaiverSet:
+    """Every well-formed waiver of one file, plus syntax findings."""
+
+    waivers: List[Waiver] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        hit = False
+        for waiver in self.waivers:
+            if rule_id in waiver.rule_ids and line in waiver.applies_to:
+                waiver.used = True
+                hit = True
+        return hit
+
+    def unused(self) -> List[Waiver]:
+        return [w for w in self.waivers if not w.used]
+
+
+def parse_waivers(relpath: str, source: str) -> WaiverSet:
+    """Parse every ``repro: ignore`` comment of ``source``."""
+    result = WaiverSet()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return result
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _WAIVER_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        snippet = lines[line - 1].strip() if line <= len(lines) else ""
+
+        def syntax_finding(message: str) -> Finding:
+            return Finding(
+                rule_id=WAIVER_RULE_ID,
+                path=relpath,
+                line=line,
+                message=message,
+                snippet=snippet,
+            )
+
+        raw_ids, reason = match.group(1), match.group(2).strip()
+        if raw_ids is None:
+            result.findings.append(
+                syntax_finding(
+                    "waiver must name the waived rules: "
+                    "`# repro: ignore[REP00x] <reason>`"
+                )
+            )
+            continue
+        rule_ids = [part.strip() for part in raw_ids.split(",") if part.strip()]
+        bad = [rid for rid in rule_ids if not _RULE_ID_RE.match(rid)]
+        if not rule_ids or bad:
+            result.findings.append(
+                syntax_finding(
+                    f"waiver rule list {raw_ids!r} is malformed; expected "
+                    "comma-separated ids like REP003"
+                )
+            )
+            continue
+        if not reason:
+            result.findings.append(
+                syntax_finding(
+                    f"waiver for {', '.join(rule_ids)} is missing its "
+                    "mandatory reason"
+                )
+            )
+            continue
+        standalone = snippet.startswith("#")
+        applies_to = [line]
+        if standalone:
+            # A standalone waiver comment covers the next code line, skipping
+            # blank lines and the rest of the comment block (a waiver's
+            # reason may continue over several comment lines).
+            follow = line + 1
+            while follow <= len(lines) and (
+                not lines[follow - 1].strip()
+                or lines[follow - 1].lstrip().startswith("#")
+            ):
+                follow += 1
+            if follow <= len(lines):
+                applies_to.append(follow)
+        result.waivers.append(
+            Waiver(
+                path=relpath,
+                line=line,
+                applies_to=applies_to,
+                rule_ids=rule_ids,
+                reason=reason,
+            )
+        )
+    return result
+
+
+def unused_waiver_findings(sets: Dict[str, WaiverSet]) -> List[Finding]:
+    """One finding per waiver that suppressed nothing."""
+    findings = []
+    for relpath, waiver_set in sets.items():
+        for waiver in waiver_set.unused():
+            findings.append(
+                Finding(
+                    rule_id=WAIVER_RULE_ID,
+                    path=relpath,
+                    line=waiver.line,
+                    message=(
+                        f"waiver for {', '.join(waiver.rule_ids)} suppresses "
+                        "nothing; remove it or fix its rule list"
+                    ),
+                    snippet=f"# repro: ignore[{','.join(waiver.rule_ids)}] {waiver.reason}",
+                )
+            )
+    return findings

@@ -19,6 +19,15 @@ from repro.biterror.backends import (
     batch_apply,
     make_backend,
 )
+from repro.biterror.ecc import (
+    SECDEDConfig,
+    apply_secded_to_codes,
+    ecc_energy_overhead,
+    probability_multi_bit_error,
+    residual_bit_error_rate,
+)
+from repro.biterror.mapping import LinearMemoryMap
+from repro.biterror.patterns import ChipProfile, FaultMap, make_profiled_chips
 from repro.biterror.random_errors import (
     DRAW_METHODS,
     BitErrorField,
@@ -29,16 +38,7 @@ from repro.biterror.random_errors import (
     inject_random_bit_errors,
     make_error_fields,
 )
-from repro.biterror.patterns import ChipProfile, FaultMap, make_profiled_chips
 from repro.biterror.voltage import VoltageModel
-from repro.biterror.mapping import LinearMemoryMap
-from repro.biterror.ecc import (
-    SECDEDConfig,
-    apply_secded_to_codes,
-    ecc_energy_overhead,
-    probability_multi_bit_error,
-    residual_bit_error_rate,
-)
 
 __all__ = [
     "InjectionBackend",

@@ -44,6 +44,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.utils.arrays import sorted_unique
+from repro.utils.markers import hot_path
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -160,6 +161,7 @@ class InjectionBackend:
         flat_codes = self._checked_flat(flat_codes)
         return flat_codes ^ self.xor_values(p, flat_codes.dtype)
 
+    @hot_path
     def delta_apply(
         self, flat_codes: np.ndarray, p: float
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -340,6 +342,7 @@ def _checked_batch(
     return backends, flat_codes.reshape(-1), step
 
 
+@hot_path
 def _scatter_xor_blocks(
     rows: np.ndarray, position_blocks: Sequence[np.ndarray], precision: int
 ) -> None:
@@ -365,6 +368,7 @@ def _scatter_xor_blocks(
     np.bitwise_xor.at(flat_view, weight_idx, (1 << bit_idx).astype(rows.dtype))
 
 
+@hot_path
 def batch_apply(
     backends: Sequence[InjectionBackend],
     flat_codes: np.ndarray,
@@ -394,6 +398,7 @@ def batch_apply(
     return out
 
 
+@hot_path
 def iter_batch_apply(
     backends: Sequence[InjectionBackend],
     flat_codes: np.ndarray,

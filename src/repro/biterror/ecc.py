@@ -21,7 +21,6 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy import stats
 
-from repro.utils.rng import as_rng
 
 __all__ = [
     "SECDEDConfig",

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Iterator, List, Sequence
 
-import numpy as np
 
 from repro.biterror.patterns import ChipProfile
 from repro.quant.fixed_point import QuantizedWeights

@@ -30,12 +30,13 @@ costs ``O(p * W * m)`` instead of unpacking all ``W * m`` payload bits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.quant.fixed_point import QuantizedWeights
 from repro.utils.arrays import sorted_unique
+from repro.utils.markers import hot_path
 from repro.utils.rng import as_rng
 
 __all__ = ["FaultMap", "ChipProfile", "make_profiled_chips"]
@@ -401,6 +402,7 @@ class ChipProfile:
             )
         return quantized.with_flat_codes(corrupted, copy=False), touched
 
+    @hot_path
     def delta_apply(
         self, quantized: QuantizedWeights, rate: float, offset: int = 0
     ) -> Tuple[np.ndarray, np.ndarray]:

@@ -34,6 +34,7 @@ from repro.biterror.backends import (
 )
 from repro.quant.fixed_point import QuantizedWeights
 from repro.utils.arrays import sorted_unique
+from repro.utils.markers import hot_path
 from repro.utils.rng import as_rng, spawn_rngs
 
 __all__ = [
@@ -149,6 +150,7 @@ def inject_random_bit_errors(
     return (result, positions) if return_positions else result
 
 
+@hot_path
 def inject_into_quantized(
     quantized: QuantizedWeights,
     p: float,
@@ -242,6 +244,7 @@ class BitErrorField:
         """Flip the erroneous bits of a flat code vector at rate ``p``."""
         return self.backend.apply(flat_codes, p)
 
+    @hot_path
     def delta_apply(
         self, flat_codes: np.ndarray, p: float
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -299,6 +302,7 @@ def _checked_field_backends(
     return [field.backend for field in fields]
 
 
+@hot_path
 def apply_fields_batch(
     fields: Sequence["BitErrorField"],
     quantized: QuantizedWeights,
@@ -331,6 +335,7 @@ def apply_fields_batch(
     return [quantized.with_flat_codes(row, copy=False) for row in batch]
 
 
+@hot_path
 def iter_apply_fields_batch(
     fields: Sequence["BitErrorField"],
     quantized: QuantizedWeights,

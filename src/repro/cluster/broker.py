@@ -32,12 +32,11 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue
 from repro.runtime.executors import group_jobs
 from repro.runtime.spec import EvalJob, SweepContext, SweepSpec
 from repro.runtime.store import ResultStore
 from repro.utils.serialization import atomic_write_bytes, atomic_write_json, read_jsonl
-
-from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue
 
 __all__ = [
     "CONTEXT_FILENAME",

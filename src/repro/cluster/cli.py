@@ -34,13 +34,12 @@ import pickle
 import sys
 from typing import Optional, Sequence
 
-from repro.runtime.spec import SweepSpec
-from repro.runtime.store import ResultStore
-
 from repro.cluster.broker import read_manifest, submit_spec
 from repro.cluster.merge import compact_results, gc_run_dir, merge_shards
 from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue
 from repro.cluster.worker import worker_loop
+from repro.runtime.spec import SweepSpec
+from repro.runtime.store import ResultStore
 
 __all__ = ["main"]
 

@@ -39,10 +39,6 @@ import tempfile
 import time
 from typing import Dict, Iterator, List, Optional, Sequence
 
-from repro.runtime.executors import GroupOutput, register_executor
-from repro.runtime.spec import EvalJob, SweepContext
-from repro.runtime.store import ResultStore
-
 from repro.cluster.broker import (
     WORKERS_DIRNAME,
     group_item_id,
@@ -50,6 +46,9 @@ from repro.cluster.broker import (
 )
 from repro.cluster.merge import ShardTail, discover_shards
 from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue
+from repro.runtime.executors import GroupOutput, register_executor
+from repro.runtime.spec import EvalJob, SweepContext
+from repro.runtime.store import ResultStore
 
 __all__ = ["ClusterExecutor", "spawn_local_worker", "live_worker_ids"]
 

@@ -28,12 +28,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.cluster.broker import SHARDS_DIRNAME, WORKERS_DIRNAME
+from repro.cluster.queue import JobQueue
 from repro.runtime.spec import CellResult
 from repro.runtime.store import RESULTS_FILENAME, ResultStore
 from repro.utils.serialization import atomic_write_text, read_jsonl
-
-from repro.cluster.broker import SHARDS_DIRNAME, WORKERS_DIRNAME
-from repro.cluster.queue import JobQueue
 
 __all__ = [
     "ShardTail",

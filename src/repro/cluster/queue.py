@@ -130,6 +130,9 @@ class JobQueue:
         immediately (the claim touches the file before returning).
         """
         candidates = self._ids(PENDING)
+        # repro: ignore[REP001] claim-order decorrelation across worker
+        # processes is *meant* to be nondeterministic; results are merged by
+        # content key, so claim order can never affect sweep output.
         random.shuffle(candidates)
         for item_id in candidates:
             pending_path = self._path(PENDING, item_id)

@@ -29,17 +29,12 @@ key on merge.  Either way the merged results are complete and exact.
 from __future__ import annotations
 
 import os
+import pickle
 import socket
 import threading
 import time
-import pickle
 from dataclasses import dataclass, field
 from typing import List, Optional
-
-from repro.runtime.executors import execute_group
-from repro.runtime.spec import EvalJob
-from repro.runtime.store import job_metadata
-from repro.utils.serialization import append_jsonl
 
 from repro.cluster.broker import (
     CONTEXT_FILENAME,
@@ -48,6 +43,10 @@ from repro.cluster.broker import (
     read_manifest,
 )
 from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue, WorkItem
+from repro.runtime.executors import execute_group
+from repro.runtime.spec import EvalJob
+from repro.runtime.store import job_metadata
+from repro.utils.serialization import append_jsonl, atomic_write_text
 
 __all__ = ["WorkerStats", "worker_loop", "default_worker_id"]
 
@@ -112,8 +111,9 @@ def _touch_beacon(run_dir: str, worker_id: str) -> None:
         os.utime(path)
     except FileNotFoundError:
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(str(os.getpid()) + "\n")
+        # Atomic create: the coordinator may read the beacon at any moment,
+        # and a torn write would make a live worker look dead.
+        atomic_write_text(path, str(os.getpid()) + "\n")
 
 
 def _maybe_crash(claims_done: int, crash_after_claim: Optional[int]) -> None:

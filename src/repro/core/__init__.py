@@ -3,10 +3,10 @@ random bit error training (RandBET) and the fixed-pattern baseline (PattBET).
 """
 
 from repro.core.clipping import clip_model_weights, clip_weights, max_absolute_weight, scale_model_weights
-from repro.core.trainer import Trainer, TrainerConfig, TrainingHistory, EvalResult
-from repro.core.randbet import RandBETConfig, RandBETTrainer
 from repro.core.pattbet import PattBETConfig, PattBETTrainer
 from repro.core.pipeline import RobustTrainingResult, train_robust_model
+from repro.core.randbet import RandBETConfig, RandBETTrainer
+from repro.core.trainer import EvalResult, Trainer, TrainerConfig, TrainingHistory
 
 __all__ = [
     "clip_weights",

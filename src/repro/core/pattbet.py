@@ -23,6 +23,7 @@ from repro.nn.module import Module
 from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
 from repro.quant.qat import model_weight_arrays, swap_weights
 from repro.utils.arrays import sorted_unique
+from repro.utils.markers import hot_path
 
 __all__ = ["PattBETConfig", "PattBETTrainer"]
 
@@ -97,6 +98,7 @@ class PattBETTrainer(Trainer):
             quantized, self.config.bit_error_rate, offset=self.config.memory_offset
         )
 
+    @hot_path
     def _pattern_touched_weights(self, quantized: QuantizedWeights) -> np.ndarray:
         """Flat weight indices the fixed pattern can touch (a superset of
         those actually changed — sufficient for delta de-quantization).
@@ -120,6 +122,7 @@ class PattBETTrainer(Trainer):
         self._touched_weights = touched
         return touched
 
+    @hot_path
     def compute_gradients(self, inputs: np.ndarray, labels: np.ndarray) -> float:
         quantized = self.quantizer.quantize(model_weight_arrays(self.model))
         clean_weights = self.quantizer.dequantize(quantized)

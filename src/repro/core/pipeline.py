@@ -9,7 +9,7 @@ This is the recommended entry point for downstream users; the examples in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

@@ -30,6 +30,7 @@ from repro.core.trainer import Trainer, TrainerConfig
 from repro.nn.module import Module
 from repro.quant.fixed_point import FixedPointQuantizer, QuantizedWeights
 from repro.quant.qat import model_weight_arrays, swap_weights
+from repro.utils.markers import hot_path
 from repro.utils.rng import as_rng
 
 __all__ = ["RandBETConfig", "RandBETTrainer"]
@@ -123,6 +124,7 @@ class RandBETTrainer(Trainer):
             self._errors_active = True
 
     # -- gradient computation (Alg. 1 lines 7–16) ----------------------------
+    @hot_path
     def compute_gradients(self, inputs: np.ndarray, labels: np.ndarray) -> float:
         quantized = self.quantizer.quantize(model_weight_arrays(self.model))
         clean_weights = self.quantizer.dequantize(quantized)
@@ -155,6 +157,7 @@ class RandBETTrainer(Trainer):
             param.grad *= 0.5
         return clean_loss
 
+    @hot_path
     def _perturbed_weights(
         self,
         quantized: QuantizedWeights,

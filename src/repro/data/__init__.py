@@ -8,6 +8,13 @@ simple vector "blobs" task for fast unit tests.  See DESIGN.md for the
 substitution rationale.
 """
 
+from repro.data.augmentation import (
+    cutout,
+    horizontal_flip,
+    normalize_images,
+    random_crop,
+    standard_augmentation,
+)
 from repro.data.datasets import ArrayDataset, DataLoader, train_test_split
 from repro.data.synthetic import (
     SyntheticImageConfig,
@@ -16,13 +23,6 @@ from repro.data.synthetic import (
     synthetic_cifar10,
     synthetic_cifar100,
     synthetic_mnist,
-)
-from repro.data.augmentation import (
-    cutout,
-    horizontal_flip,
-    normalize_images,
-    random_crop,
-    standard_augmentation,
 )
 
 __all__ = [

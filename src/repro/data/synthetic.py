@@ -17,7 +17,7 @@ Three presets mirror the paper's datasets at reduced scale:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -1,6 +1,17 @@
 """Evaluation: robust test error, confidences, redundancy, guarantees, energy."""
 
+from repro.eval.confidence import confidence_statistics, logit_statistics
+from repro.eval.energy import EnergyReport, energy_report, precision_energy_factor
 from repro.eval.fast_eval import BatchPlan, DeltaWeightPatcher, evaluate_on_plan
+from repro.eval.guarantees import deviation_bound, required_samples
+from repro.eval.linf import evaluate_linf_robustness
+from repro.eval.pareto import pareto_frontier
+from repro.eval.redundancy import (
+    redundancy_metrics,
+    relative_absolute_error,
+    relu_relevance,
+    weight_relevance,
+)
 from repro.eval.robust_error import (
     RobustErrorResult,
     evaluate_clean_error,
@@ -8,17 +19,6 @@ from repro.eval.robust_error import (
     evaluate_robust_error,
     model_error_and_confidence,
 )
-from repro.eval.confidence import confidence_statistics, logit_statistics
-from repro.eval.redundancy import (
-    redundancy_metrics,
-    relative_absolute_error,
-    relu_relevance,
-    weight_relevance,
-)
-from repro.eval.linf import evaluate_linf_robustness
-from repro.eval.guarantees import deviation_bound, required_samples
-from repro.eval.energy import EnergyReport, energy_report, precision_energy_factor
-from repro.eval.pareto import pareto_frontier
 from repro.eval.sweeps import (
     ProfiledCurve,
     RErrCurve,

@@ -9,13 +9,12 @@ the confidence columns of Table 2 report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.data.datasets import ArrayDataset
-from repro.nn.losses import confidences, softmax
+from repro.nn.losses import confidences
 from repro.nn.module import Module
 from repro.quant.fixed_point import FixedPointQuantizer
 from repro.quant.qat import model_weight_arrays, swap_weights

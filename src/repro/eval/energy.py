@@ -11,7 +11,7 @@ energy; lower precision ``m`` additionally reduces the number of stored bits
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from repro.biterror.voltage import VoltageModel
 

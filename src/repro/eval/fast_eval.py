@@ -33,7 +33,7 @@ import :mod:`repro.runtime` (the executors import it lazily).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -41,10 +41,12 @@ from repro.nn.losses import confidences
 from repro.nn.module import Module
 from repro.quant.fixed_point import QuantizedWeights, decode_array
 from repro.quant.qat import swap_weights
+from repro.utils.markers import hot_path, no_pickle
 
 __all__ = ["BatchPlan", "evaluate_on_plan", "DeltaWeightPatcher"]
 
 
+@no_pickle
 class BatchPlan:
     """Mini-batching of one dataset, hoisted out of the per-draw loop.
 
@@ -84,6 +86,7 @@ class BatchPlan:
         return iter(self.batches)
 
 
+@hot_path
 def evaluate_on_plan(
     model: Module, weights: Sequence[np.ndarray], plan: BatchPlan
 ) -> Tuple[float, float]:
@@ -110,6 +113,7 @@ def evaluate_on_plan(
     return errors / max(total, 1), confidence_sum / max(total, 1)
 
 
+@no_pickle
 class DeltaWeightPatcher:
     """Patch touched weights of a clean de-quantization in place, per draw.
 
@@ -166,6 +170,7 @@ class DeltaWeightPatcher:
                 )
         return touched, np.searchsorted(touched, self._offsets)
 
+    @hot_path
     @contextmanager
     def _patched_spans(self, touched: np.ndarray, codes_for_span):
         """Shared patch/restore walk over the per-tensor spans of ``touched``.
@@ -193,6 +198,7 @@ class DeltaWeightPatcher:
             for flat, selection, original in saved:
                 flat[selection] = original
 
+    @hot_path
     def patched(self, touched: np.ndarray, code_values: np.ndarray):
         """Evaluate with ``code_values`` decoded at the ``touched`` indices.
 
@@ -213,6 +219,7 @@ class DeltaWeightPatcher:
             touched, lambda index, span, selection: code_values[span]
         )
 
+    @hot_path
     def patched_quantized(self, corrupted: QuantizedWeights, touched: np.ndarray):
         """Like :meth:`patched`, gathering the delta codes from ``corrupted``.
 

@@ -12,7 +12,7 @@ measures:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.data.datasets import ArrayDataset
 from repro.nn.activations import ReLU
 from repro.nn.module import Module
 from repro.quant.fixed_point import FixedPointQuantizer
-from repro.quant.qat import model_weight_arrays, quantize_model, swap_weights
+from repro.quant.qat import quantize_model
 from repro.utils.rng import as_rng
 
 __all__ = [

@@ -5,12 +5,12 @@ All constructors accept a ``norm`` argument selecting group normalization
 Table 10 to be fragile under bit errors) or no normalization (``"none"``).
 """
 
-from repro.models.mlp import MLP
 from repro.models.lenet import LeNet
-from repro.models.simplenet import SimpleNet
-from repro.models.resnet import ResNet, ResidualBlock
-from repro.models.wideresnet import WideResNet
+from repro.models.mlp import MLP
 from repro.models.registry import build_model, list_models, model_summary, register_model
+from repro.models.resnet import ResidualBlock, ResNet
+from repro.models.simplenet import SimpleNet
+from repro.models.wideresnet import WideResNet
 
 __all__ = [
     "MLP",

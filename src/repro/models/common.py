@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
-import numpy as np
 
 from repro.nn import BatchNorm2d, GroupNorm, Identity, Module
 

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
-import numpy as np
 
 from repro.models.lenet import LeNet
 from repro.models.mlp import MLP

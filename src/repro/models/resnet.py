@@ -8,7 +8,6 @@ import numpy as np
 
 from repro.models.common import make_norm
 from repro.nn import (
-    AvgPool2d,
     Conv2d,
     Flatten,
     GlobalAvgPool2d,

@@ -9,20 +9,20 @@ batch statistics at test time (Table 10), and cross-entropy with the paper's
 label-smoothing variant (Sec. 5.2).
 """
 
-from repro.nn.module import Module, Parameter, Sequential
-from repro.nn.linear import Linear
+from repro.nn import init
+from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.nn.conv import (
     Conv2d,
     conv_contraction,
     get_conv_contraction,
     set_conv_contraction,
 )
-from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
-from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
-from repro.nn.normalization import BatchNorm2d, GroupNorm
 from repro.nn.flatten import Flatten
+from repro.nn.linear import Linear
 from repro.nn.losses import CrossEntropyLoss, accuracy, log_softmax, softmax
-from repro.nn import init
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.normalization import BatchNorm2d, GroupNorm
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 
 __all__ = [
     "Module",

@@ -1,6 +1,6 @@
 """Optimizers and learning-rate schedules."""
 
-from repro.optim.sgd import SGD
 from repro.optim.schedules import ConstantLR, CosineLR, MultiStepLR
+from repro.optim.sgd import SGD
 
 __all__ = ["SGD", "MultiStepLR", "ConstantLR", "CosineLR"]

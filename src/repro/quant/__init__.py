@@ -20,6 +20,14 @@ from repro.quant.fixed_point import (
     encode_array,
     weight_range,
 )
+from repro.quant.qat import (
+    dequantize_into,
+    model_weight_arrays,
+    quantize_dequantize_model,
+    quantize_model,
+    set_model_weights,
+    swap_weights,
+)
 from repro.quant.schemes import (
     SCHEME_LADDER,
     asymmetric_signed_quantization,
@@ -28,14 +36,6 @@ from repro.quant.schemes import (
     normal_quantization,
     rquant,
     scheme_ladder,
-)
-from repro.quant.qat import (
-    dequantize_into,
-    model_weight_arrays,
-    quantize_dequantize_model,
-    quantize_model,
-    set_model_weights,
-    swap_weights,
 )
 
 __all__ = [

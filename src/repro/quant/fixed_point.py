@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.markers import hot_path
+
 __all__ = [
     "QuantizationScheme",
     "QuantizedWeights",
@@ -148,6 +150,7 @@ def _signed_wrap_table(precision: int) -> np.ndarray:
     return table
 
 
+@hot_path
 def encode_array(
     weights: np.ndarray,
     q_min: float,
@@ -234,6 +237,7 @@ def encode_array(
     return out
 
 
+@hot_path
 def decode_array(
     codes: np.ndarray, q_min: float, q_max: float, scheme: QuantizationScheme
 ) -> np.ndarray:
@@ -446,6 +450,7 @@ class FixedPointQuantizer:
             for codes, (lo, hi) in zip(quantized.codes, quantized.ranges)
         ]
 
+    @hot_path
     def dequantize_delta(
         self,
         clean_weights: Sequence[np.ndarray],

@@ -13,7 +13,7 @@ weights — the mechanism behind Alg. 1.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Sequence
 
 import numpy as np
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.biterror.random_errors import iter_apply_fields_batch
 from repro.runtime.spec import CellResult, EvalJob, SweepContext
+from repro.utils.markers import hot_path
 
 __all__ = [
     "SerialExecutor",
@@ -111,6 +112,7 @@ def subsample_plan(context: SweepContext, job: EvalJob):
     return BatchPlan(context.dataset.subset(indices), context.batch_size)
 
 
+@hot_path
 def execute_group(
     context: SweepContext,
     group: Sequence[EvalJob],

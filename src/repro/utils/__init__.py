@@ -3,8 +3,8 @@ serialization."""
 
 from repro.utils.arrays import sorted_unique
 from repro.utils.rng import SeedSequence, new_rng, spawn_rngs
-from repro.utils.tables import Table, format_table
 from repro.utils.serialization import load_state_dict, save_state_dict
+from repro.utils.tables import Table, format_table
 
 __all__ = [
     "SeedSequence",

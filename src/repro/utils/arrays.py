@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.markers import hot_path
+
 __all__ = ["sorted_unique"]
 
 
+@hot_path
 def sorted_unique(values: np.ndarray) -> np.ndarray:
     """Sorted distinct values of an integer array, like ``np.unique``.
 

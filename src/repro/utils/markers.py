@@ -1,0 +1,36 @@
+"""Code markers the static analyzer (:mod:`repro.analysis`) keys on.
+
+Both markers are runtime no-ops — they tag an attribute and return their
+argument unchanged — so decorating costs nothing on the hot paths they
+describe.  They exist so the analyzer's scopes live *next to the code they
+protect* and travel with refactors, instead of rotting in a path list:
+
+``hot_path``
+    Declares a function part of a measured hot path (fused injection,
+    training step, per-draw evaluation).  REP002 then bans
+    allocation-heavy numpy idioms (``np.unique``, ``np.union1d``,
+    ``np.append``, ``.tolist()``) inside it — the exact regression class
+    PR 3 profiled out.
+
+``no_pickle``
+    Declares a class that must never cross an executor/cluster pickling
+    boundary (per-process scratch, zero-copy views).  REP006 then requires
+    every class caching an instance on an attribute to clear that
+    attribute in ``__getstate__``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["hot_path", "no_pickle"]
+
+
+def hot_path(func):
+    """Mark ``func`` as a measured hot path (REP002 allocation lint scope)."""
+    func.__repro_hot_path__ = True
+    return func
+
+
+def no_pickle(cls):
+    """Mark ``cls`` as forbidden at pickling boundaries (REP006 scope)."""
+    cls.__repro_no_pickle__ = True
+    return cls

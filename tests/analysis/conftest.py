@@ -1,0 +1,39 @@
+"""Fixtures for the invariant-linter tests.
+
+Rule tests build throwaway projects under ``tmp_path`` instead of committing
+fixture files: the violating sources exist only inside the test, so neither
+the repository's own ``python -m repro.analysis check`` nor ruff ever scans
+them.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.config import default_config
+from repro.analysis.engine import run_analysis
+
+
+@pytest.fixture
+def project(tmp_path):
+    """Build ``{relpath: source}`` into a tmp tree, return its config."""
+
+    def build(files):
+        for relpath, text in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return default_config(str(tmp_path))
+
+    return build
+
+
+@pytest.fixture
+def check(project):
+    """Build a project and run the full analysis on it (no baseline)."""
+
+    def run(files, rules=None):
+        config = project(files)
+        return run_analysis(config, rules=rules, use_baseline=False)
+
+    return run

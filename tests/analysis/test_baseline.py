@@ -1,0 +1,106 @@
+"""Baseline round-trip: grandfather, tolerate, age out, keep reasons."""
+
+import json
+import textwrap
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import run_analysis
+
+BAD = textwrap.dedent(
+    """\
+    import numpy as np
+
+    def bad():
+        np.random.seed(0)
+    """
+)
+
+WORSE = textwrap.dedent(
+    """\
+    import numpy as np
+
+    def bad():
+        np.random.seed(0)
+
+    def also_bad():
+        np.random.shuffle([1, 2])
+    """
+)
+
+
+def test_baselined_findings_are_tolerated_not_hidden(project):
+    config = project({"src/mod.py": BAD})
+    report = run_analysis(config, use_baseline=False)
+    assert len(report.new_findings) == 1
+
+    write_baseline(config.baseline_path, report.findings)
+    again = run_analysis(config)
+    assert again.ok
+    assert again.new_findings == []
+    assert len(again.baselined) == 1
+
+
+def test_new_findings_still_fail_after_baselining(project, tmp_path):
+    config = project({"src/mod.py": BAD})
+    write_baseline(
+        config.baseline_path, run_analysis(config, use_baseline=False).findings
+    )
+    (tmp_path / "src" / "mod.py").write_text(WORSE, encoding="utf-8")
+    report = run_analysis(config)
+    assert not report.ok
+    assert len(report.new_findings) == 1
+    assert "np.random.shuffle" in report.new_findings[0].message
+    assert len(report.baselined) == 1
+
+
+def test_fingerprints_survive_unrelated_edits(project, tmp_path):
+    config = project({"src/mod.py": BAD})
+    write_baseline(
+        config.baseline_path, run_analysis(config, use_baseline=False).findings
+    )
+    # Push the violation to a different line number; the fingerprint is
+    # line-free so the baseline still matches.
+    (tmp_path / "src" / "mod.py").write_text(
+        "# a new header comment\n# another\n" + BAD, encoding="utf-8"
+    )
+    report = run_analysis(config)
+    assert report.ok
+    assert len(report.baselined) == 1
+
+
+def test_regeneration_preserves_reasons_and_drops_fixed(project, tmp_path):
+    config = project({"src/mod.py": WORSE})
+    findings = run_analysis(config, use_baseline=False).findings
+    assert len(findings) == 2
+    write_baseline(config.baseline_path, findings)
+
+    # Document a reason by hand, as review would.
+    document = json.loads((tmp_path / "analysis-baseline.json").read_text())
+    document["findings"][0]["reason"] = "kept for the round-trip test"
+    (tmp_path / "analysis-baseline.json").write_text(json.dumps(document))
+    kept_fingerprint = document["findings"][0]["fingerprint"]
+
+    # One violation is fixed; regenerating drops it and keeps the reason.
+    (tmp_path / "src" / "mod.py").write_text(BAD, encoding="utf-8")
+    write_baseline(
+        config.baseline_path, run_analysis(config, use_baseline=False).findings
+    )
+    regenerated = load_baseline(config.baseline_path)
+    assert len(regenerated.entries) == 1
+    if kept_fingerprint in regenerated.entries:
+        assert regenerated.reason(kept_fingerprint) == "kept for the round-trip test"
+
+
+def test_waived_findings_never_enter_the_baseline(project):
+    config = project(
+        {
+            "src/mod.py": (
+                "import numpy as np\n\n"
+                "def bad():\n"
+                "    np.random.seed(0)  # repro: ignore[REP001] fixture\n"
+            )
+        }
+    )
+    report = run_analysis(config, use_baseline=False)
+    assert report.findings == []
+    assert report.waived == 1

@@ -1,0 +1,97 @@
+"""CLI: exit codes, output formats, baseline subcommand."""
+
+import io
+import json
+import textwrap
+
+from repro.analysis.cli import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE, main
+
+CLEAN = "def fine():\n    return 1\n"
+BAD = textwrap.dedent(
+    """\
+    import numpy as np
+
+    def bad():
+        np.random.seed(0)
+    """
+)
+
+
+def write_project(tmp_path, source):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text(source, encoding="utf-8")
+    return str(tmp_path)
+
+
+def run_cli(*argv):
+    stream = io.StringIO()
+    code = main(list(argv), stream=stream)
+    return code, stream.getvalue()
+
+
+def test_check_exits_zero_on_clean_tree(tmp_path):
+    root = write_project(tmp_path, CLEAN)
+    code, out = run_cli("check", "--root", root)
+    assert code == EXIT_OK
+    assert "0 new finding(s)" in out
+
+
+def test_check_exits_nonzero_on_new_findings(tmp_path):
+    root = write_project(tmp_path, BAD)
+    code, out = run_cli("check", "--root", root)
+    assert code == EXIT_FINDINGS
+    assert "REP001" in out
+
+
+def test_check_json_format(tmp_path):
+    root = write_project(tmp_path, BAD)
+    code, out = run_cli("check", "--root", root, "--format", "json")
+    assert code == EXIT_FINDINGS
+    document = json.loads(out)
+    assert document["ok"] is False
+    assert document["new"][0]["rule"] == "REP001"
+    assert document["new"][0]["path"] == "src/mod.py"
+    assert document["new"][0]["fingerprint"]
+
+
+def test_baseline_then_check_passes_and_no_baseline_overrides(tmp_path):
+    root = write_project(tmp_path, BAD)
+    code, out = run_cli("baseline", "--root", root)
+    assert code == EXIT_OK
+    assert "baselined 1 finding(s)" in out
+    assert (tmp_path / "analysis-baseline.json").exists()
+
+    code, out = run_cli("check", "--root", root)
+    assert code == EXIT_OK
+    assert "1 baselined" in out
+
+    code, _ = run_cli("check", "--root", root, "--no-baseline")
+    assert code == EXIT_FINDINGS
+
+
+def test_custom_baseline_path_is_relative_to_root(tmp_path):
+    root = write_project(tmp_path, BAD)
+    code, _ = run_cli("baseline", "--root", root, "--baseline", "ci/base.json")
+    assert code == EXIT_OK
+    assert (tmp_path / "ci" / "base.json").exists()
+
+
+def test_usage_errors_exit_two(capsys):
+    # main() converts argparse's SystemExit into a return code.
+    assert main(["not-a-command"]) == EXIT_USAGE
+    assert main([]) == EXIT_USAGE
+
+
+def test_rules_subcommand_lists_all_rules():
+    code, out = run_cli("rules")
+    assert code == EXIT_OK
+    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        assert rule_id in out
+
+
+def test_unreadable_file_becomes_a_finding(tmp_path):
+    root = write_project(tmp_path, "def broken(:\n")
+    code, out = run_cli("check", "--root", root)
+    assert code == EXIT_FINDINGS
+    assert "does not parse" in out

@@ -1,0 +1,262 @@
+"""Cross-module rules: REP004 (parity seams), REP005 (content key),
+REP006 (pickle boundary)."""
+
+
+def findings_for(report, rule_id):
+    return [f for f in report.new_findings if f.rule_id == rule_id]
+
+
+# -- REP004: parity-seam coverage ---------------------------------------------
+
+SEAM_SRC = """\
+    def evaluate(model, fused=True):
+        return model if fused else model
+"""
+
+
+def test_rep004_uncovered_seam_is_a_finding(check):
+    report = check({"src/mod.py": SEAM_SRC, "tests/test_mod.py": "def test_a():\n    pass\n"})
+    found = findings_for(report, "REP004")
+    assert len(found) == 1
+    assert "evaluate(fused=...)" in found[0].message
+
+
+def test_rep004_explicit_keyword_in_a_test_covers_the_seam(check):
+    test = """\
+        from mod import evaluate
+
+        def test_parity():
+            assert evaluate(1, fused=False) == evaluate(1, fused=True)
+    """
+    report = check({"src/mod.py": SEAM_SRC, "tests/test_mod.py": test})
+    assert findings_for(report, "REP004") == []
+
+
+def test_rep004_positional_or_defaulted_call_does_not_count(check):
+    test = """\
+        from mod import evaluate
+
+        def test_not_parity():
+            assert evaluate(1) == evaluate(1, False)
+    """
+    report = check({"src/mod.py": SEAM_SRC, "tests/test_mod.py": test})
+    assert len(findings_for(report, "REP004")) == 1
+
+
+def test_rep004_init_and_dataclass_seams_addressed_by_class_name(check):
+    source = """\
+        from dataclasses import dataclass
+
+        class Field:
+            def __init__(self, size, backend="dense"):
+                self.size = size
+                self.backend = backend
+
+        @dataclass
+        class Config:
+            error_draw: str = "dense"
+    """
+    test = """\
+        from mod import Config, Field
+
+        def test_parity():
+            assert Field(3, backend="sparse").size == 3
+            assert Config(error_draw="sparse").error_draw == "sparse"
+    """
+    report = check({"src/mod.py": source, "tests/test_mod.py": test})
+    assert findings_for(report, "REP004") == []
+    # Drop the test: both class-addressed seams surface.
+    report = check({"src/mod.py": source, "tests/test_mod.py": "x = 1\n"})
+    assert len(findings_for(report, "REP004")) == 2
+
+
+def test_rep004_private_helpers_are_not_seams(check):
+    source = """\
+        def _helper(fused=True):
+            return fused
+    """
+    report = check({"src/mod.py": source})
+    assert findings_for(report, "REP004") == []
+
+
+# -- REP005: content-key completeness -----------------------------------------
+
+SPEC_PATH = "src/repro/runtime/spec.py"
+
+
+def spec_source(payload_lines, key_call="job._content_key()"):
+    """A minimal spec module whose ``_content_key`` folds ``payload_lines``."""
+    body = "\n".join("        " + line for line in payload_lines)
+    return f"""\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    kind: str
+    rate: float
+    offset: int = 0
+
+    def _content_key(self, extra=None):
+        payload = {{"schema": 1, "kind": self.kind}}
+{body}
+        return payload
+
+
+class SweepSpec:
+    def __init__(self, dataset):
+        self.dataset = dataset
+        self._cache = None
+
+    def key(self, job):
+        return {key_call}
+"""
+
+
+def test_rep005_fully_keyed_spec_passes(check):
+    spec = spec_source([
+        'payload["rate"] = self.rate',
+        'payload["offset"] = self.offset',
+        'payload["dataset"] = 0',
+    ])
+    report = check({SPEC_PATH: spec})
+    assert findings_for(report, "REP005") == []
+
+
+def test_rep005_unkeyed_field_is_a_finding(check):
+    spec = spec_source(['payload["rate"] = self.rate', 'payload["dataset"] = 0'])
+    report = check({SPEC_PATH: spec})
+    found = findings_for(report, "REP005")
+    assert len(found) == 1
+    assert "EvalJob.offset" in found[0].message
+    assert "share a cache key" in found[0].message
+
+
+def test_rep005_unkeyed_spec_attribute_is_a_finding(check):
+    # ``dataset`` is a public SweepSpec attribute with no payload key;
+    # private ``_cache`` is never checked.
+    spec = spec_source(['payload["rate"] = self.rate', 'payload["offset"] = 0'])
+    report = check({SPEC_PATH: spec})
+    found = findings_for(report, "REP005")
+    assert len(found) == 1
+    assert "SweepSpec.dataset" in found[0].message
+
+
+def test_rep005_extra_dict_at_call_site_counts_as_payload(check):
+    spec = spec_source(
+        ['payload["rate"] = self.rate'],
+        key_call='job._content_key({"offset": job.offset, "dataset": 0})',
+    )
+    report = check({SPEC_PATH: spec})
+    assert findings_for(report, "REP005") == []
+
+
+def test_rep005_rotted_coverage_mapping_is_a_finding(project):
+    from repro.analysis.engine import run_analysis
+
+    spec = spec_source(['payload["rate"] = self.rate', 'payload["dataset"] = 0'])
+    config = project({SPEC_PATH: spec})
+    config.rep005.coverage = {"offset": ("gone_key",)}
+    report = run_analysis(config, use_baseline=False)
+    found = findings_for(report, "REP005")
+    assert len(found) == 1
+    assert "rotted" in found[0].message
+
+
+# -- REP006: pickle-boundary safety -------------------------------------------
+
+NO_PICKLE_DEF = """\
+    from repro.utils.markers import no_pickle
+
+
+    @no_pickle
+    class BatchPlan:
+        def __init__(self, dataset):
+            self.dataset = dataset
+"""
+
+
+def test_rep006_missing_getstate_is_a_finding(check):
+    holder = """\
+        from plan import BatchPlan
+
+        class Context:
+            def __init__(self, dataset):
+                self._plan = BatchPlan(dataset)
+    """
+    report = check({"src/plan.py": NO_PICKLE_DEF, "src/ctx.py": holder})
+    found = findings_for(report, "REP006")
+    assert len(found) == 1
+    assert "Context._plan" in found[0].message
+    assert "no `__getstate__`" in found[0].message
+
+
+def test_rep006_getstate_that_clears_the_attr_passes(check):
+    holder = """\
+        from plan import BatchPlan
+
+        class Context:
+            def __init__(self, dataset):
+                self._plan = BatchPlan(dataset)
+
+            def __getstate__(self):
+                state = dict(self.__dict__)
+                state["_plan"] = None
+                return state
+    """
+    report = check({"src/plan.py": NO_PICKLE_DEF, "src/ctx.py": holder})
+    assert findings_for(report, "REP006") == []
+
+
+def test_rep006_getstate_that_forgets_the_attr_is_a_finding(check):
+    holder = """\
+        from plan import BatchPlan
+
+        class Context:
+            def __init__(self, dataset):
+                self._plan = BatchPlan(dataset)
+
+            def __getstate__(self):
+                return dict(self.__dict__)
+    """
+    report = check({"src/plan.py": NO_PICKLE_DEF, "src/ctx.py": holder})
+    found = findings_for(report, "REP006")
+    assert len(found) == 1
+    assert "never clears it" in found[0].message
+
+
+def test_rep006_tracks_local_temporaries_and_dict_assignment(check):
+    holder = """\
+        from plan import BatchPlan
+
+        class Context:
+            def warm(self, dataset):
+                plan = BatchPlan(dataset)
+                self.__dict__["_plan_cache"] = plan
+    """
+    report = check({"src/plan.py": NO_PICKLE_DEF, "src/ctx.py": holder})
+    found = findings_for(report, "REP006")
+    assert len(found) == 1
+    assert "Context._plan_cache" in found[0].message
+
+
+def test_rep006_configured_cache_attrs_need_clearing_too(check):
+    holder = """\
+        class Entry:
+            def warm(self, weights):
+                self._clean_weights_cache = weights
+    """
+    report = check({"src/ctx.py": holder})
+    found = findings_for(report, "REP006")
+    assert len(found) == 1
+    assert "Entry._clean_weights_cache" in found[0].message
+
+
+def test_rep006_none_reset_is_not_a_payload(check):
+    holder = """\
+        class Entry:
+            def reset(self):
+                self._clean_weights_cache = None
+    """
+    report = check({"src/ctx.py": holder})
+    assert findings_for(report, "REP006") == []

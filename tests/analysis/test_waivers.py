@@ -1,0 +1,100 @@
+"""Waiver syntax: parsing, attachment, mandatory reasons, staleness."""
+
+from repro.analysis.waivers import parse_waivers
+
+
+def rule_ids(report):
+    return sorted(finding.rule_id for finding in report.new_findings)
+
+
+VIOLATION = """\
+    import numpy as np
+
+    def seed_everything():
+        np.random.seed(0){waiver}
+"""
+
+
+def test_same_line_waiver_suppresses(check):
+    report = check(
+        {
+            "src/mod.py": VIOLATION.format(
+                waiver="  # repro: ignore[REP001] fixture exercises the waiver"
+            )
+        }
+    )
+    assert report.new_findings == []
+    assert report.waived == 1
+
+
+def test_standalone_waiver_covers_next_code_line(check):
+    source = """\
+        import numpy as np
+
+        def seed_everything():
+            # repro: ignore[REP001] reason spans
+            # a second comment line before the code
+            np.random.seed(0)
+    """
+    report = check({"src/mod.py": source})
+    assert report.new_findings == []
+    assert report.waived == 1
+
+
+def test_waiver_without_reason_rejected_and_violation_kept(check):
+    report = check(
+        {"src/mod.py": VIOLATION.format(waiver="  # repro: ignore[REP001]")}
+    )
+    assert rule_ids(report) == ["REP000", "REP001"]
+    messages = {f.rule_id: f.message for f in report.new_findings}
+    assert "missing its mandatory reason" in messages["REP000"]
+
+
+def test_waiver_without_rule_list_rejected(check):
+    report = check(
+        {"src/mod.py": VIOLATION.format(waiver="  # repro: ignore just because")}
+    )
+    assert "REP000" in rule_ids(report)
+    assert "REP001" in rule_ids(report)
+
+
+def test_malformed_rule_list_rejected(check):
+    report = check(
+        {"src/mod.py": VIOLATION.format(waiver="  # repro: ignore[REP1,] oops")}
+    )
+    assert "REP000" in rule_ids(report)
+
+
+def test_wrong_rule_waiver_does_not_suppress_and_reports_stale(check):
+    report = check(
+        {"src/mod.py": VIOLATION.format(waiver="  # repro: ignore[REP002] wrong rule")}
+    )
+    # The REP001 violation survives AND the pointless waiver is flagged.
+    assert rule_ids(report) == ["REP000", "REP001"]
+    stale = [f for f in report.new_findings if f.rule_id == "REP000"]
+    assert "suppresses nothing" in stale[0].message
+
+
+def test_unused_waiver_on_clean_code_reported(check):
+    source = """\
+        def fine():
+            return 1  # repro: ignore[REP001] nothing here needs waiving
+    """
+    report = check({"src/mod.py": source})
+    assert rule_ids(report) == ["REP000"]
+
+
+def test_waiver_inside_string_literal_is_not_a_waiver():
+    source = 'DOC = "# repro: ignore[REP001] not a comment"\n'
+    waivers = parse_waivers("src/mod.py", source)
+    assert waivers.waivers == []
+    assert waivers.findings == []
+
+
+def test_multiple_rules_one_waiver():
+    source = "x = 1  # repro: ignore[REP001, REP003] shared justification\n"
+    waivers = parse_waivers("src/mod.py", source)
+    assert waivers.waivers[0].rule_ids == ["REP001", "REP003"]
+    assert waivers.waivers[0].reason == "shared justification"
+    assert waivers.suppresses("REP003", 1)
+    assert not waivers.suppresses("REP002", 1)

@@ -10,7 +10,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from repro.data import ArrayDataset, make_blob_dataset, train_test_split
+from repro.data import make_blob_dataset, train_test_split
 from repro.models import MLP
 from repro.quant import FixedPointQuantizer, rquant
 

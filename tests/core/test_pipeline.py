@@ -1,7 +1,6 @@
 """Tests for the high-level training pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.core import train_robust_model
 from repro.models import MLP

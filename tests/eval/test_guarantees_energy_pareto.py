@@ -1,6 +1,5 @@
 """Tests for the Prop. 1 bound, energy accounting and Pareto frontier."""
 
-import numpy as np
 import pytest
 
 from repro.biterror import VoltageModel

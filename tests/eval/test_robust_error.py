@@ -126,6 +126,28 @@ def test_fused_evaluation_with_hoisted_inputs_matches_reference(trained, blob_da
     assert hoisted.confidence_perturbed == reference.confidence_perturbed
 
 
+def test_sparse_backend_consistent_with_dense(trained, blob_data):
+    """Auto-created fields: the sparse backend twin tracks the dense one."""
+    _, test = blob_data
+    model, quantizer = trained
+    dense = evaluate_robust_error(
+        model, quantizer, test, 0.02, num_samples=5, seed=13, backend="dense"
+    )
+    sparse = evaluate_robust_error(
+        model, quantizer, test, 0.02, num_samples=5, seed=13, backend="sparse"
+    )
+    # The clean evaluation never touches the injection backend.
+    assert sparse.clean_error == dense.clean_error
+    assert sparse.confidence_clean == dense.confidence_clean
+    # Both backends draw from the same flip-set distribution.
+    assert abs(sparse.mean_error - dense.mean_error) < 0.2
+    # The sparse twin is a pure function of the seed.
+    again = evaluate_robust_error(
+        model, quantizer, test, 0.02, num_samples=5, seed=13, backend="sparse"
+    )
+    assert again.errors == sparse.errors
+
+
 def test_fused_evaluation_leaves_model_weights_clean(trained, blob_data):
     """Per-draw patching restores every parameter tensor exactly."""
     _, test = blob_data

@@ -134,6 +134,25 @@ def test_compare_models_shares_fields_per_precision(trained, blob_data):
     np.testing.assert_allclose(curves["a"].mean_errors(), curves["b"].mean_errors())
 
 
+def test_compare_models_sparse_backend_consistent_with_dense(trained, blob_data):
+    _, test = blob_data
+    model, quantizer = trained
+    pairs = {"a": (model, quantizer)}
+    dense = compare_models(pairs, test, rates=[0.0, 0.02], num_fields=3, seed=5,
+                           backend="dense")
+    sparse = compare_models(pairs, test, rates=[0.0, 0.02], num_fields=3, seed=5,
+                            backend="sparse")
+    # Zero rate is the clean model in both backends — exactly equal.
+    assert sparse["a"].mean_errors()[0] == dense["a"].mean_errors()[0]
+    np.testing.assert_allclose(
+        sparse["a"].mean_errors(), dense["a"].mean_errors(), atol=0.2
+    )
+    # The sparse twin is a pure function of the seed.
+    again = compare_models(pairs, test, rates=[0.0, 0.02], num_fields=3, seed=5,
+                           backend="sparse")
+    assert again["a"].results[1].errors == sparse["a"].results[1].errors
+
+
 def test_profiled_sweep_quantizes_and_clean_evaluates_once(
     trained, blob_data, monkeypatch
 ):

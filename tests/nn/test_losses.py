@@ -2,11 +2,11 @@
 
 import numpy as np
 import pytest
+from helpers import numerical_gradient
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from helpers import numerical_gradient
 from repro.nn.losses import CrossEntropyLoss, accuracy, confidences, log_softmax, softmax
 
 

@@ -4,12 +4,10 @@ import numpy as np
 import pytest
 
 from repro.quant import (
-    FixedPointQuantizer,
     dequantize_into,
     model_weight_arrays,
     quantize_dequantize_model,
     quantize_model,
-    rquant,
     set_model_weights,
     swap_weights,
 )

@@ -1,6 +1,5 @@
 """Tests for the quantization scheme presets (Table 1 ladder)."""
 
-import pytest
 
 from repro.quant import (
     SCHEME_LADDER,
