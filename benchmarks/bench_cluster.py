@@ -39,6 +39,7 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.biterror import make_error_fields
 from repro.cluster import ClusterExecutor
 from repro.data import make_blob_dataset, train_test_split
@@ -46,6 +47,7 @@ from repro.models import MLP
 from repro.quant import FixedPointQuantizer, rquant
 from repro.quant.qat import quantize_model
 from repro.runtime import ResultStore, SerialExecutor, SweepSpec, run_sweep
+from repro.telemetry.perf import add_json_argument, perf_row, write_perf_records
 from repro.utils.tables import Table
 
 
@@ -94,6 +96,10 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny fast run for CI; 2 daemons, parity asserted, "
                              "no speedup assertion")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record telemetry into the run dir during the "
+                             "cluster leg (the serial timing stays untouched)")
+    add_json_argument(parser)
     args = parser.parse_args()
 
     if args.smoke:
@@ -115,6 +121,11 @@ def main() -> int:
 
     run_dir = args.run_dir or tempfile.mkdtemp(prefix="bench-cluster-")
     try:
+        if args.telemetry:
+            # Enabled only now, after the serial leg timed clean: the
+            # coordinator records here and the manifest flag makes every
+            # worker daemon record its own sink into the same run dir.
+            telemetry.configure(run_dir, name="bench-coordinator")
         executor = ClusterExecutor(
             run_dir=run_dir,
             max_workers=args.workers,
@@ -124,6 +135,8 @@ def main() -> int:
         start = time.perf_counter()
         cluster_results = run_sweep(build_spec(args), executor=executor)
         cluster_time = time.perf_counter() - start
+        if args.telemetry:
+            telemetry.disable()
 
         # -- exactness gates (before any timing is reported) ------------------
         mismatched = [
@@ -159,6 +172,14 @@ def main() -> int:
     table.add_row(f"cluster ({args.workers} daemons)", cluster_time,
                   cells / cluster_time, f"{speedup:.1f}x")
     print("\n" + table.render() + "\n")
+
+    write_perf_records(args.json_path, [
+        perf_row("cluster", "cluster_speedup", speedup,
+                 criterion=">= 2x at 4 daemons", workers=args.workers,
+                 cells=cells, smoke=args.smoke),
+        perf_row("cluster", "serial_wall_s", serial_time, smoke=args.smoke),
+        perf_row("cluster", "cluster_wall_s", cluster_time, smoke=args.smoke),
+    ])
 
     if args.smoke:
         print("smoke mode: sweep completed, results bit-identical to serial; "

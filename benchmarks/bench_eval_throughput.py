@@ -51,6 +51,7 @@ from repro.nn import Conv2d, Flatten, GlobalAvgPool2d, Linear, ReLU, Sequential
 from repro.quant import FixedPointQuantizer, rquant
 from repro.quant.fixed_point import QuantizationScheme, encode_array
 from repro.quant.qat import model_weight_arrays, quantize_model
+from repro.telemetry.perf import add_json_argument, perf_row, write_perf_records
 from repro.utils.tables import Table
 
 EVAL_RATE = 0.01
@@ -178,6 +179,7 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny fast run for CI; keeps the bit-parity "
                              "assertion, skips the speedup checks")
+    add_json_argument(parser)
     args = parser.parse_args()
 
     if args.smoke:
@@ -270,6 +272,16 @@ def main() -> int:
           f"{peaks['chunked'] / 1e6:.1f} MB streamed vs. "
           f"{peaks['materialized'] / 1e6:.1f} MB materialized "
           f"({peaks['materialized'] / max(peaks['chunked'], 1):.1f}x smaller peak)")
+
+    write_perf_records(args.json_path, [
+        perf_row("eval_throughput", "fused_eval_speedup", speedup,
+                 criterion=">= 3x", weights=num_weights, smoke=args.smoke),
+        perf_row("eval_throughput", "encode_speedup", encode_speedup,
+                 smoke=args.smoke),
+        perf_row("eval_throughput", "chunked_peak_ratio",
+                 peaks["materialized"] / max(peaks["chunked"], 1),
+                 criterion="> 1x", smoke=args.smoke),
+    ])
 
     if args.smoke:
         print("\nsmoke mode: bit-parity asserted, skipping speedup assertions")

@@ -25,6 +25,7 @@ import time
 import numpy as np
 
 from repro.biterror.backends import DenseFieldBackend, SparseFieldBackend
+from repro.telemetry.perf import add_json_argument, perf_row, write_perf_records
 from repro.utils.tables import Table
 
 RATES = (1e-4, 1e-3, 1e-2)
@@ -52,6 +53,7 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny fast run for CI; skips the speedup check")
+    add_json_argument(parser)
     args = parser.parse_args()
 
     if args.smoke:
@@ -96,6 +98,13 @@ def main() -> int:
         table.add_row(f"{p:g}", sparse.num_errors(p),
                       dense_t * 1e3, sparse_t * 1e3, f"{speedups[p]:.1f}x")
     print("\n" + table.render() + "\n")
+
+    write_perf_records(args.json_path, [
+        perf_row("injection_throughput", f"sparse_speedup_p{p:g}", speedups[p],
+                 criterion=">= 10x at p <= 1e-3" if p <= 1e-3 else None,
+                 weights=args.weights, smoke=args.smoke)
+        for p in RATES
+    ])
 
     if args.smoke:
         print("smoke mode: skipping speedup assertion")

@@ -46,6 +46,7 @@ from repro.nn import (
     conv_contraction,
 )
 from repro.quant import FixedPointQuantizer, rquant
+from repro.telemetry.perf import add_json_argument, perf_row, write_perf_records
 from repro.utils.tables import Table
 
 TRAINING_RATE = 0.01
@@ -134,6 +135,7 @@ def main() -> int:
                         help="timed steps per configuration")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny fast run for CI; skips the speedup checks")
+    add_json_argument(parser)
     args = parser.parse_args()
 
     if args.smoke:
@@ -186,6 +188,13 @@ def main() -> int:
     for name, per_step, speedup in rows:
         table.add_row(name, per_step * 1e3, 1.0 / max(per_step, 1e-12), speedup)
     print("\n" + table.render() + "\n")
+
+    write_perf_records(args.json_path, [
+        perf_row("training_throughput", "randbet_fused_speedup", fused_speedup,
+                 criterion=">= 3x", smoke=args.smoke),
+        perf_row("training_throughput", "qat_matmul_speedup", qat_speedup,
+                 criterion=">= 1.2x", smoke=args.smoke),
+    ])
 
     if args.smoke:
         print("smoke mode: skipping speedup assertions")

@@ -18,12 +18,19 @@ Commands
 ``rules``
     List the registered rules.
 
+``annotate``
+    Convert a ``check --format json`` report file into GitHub Actions
+    workflow commands (``::error``/``::notice`` lines) so findings surface
+    as inline PR annotations.  Always exits ``0`` — the ``check`` step is
+    the gate; this one only decorates.
+
 Exit codes: ``0`` success, ``1`` new findings, ``2`` usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -90,7 +97,44 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(baseline)
 
     sub.add_parser("rules", help="list registered rules")
+
+    annotate = sub.add_parser(
+        "annotate", help="render a JSON report as GitHub PR annotations"
+    )
+    annotate.add_argument(
+        "report", help="path to a `check --format json` report file"
+    )
     return parser
+
+
+def _workflow_escape(text: str) -> str:
+    """Escape a value for a GitHub Actions workflow-command data field."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _annotation_lines(report: dict) -> List[str]:
+    """``::error``/``::notice`` lines for a parsed JSON report.
+
+    New findings become errors (they fail the ``check`` gate), baselined
+    ones become notices — visible debt, not failures.
+    """
+    lines = []
+    for level, findings in (
+        ("error", report.get("new") or []),
+        ("notice", report.get("baselined") or []),
+    ):
+        for finding in findings:
+            rule = finding.get("rule", "REP???")
+            message = _workflow_escape(str(finding.get("message", "")))
+            lines.append(
+                f"::{level} file={finding.get('path', '?')},"
+                f"line={finding.get('line', 1)},"
+                f"title={rule} {'finding' if level == 'error' else 'baselined'}"
+                f"::{message}"
+            )
+    return lines
 
 
 def _config_from(args: argparse.Namespace):
@@ -117,6 +161,18 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
     if args.command == "rules":
         for rule in ALL_RULES:
             print(f"{rule.rule_id}  {rule.title}", file=stream)
+        return EXIT_OK
+
+    if args.command == "annotate":
+        try:
+            with open(args.report, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read report {args.report!r}: {error}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        for line in _annotation_lines(report):
+            print(line, file=stream)
         return EXIT_OK
 
     config = _config_from(args)

@@ -121,6 +121,23 @@ class Rep006Config:
 
 
 @dataclass
+class Rep007Config:
+    """REP007 — library modules must not print; route through telemetry."""
+
+    #: Directories whose modules are library code (stdout is not theirs).
+    scoped_paths: Tuple[str, ...] = ("src/repro",)
+    #: Modules whose interface *is* stdout/stderr text.
+    exempt_files: Tuple[str, ...] = (
+        "src/repro/analysis/cli.py",  # linter front-end: reports to stdout
+        "src/repro/cluster/cli.py",  # operator CLI: status text is the API
+        "src/repro/telemetry/report.py",  # the telemetry renderer itself
+        "src/repro/telemetry/record.py",  # the recorder's stderr echo
+    )
+    #: Basenames exempt anywhere (entry-point shims).
+    exempt_basenames: Tuple[str, ...] = ("__main__.py",)
+
+
+@dataclass
 class AnalysisConfig:
     """Everything one :func:`repro.analysis.engine.run_analysis` call needs."""
 
@@ -135,6 +152,7 @@ class AnalysisConfig:
     rep004: Rep004Config = field(default_factory=Rep004Config)
     rep005: Rep005Config = field(default_factory=Rep005Config)
     rep006: Rep006Config = field(default_factory=Rep006Config)
+    rep007: Rep007Config = field(default_factory=Rep007Config)
 
     def __post_init__(self) -> None:
         self.root = os.path.abspath(self.root)

@@ -11,6 +11,7 @@ Rule        Contract
 ``REP004``  Every fused/backend twin seam has a flag-spelled-out test.
 ``REP005``  Spec fields are folded into the content-key hash.
 ``REP006``  No-pickle payloads are cleared in ``__getstate__``.
+``REP007``  Library modules don't print; they emit telemetry events.
 ==========  ==============================================================
 """
 
@@ -24,6 +25,7 @@ from repro.analysis.rules.rep003_atomic_write import AtomicWriteRule
 from repro.analysis.rules.rep004_parity_seams import ParitySeamRule
 from repro.analysis.rules.rep005_content_key import ContentKeyRule
 from repro.analysis.rules.rep006_pickle_boundary import PickleBoundaryRule
+from repro.analysis.rules.rep007_no_print import NoPrintRule
 from repro.analysis.visitor import Rule
 
 __all__ = ["ALL_RULES", "default_rules", "rule_registry"]
@@ -35,6 +37,7 @@ ALL_RULES: List[Type[Rule]] = [
     ParitySeamRule,
     ContentKeyRule,
     PickleBoundaryRule,
+    NoPrintRule,
 ]
 
 

@@ -1,0 +1,61 @@
+"""REP007 — library modules must not print; route through repro.telemetry.
+
+``print`` in a library module is observability debt: the output has no
+level, no timestamp, no structured fields, cannot be silenced by callers,
+and vanishes when the process is a daemonized cluster worker whose stdout
+goes to a log file nobody tails.  Since PR 7 the repository has a proper
+sink — :mod:`repro.telemetry` events land in per-run JSONL files *and*
+echo to stderr at configurable severity — so a bare ``print`` under
+``src/repro/`` is always the wrong tool.
+
+Exempt by configuration are the modules whose *interface is stdout*: the
+CLI front-ends (``repro.analysis.cli``, ``repro.cluster.cli``), the
+telemetry renderer itself (``repro.telemetry.report``), the recorder's
+stderr echo (``repro.telemetry.record``), and any ``__main__.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import Rule, SourceFile
+
+
+class NoPrintRule(Rule):
+    rule_id = "REP007"
+    title = "library modules must not print; use repro.telemetry"
+
+    def _in_scope(self, relpath: str, config) -> bool:
+        if relpath in config.exempt_files:
+            return False
+        if os.path.basename(relpath) in config.exempt_basenames:
+            return False
+        for scoped in config.scoped_paths:
+            if relpath == scoped or relpath.startswith(scoped.rstrip("/") + "/"):
+                return True
+        return False
+
+    def check_file(self, source: SourceFile, context) -> Iterable[Finding]:
+        config = context.config.rep007
+        if not self._in_scope(source.relpath, config):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                findings.append(
+                    source.finding(
+                        self.rule_id,
+                        node,
+                        "`print` in a library module is unstructured and "
+                        "unsilenceable — emit a repro.telemetry event (or "
+                        "make this module an exempt CLI in Rep007Config)",
+                    )
+                )
+        return findings

@@ -32,6 +32,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue
 from repro.runtime.executors import group_jobs
 from repro.runtime.spec import EvalJob, SweepContext, SweepSpec
@@ -157,7 +158,18 @@ def prepare_run_dir(
             "lease_timeout": float(lease_timeout),
             "subsample": context.subsample,
             "expected_keys": expected,
+            # Submitting with telemetry enabled asks every worker serving
+            # this run directory to record its own sink here too (see
+            # repro.cluster.worker.worker_loop).
+            "telemetry": telemetry.enabled(),
         },
+    )
+    telemetry.get_recorder().event(
+        "broker.submitted",
+        run_dir=run_dir,
+        enqueued=len(submission.enqueued),
+        skipped=len(submission.skipped),
+        expected_cells=len(expected),
     )
     return submission
 

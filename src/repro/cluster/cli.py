@@ -29,10 +29,11 @@ call :func:`repro.cluster.submit_spec` / ``ClusterExecutor`` directly.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pickle
 import sys
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.cluster.broker import read_manifest, submit_spec
 from repro.cluster.merge import compact_results, gc_run_dir, merge_shards
@@ -41,7 +42,7 @@ from repro.cluster.worker import worker_loop
 from repro.runtime.spec import SweepSpec
 from repro.runtime.store import ResultStore
 
-__all__ = ["main"]
+__all__ = ["main", "run_status"]
 
 
 def _cmd_submit(args) -> int:
@@ -86,32 +87,76 @@ def _cmd_worker(args) -> int:
     return 0
 
 
-def _cmd_status(args) -> int:
-    run_dir = os.path.abspath(args.run_dir)
+def run_status(run_dir: str, worker_ttl: float = DEFAULT_LEASE_TIMEOUT) -> Dict:
+    """One machine-readable snapshot of a cluster run directory.
+
+    The dict behind both renderings of ``repro.cluster status`` (text and
+    ``--json``).  When the run was submitted with telemetry enabled, the
+    merged per-worker counters (claims, requeues, lost leases, …) are folded
+    in under ``"telemetry"``; without sinks the key maps to ``None`` rather
+    than failing — status must work on any run directory.
+    """
+    from repro.cluster.coordinator import live_worker_ids
+    from repro.telemetry.report import merged_run_metrics
+
+    run_dir = os.path.abspath(run_dir)
     queue = JobQueue(run_dir)
-    counts = queue.counts()
     store = ResultStore(run_dir)
     manifest = read_manifest(run_dir) or {}
     expected = manifest.get("expected_keys") or []
     stored = sum(1 for key in expected if key in store) if expected else len(store)
-    from repro.cluster.coordinator import live_worker_ids
+    telemetry_counters = None
+    try:
+        merged = merged_run_metrics(run_dir)
+        if merged["counters"] or merged["gauges"] or merged["timers"]:
+            telemetry_counters = merged["counters"]
+    except Exception:  # noqa: BLE001 - diagnostics must never sink status
+        telemetry_counters = None
+    return {
+        "run_dir": run_dir,
+        "queue": queue.counts(),
+        "stored": stored,
+        "expected": len(expected),
+        "complete": bool(expected) and stored == len(expected),
+        "workers": live_worker_ids(run_dir, ttl=worker_ttl),
+        "lost_leases": int((telemetry_counters or {}).get("worker.lost_leases", 0)),
+        "requeued_expired": int(
+            (telemetry_counters or {}).get("queue.requeued_expired", 0)
+        ),
+        "telemetry": telemetry_counters,
+    }
 
-    live = live_worker_ids(run_dir, ttl=args.worker_ttl)
-    print(f"run dir: {run_dir}")
+
+def _cmd_status(args) -> int:
+    status = run_status(args.run_dir, worker_ttl=args.worker_ttl)
+    queue = JobQueue(status["run_dir"])
+    if args.requeue_expired:
+        requeued = queue.requeue_expired()
+        status["queue"] = queue.counts()
+        status["requeued_now"] = len(requeued)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counts = status["queue"]
+    live = status["workers"]
+    print(f"run dir: {status['run_dir']}")
     print(
         f"queue: {counts['pending']} pending, {counts['leased']} leased, "
         f"{counts['done']} done"
     )
-    if expected:
-        print(f"results: {stored}/{len(expected)} expected cells stored")
+    if status["expected"]:
+        print(f"results: {status['stored']}/{status['expected']} expected cells stored")
     else:
-        print(f"results: {len(store)} cells stored")
+        print(f"results: {status['stored']} cells stored")
     print(f"workers: {len(live)} live ({', '.join(live) if live else 'none'})")
-    if args.requeue_expired:
-        requeued = queue.requeue_expired()
-        print(f"requeued {len(requeued)} expired lease(s)")
-    complete = bool(expected) and stored == len(expected)
-    print(f"status: {'complete' if complete else 'in progress'}")
+    if status["telemetry"] is not None:
+        print(
+            f"leases: {status['lost_leases']} lost, "
+            f"{status['requeued_expired']} expired requeued"
+        )
+    if "requeued_now" in status:
+        print(f"requeued {status['requeued_now']} expired lease(s)")
+    print(f"status: {'complete' if status['complete'] else 'in progress'}")
     return 0
 
 
@@ -188,6 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="beacon freshness horizon for liveness")
     p.add_argument("--requeue-expired", action="store_true",
                    help="also requeue expired leases")
+    p.add_argument("--json", action="store_true",
+                   help="emit the status snapshot as JSON")
     p.set_defaults(func=_cmd_status)
 
     p = sub.add_parser("merge", help="fold worker shards into results.jsonl")

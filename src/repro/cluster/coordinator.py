@@ -39,6 +39,7 @@ import tempfile
 import time
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from repro import telemetry
 from repro.cluster.broker import (
     WORKERS_DIRNAME,
     group_item_id,
@@ -63,6 +64,8 @@ def live_worker_ids(run_dir: str, ttl: float) -> List[str]:
     now = time.time()
     live = []
     for name in names:
+        if name.endswith(".log"):
+            continue  # daemon stdout logs share the directory, not beacons
         try:
             if now - os.stat(os.path.join(workers_dir, name)).st_mtime <= ttl:
                 live.append(name)
@@ -209,7 +212,13 @@ class ClusterExecutor:
         run_dir = os.path.abspath(
             tempfile.mkdtemp(prefix="repro-cluster-") if own_tmp else self.run_dir
         )
+        rec = telemetry.get_recorder()
         procs: List[subprocess.Popen] = []
+        # Manual enter/exit rather than `with`: _run is a generator, and the
+        # span must close in the same finally that reaps the daemons so it
+        # records even when the consuming iterator is abandoned mid-run.
+        span = rec.span("cluster.run", run_dir=run_dir, groups=len(groups))
+        span.__enter__()
         try:
             store = ResultStore(run_dir)
             outstanding: Dict[str, List[EvalJob]] = {}
@@ -219,6 +228,7 @@ class ClusterExecutor:
                     yield output  # warm in the canonical store: no queue trip
                 else:
                     outstanding[group_item_id(group)] = group
+            span.note(warm=len(groups) - len(outstanding))
             if not outstanding:
                 return
             prepare_run_dir(
@@ -230,6 +240,8 @@ class ClusterExecutor:
             )
             queue = JobQueue(run_dir, lease_timeout=self.lease_timeout)
             procs = self._maybe_spawn(run_dir, len(outstanding))
+            if procs:
+                rec.event("cluster.spawn", workers=len(procs), run_dir=run_dir)
             spawn_failed = (
                 self.spawn_workers
                 and not procs
@@ -240,6 +252,8 @@ class ClusterExecutor:
             last_progress = time.monotonic()
             while outstanding:
                 merged = self._merge_new(run_dir, store, tails)
+                if merged:
+                    rec.count("cluster.merged_cells", merged)
                 drained = []
                 for item_id, group in outstanding.items():
                     output = self._group_output(store, group)
@@ -267,6 +281,11 @@ class ClusterExecutor:
                     # unmerged shard) are re-published.
                     from repro.cluster.worker import worker_loop
 
+                    rec.event(
+                        "cluster.fallback", level="warning",
+                        items=len(outstanding),
+                        reason="spawn failed" if spawn_failed else "stalled",
+                    )
                     queue.requeue_expired()
                     if queue.is_drained():
                         for item_id in outstanding:
@@ -291,6 +310,7 @@ class ClusterExecutor:
                 except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
                     proc.kill()
                     proc.wait()
+            span.__exit__(*sys.exc_info())
             if own_tmp:
                 shutil.rmtree(run_dir, ignore_errors=True)
 
@@ -340,6 +360,10 @@ class ClusterExecutor:
         alive = [proc for proc in procs if proc.poll() is None]
         dead = len(procs) - len(alive)
         if dead and not queue.is_drained():
+            telemetry.get_recorder().event(
+                "cluster.restart", level="warning",
+                dead=dead, restarts_left=restarts_left,
+            )
             while restarts_left > 0 and len(alive) < max(1, min(
                 self.max_workers, len(queue.pending_ids()) + len(queue.leased_ids())
             )):

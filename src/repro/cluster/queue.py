@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.utils.serialization import atomic_write_json
 
 __all__ = ["JobQueue", "WorkItem", "DEFAULT_LEASE_TIMEOUT"]
@@ -117,6 +118,7 @@ class JobQueue:
             if os.path.exists(self._path(state, item_id)):
                 return False
         atomic_write_json(self._path(PENDING, item_id), payload)
+        telemetry.get_recorder().count("queue.enqueued")
         return True
 
     # -- worker side ----------------------------------------------------------
@@ -129,6 +131,7 @@ class JobQueue:
         race just moves on to the next candidate.  The winner's lease starts
         immediately (the claim touches the file before returning).
         """
+        rec = telemetry.get_recorder()
         candidates = self._ids(PENDING)
         # repro: ignore[REP001] claim-order decorrelation across worker
         # processes is *meant* to be nondeterministic; results are merged by
@@ -140,8 +143,10 @@ class JobQueue:
             try:
                 os.rename(pending_path, leased_path)
             except (FileNotFoundError, PermissionError):
+                rec.count("queue.claim_races")
                 continue  # lost the race (or racing filesystem); next
             os.utime(leased_path)  # start the lease at claim time
+            rec.count("queue.claims")
             try:
                 with open(leased_path, "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
@@ -156,6 +161,7 @@ class JobQueue:
         """Refresh the lease on ``item_id``; ``False`` if the lease is lost."""
         try:
             os.utime(self._path(LEASED, item_id))
+            telemetry.get_recorder().count("queue.heartbeats")
             return True
         except FileNotFoundError:
             return False
@@ -168,8 +174,10 @@ class JobQueue:
         """
         try:
             os.rename(self._path(LEASED, item_id), self._path(DONE, item_id))
+            telemetry.get_recorder().count("queue.completed")
             return True
         except FileNotFoundError:
+            telemetry.get_recorder().count("queue.leases_lost")
             return False
 
     def release(self, item_id: str) -> bool:
@@ -218,6 +226,13 @@ class JobQueue:
             except FileNotFoundError:
                 continue
             requeued.append(item_id)
+        if requeued:
+            rec = telemetry.get_recorder()
+            rec.count("queue.requeued_expired", len(requeued))
+            rec.event(
+                "queue.requeue_expired", level="warning",
+                items=len(requeued), lease_timeout=self.lease_timeout,
+            )
         return requeued
 
     # -- inspection -----------------------------------------------------------

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import telemetry
 from repro.cluster.broker import (
     CONTEXT_FILENAME,
     SHARDS_DIRNAME,
@@ -169,32 +170,56 @@ def worker_loop(
         lease_timeout = float(manifest.get("lease_timeout") or DEFAULT_LEASE_TIMEOUT)
     chunk_size = manifest.get("chunk_size")
     chunk_size = int(chunk_size) if chunk_size is not None else None
+    # A submission made while telemetry was enabled flags the manifest; a
+    # worker that has no recorder of its own then records into the shared
+    # run directory (one sink per worker, named like its result shard).  A
+    # recorder the caller already installed always wins — the coordinator's
+    # in-process fallback keeps recording into *its* configured sink.
+    owns_recorder = False
+    if manifest.get("telemetry") and not telemetry.enabled():
+        telemetry.configure(run_dir, name=f"worker-{worker_id}")
+        owns_recorder = True
+    rec = telemetry.get_recorder()
     queue = JobQueue(run_dir, lease_timeout=lease_timeout)
     context = _load_context(run_dir)
     shard_path = os.path.join(run_dir, SHARDS_DIRNAME, f"worker-{worker_id}.jsonl")
     stats = WorkerStats(worker_id=worker_id)
     heartbeat_interval = max(lease_timeout / 4.0, 0.05)
 
-    idle_since = time.monotonic()
-    while True:
-        _touch_beacon(run_dir, worker_id)
-        stats.requeued += len(queue.requeue_expired())
-        item = queue.claim(worker_id)
-        if item is None:
-            if exit_when_drained and queue.is_drained():
-                return stats
-            if max_idle is not None and time.monotonic() - idle_since > max_idle:
-                return stats
-            time.sleep(poll_interval)
-            continue
+    rec.event("worker.start", worker=worker_id, run_dir=run_dir)
+    try:
         idle_since = time.monotonic()
-        _maybe_crash(stats.items + 1, crash_after_claim)
-        _execute_item(
-            queue, context, item, shard_path, worker_id, chunk_size,
-            heartbeat_interval, stats,
+        while True:
+            _touch_beacon(run_dir, worker_id)
+            requeued = len(queue.requeue_expired())
+            if requeued:
+                stats.requeued += requeued
+                rec.count("worker.requeued", requeued)
+            item = queue.claim(worker_id)
+            if item is None:
+                if exit_when_drained and queue.is_drained():
+                    return stats
+                if max_idle is not None and time.monotonic() - idle_since > max_idle:
+                    return stats
+                time.sleep(poll_interval)
+                continue
+            idle_since = time.monotonic()
+            _maybe_crash(stats.items + 1, crash_after_claim)
+            _execute_item(
+                queue, context, item, shard_path, worker_id, chunk_size,
+                heartbeat_interval, stats,
+            )
+            if max_items is not None and stats.items >= max_items:
+                return stats
+    finally:
+        rec.event(
+            "worker.exit", worker=worker_id, items=stats.items,
+            cells=stats.cells, lost_leases=stats.lost_leases,
         )
-        if max_items is not None and stats.items >= max_items:
-            return stats
+        if owns_recorder:
+            telemetry.disable()  # flushes the final metrics snapshot
+        else:
+            rec.flush_metrics()
 
 
 def _execute_item(
@@ -207,31 +232,53 @@ def _execute_item(
     heartbeat_interval: float,
     stats: WorkerStats,
 ) -> None:
-    """Execute one claimed item and publish its results durably."""
+    """Execute one claimed item and publish its results durably.
+
+    Exactly one ``worker.item`` span is recorded per *execution* of an item
+    — claim through complete, whether or not the completion rename wins —
+    so a lost lease (the item re-executed elsewhere) shows up as one span
+    per executing worker, never zero and never two from the same worker.
+    """
+    rec = telemetry.get_recorder()
     jobs = [EvalJob.from_record(record) for record in item.payload["jobs"]]
     jobs_by_key = {job.content_key: job for job in jobs}
-    with _Heartbeat(queue, item.item_id, heartbeat_interval):
-        output = execute_group(context, jobs, chunk_size=chunk_size)
-    records = []
-    for key, cell in output:
-        job = jobs_by_key.get(key)
-        record = {
-            "key": key,
-            "error": float(cell.error),
-            "confidence": float(cell.confidence),
-            "worker": worker_id,
-            "item": item.item_id,
-        }
-        if job is not None:
-            record.update(job_metadata(job))
-        records.append(record)
-    # Durability before visibility: results reach the shard before the item
-    # is marked done, so a done item always has its cells on disk.
-    append_jsonl(shard_path, records)
+    with rec.span(
+        "worker.item", worker=worker_id, item=item.item_id, jobs=len(jobs)
+    ) as span:
+        with _Heartbeat(queue, item.item_id, heartbeat_interval):
+            output = execute_group(context, jobs, chunk_size=chunk_size)
+        records = []
+        for key, cell in output:
+            job = jobs_by_key.get(key)
+            record = {
+                "key": key,
+                "error": float(cell.error),
+                "confidence": float(cell.confidence),
+                "worker": worker_id,
+                "item": item.item_id,
+            }
+            if job is not None:
+                record.update(job_metadata(job))
+            records.append(record)
+        # Durability before visibility: results reach the shard before the
+        # item is marked done, so a done item always has its cells on disk.
+        append_jsonl(shard_path, records)
+        completed = queue.complete(item.item_id)
+        span.note(cells=len(records), completed=completed)
     stats.items += 1
     stats.cells += len(records)
     stats.item_ids.append(item.item_id)
-    if not queue.complete(item.item_id):
+    rec.count("worker.items")
+    rec.count("worker.cells", len(records))
+    if not completed:
         # The lease expired mid-execution and someone requeued (and possibly
         # re-ran) the item.  Our shard records stay — the merge dedupes.
         stats.lost_leases += 1
+        rec.count("worker.lost_leases")
+        rec.event(
+            "worker.lease_lost", level="warning",
+            worker=worker_id, item=item.item_id,
+        )
+    # Snapshot after every item so a mid-run `status --json` / `report` sees
+    # current counters without waiting for the worker to exit.
+    rec.flush_metrics()

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.clipping import clip_model_weights
 from repro.data.datasets import ArrayDataset, DataLoader
 from repro.nn.losses import CrossEntropyLoss, confidences
@@ -182,23 +183,34 @@ class Trainer:
             augment=self.augment,
         )
         self.model.train()
-        for epoch in range(self.config.epochs):
-            lr = self.schedule.lr_at(epoch)
-            self.optimizer.lr = lr
-            self.on_epoch_start(epoch)
-            epoch_losses = []
-            for inputs, labels in loader:
-                epoch_losses.append(self.train_step(inputs, labels))
-            # Final projection so the returned weights satisfy the constraint.
-            clip_model_weights(self.model, self.config.clip_w_max)
-            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
-            self.history.epoch_losses.append(mean_loss)
-            self.history.learning_rates.append(lr)
-            train_eval = self.evaluate(train_dataset)
-            self.history.epoch_train_errors.append(train_eval.error)
-            if test_dataset is not None:
-                test_eval = self.evaluate(test_dataset)
-                self.history.epoch_test_errors.append(test_eval.error)
+        rec = telemetry.get_recorder()
+        with rec.span(
+            "trainer.train", epochs=self.config.epochs, examples=len(train_dataset)
+        ):
+            for epoch in range(self.config.epochs):
+                lr = self.schedule.lr_at(epoch)
+                self.optimizer.lr = lr
+                with rec.span("trainer.epoch", epoch=epoch) as epoch_span:
+                    self.on_epoch_start(epoch)
+                    epoch_losses = []
+                    for inputs, labels in loader:
+                        epoch_losses.append(self.train_step(inputs, labels))
+                    # Final projection so the returned weights satisfy the
+                    # constraint.
+                    clip_model_weights(self.model, self.config.clip_w_max)
+                    mean_loss = (
+                        float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+                    )
+                    self.history.epoch_losses.append(mean_loss)
+                    self.history.learning_rates.append(lr)
+                    train_eval = self.evaluate(train_dataset)
+                    self.history.epoch_train_errors.append(train_eval.error)
+                    epoch_span.note(
+                        loss=mean_loss, lr=lr, train_error=train_eval.error
+                    )
+                    if test_dataset is not None:
+                        test_eval = self.evaluate(test_dataset)
+                        self.history.epoch_test_errors.append(test_eval.error)
         return self.history
 
     def on_epoch_start(self, epoch: int) -> None:

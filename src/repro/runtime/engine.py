@@ -30,6 +30,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.runtime.executors import group_jobs, resolve_executor
 from repro.runtime.spec import CellResult, SweepSpec
 from repro.runtime.store import ResultStore
@@ -58,6 +59,7 @@ def run_sweep(
         returned without executing any job; fresh results are appended so an
         interrupted sweep resumes where it stopped.
     """
+    rec = telemetry.get_recorder()
     executor = resolve_executor(executor)
     if isinstance(store, str):
         store = ResultStore(store)
@@ -69,22 +71,32 @@ def run_sweep(
     )
     results: Dict[str, CellResult] = {}
     missing = []
-    for job in spec.jobs:
-        if store is not None:
-            cached = store.get(job.content_key)
-            if cached is not None:
-                results[job.content_key] = cached
-                continue
-        if job.content_key not in results:
-            missing.append(job)
-    groups = group_jobs(missing)
+    with rec.span("engine.plan", jobs=len(spec.jobs)) as plan:
+        for job in spec.jobs:
+            if store is not None:
+                cached = store.get(job.content_key)
+                if cached is not None:
+                    results[job.content_key] = cached
+                    continue
+            if job.content_key not in results:
+                missing.append(job)
+        groups = group_jobs(missing)
+        plan.note(resume_hits=len(results), groups=len(groups))
+    if results:
+        rec.count("store.resume_hits", len(results))
     if groups:
         jobs_by_key = {job.content_key: job for job in missing}
-        for group_output in executor.run(spec.context(), groups):
-            for key, cell in group_output:
-                results[key] = cell
-                if persist:
-                    store.put(key, cell, job=jobs_by_key.get(key))
+        with rec.span(
+            "engine.run",
+            executor=type(executor).__name__,
+            groups=len(groups),
+        ) as run_span:
+            for group_output in executor.run(spec.context(), groups):
+                for key, cell in group_output:
+                    results[key] = cell
+                    if persist:
+                        store.put(key, cell, job=jobs_by_key.get(key))
+            run_span.note(cells=len(results))
     return results
 
 

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 
 import numpy as np
 
+from repro import telemetry
 from repro.biterror.random_errors import iter_apply_fields_batch
 from repro.runtime.spec import CellResult, EvalJob, SweepContext
 from repro.utils.markers import hot_path
@@ -112,7 +113,6 @@ def subsample_plan(context: SweepContext, job: EvalJob):
     return BatchPlan(context.dataset.subset(indices), context.batch_size)
 
 
-@hot_path
 def execute_group(
     context: SweepContext,
     group: Sequence[EvalJob],
@@ -137,8 +137,33 @@ def execute_group(
     With ``context.subsample`` set, each job evaluates its own derived-seed
     subset instead of the shared full-dataset plan (see
     :func:`subsample_plan`).
+
+    When telemetry is enabled the group records one ``engine.group`` span
+    (kind, model, job and cell counts — cells/sec falls out of the span's
+    wall time); with the default null recorder this guard costs one
+    attribute check and the hot body runs unwrapped.
     """
     group = list(group)
+    rec = telemetry.get_recorder()
+    if not rec.enabled:
+        return _execute_group_hot(context, group, chunk_size)
+    first = group[0]
+    with rec.span(
+        "engine.group", kind=first.kind, model=first.model_key, jobs=len(group)
+    ) as span:
+        out = _execute_group_hot(context, group, chunk_size)
+        span.note(cells=len(out))
+    rec.count("engine.groups")
+    rec.count("engine.cells", len(out))
+    return out
+
+
+@hot_path
+def _execute_group_hot(
+    context: SweepContext,
+    group: List[EvalJob],
+    chunk_size: Optional[int],
+) -> GroupOutput:
     first = group[0]
     entry = context.models[first.model_key]
     clean = entry.clean_weights()
@@ -218,10 +243,24 @@ _WORKER_CONTEXT: Optional[SweepContext] = None
 _WORKER_CHUNK_SIZE: Optional[int] = None
 
 
-def _init_worker(context: SweepContext, chunk_size: Optional[int] = None) -> None:
+def _init_worker(
+    context: SweepContext,
+    chunk_size: Optional[int] = None,
+    telemetry_config: Optional[telemetry.TelemetryConfig] = None,
+) -> None:
     global _WORKER_CONTEXT, _WORKER_CHUNK_SIZE
     _WORKER_CONTEXT = context
     _WORKER_CHUNK_SIZE = chunk_size
+    if telemetry_config is not None:
+        # Each pool worker records into its own per-pid sink.  Configure
+        # unconditionally: under a fork start method the child inherits the
+        # parent's live recorder, whose sink (and span-id namespace) belongs
+        # to the parent process.
+        telemetry.configure(
+            telemetry_config.run_dir,
+            level=telemetry_config.level,
+            echo=telemetry_config.echo,
+        )
 
 
 def _run_group_in_worker(group: Sequence[EvalJob]) -> GroupOutput:
@@ -286,6 +325,8 @@ class ParallelExecutor:
         workers = min(self.max_workers, len(groups))
         if workers <= 1:
             return SerialExecutor(chunk_size=self.chunk_size).run(context, groups)
+        recorder = telemetry.get_recorder()
+        telemetry_config = recorder.config() if recorder.enabled else None
         try:
             import multiprocessing
 
@@ -293,13 +334,21 @@ class ParallelExecutor:
             pool = mp_context.Pool(
                 processes=workers,
                 initializer=_init_worker,
-                initargs=(context, self.chunk_size),
+                initargs=(context, self.chunk_size, telemetry_config),
             )
         except (ImportError, OSError, PermissionError):
             # No usable pool on this host (single-CPU CI runners, containers
             # without POSIX semaphores, restricted sandboxes): degrade to the
             # bit-identical serial path rather than failing the sweep.
+            recorder.event(
+                "parallel.degraded", level="warning", workers=workers,
+                reason="no usable multiprocessing pool",
+            )
             return SerialExecutor(chunk_size=self.chunk_size).run(context, groups)
+        recorder.event(
+            "parallel.pool", workers=workers, groups=len(groups),
+            start_method=self.start_method or "default",
+        )
         return self._stream(pool, groups)
 
     @staticmethod

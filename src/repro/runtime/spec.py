@@ -171,6 +171,12 @@ class ModelEntry:
         unnoticed here.
         """
         if self._clean_weights_cache is None:
+            # One counter per actual decode: under telemetry the ratio of
+            # engine.clean_decodes to engine.groups is the memoization-hit
+            # evidence (decodes ≪ groups on a healthy sweep).
+            from repro import telemetry
+
+            telemetry.get_recorder().count("engine.clean_decodes")
             self._clean_weights_cache = self.quantizer.dequantize(self.quantized)
         return self._clean_weights_cache
 
@@ -186,7 +192,10 @@ class ModelEntry:
         if self._patcher_cache is None:
             # Imported here so repro.runtime never circularly imports
             # repro.eval at module load (see executors._evaluate).
+            from repro import telemetry
             from repro.eval.fast_eval import DeltaWeightPatcher
+
+            telemetry.get_recorder().count("engine.patchers_built")
 
             self._patcher_cache = DeltaWeightPatcher(
                 self.quantized, self.clean_weights()

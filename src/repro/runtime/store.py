@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional
 
+from repro import telemetry
 from repro.runtime.spec import CellResult, EvalJob
 from repro.utils.serialization import append_jsonl, read_jsonl
 
@@ -104,7 +105,9 @@ class ResultStore:
         fields.
         """
         if key in self._cache:
+            telemetry.get_recorder().count("store.dedupes")
             return
+        telemetry.get_recorder().count("store.puts")
         record = {}
         if metadata is not None:
             record.update(metadata)

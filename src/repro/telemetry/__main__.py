@@ -1,0 +1,6 @@
+"""``python -m repro.telemetry`` — the report/tail CLI."""
+
+from repro.telemetry.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Counters, gauges and timers with shard-merge semantics.
+
+A :class:`Metrics` registry is the in-process accumulator behind
+:class:`repro.telemetry.record.Recorder`: cheap dict updates on the write
+side, a JSON-safe cumulative :meth:`~Metrics.snapshot` on the read side.
+Snapshots are what a recorder periodically appends to its JSONL sink, and
+they merge across per-worker sinks exactly like result shards merge into
+the canonical store (:mod:`repro.cluster.merge`):
+
+* **counters** are monotonic per process, so merging *sums* each sink's
+  last snapshot;
+* **gauges** are last-write-wins within a process; the merge keeps the
+  most recently written value across sinks;
+* **timers** keep ``{count, total, min, max}`` per name and merge by
+  count/total addition and min/max widening — the distribution summary is
+  exact under any merge order.
+
+Everything here is plain data — no I/O, no globals — so the report CLI can
+fold any collection of snapshots without a live recorder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+__all__ = ["Metrics", "merge_snapshots"]
+
+
+class Metrics:
+    """An in-process metric registry: counters, gauges, timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        # name -> [count, total, min, max] (mutable for cheap updates)
+        self._timers: Dict[str, list] = {}
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Increment the counter ``name`` by ``value`` (monotonic)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration sample under the timer ``name``."""
+        timer = self._timers.get(name)
+        if timer is None:
+            self._timers[name] = [1, seconds, seconds, seconds]
+            return
+        timer[0] += 1
+        timer[1] += seconds
+        if seconds < timer[2]:
+            timer[2] = seconds
+        if seconds > timer[3]:
+            timer[3] = seconds
+
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._timers)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-safe cumulative snapshot of everything recorded so far."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "timers": {
+                name: {
+                    "count": timer[0],
+                    "total": timer[1],
+                    "min": timer[2],
+                    "max": timer[3],
+                }
+                for name, timer in self._timers.items()
+            },
+        }
+
+
+def _timer_fields(timer: dict) -> Optional[list]:
+    try:
+        return [
+            int(timer["count"]),
+            float(timer["total"]),
+            float(timer["min"]),
+            float(timer["max"]),
+        ]
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> Dict[str, dict]:
+    """Fold cumulative per-sink snapshots into one aggregate snapshot.
+
+    Each element should be one sink's *latest* snapshot (snapshots are
+    cumulative within a process, so folding every historical snapshot of a
+    sink would double-count).  Malformed sections are skipped, mirroring
+    the tolerant readers everywhere else in the run-dir protocol.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    timers: Dict[str, list] = {}
+    for snapshot in snapshots:
+        if not isinstance(snapshot, dict):
+            continue
+        for name, value in (snapshot.get("counters") or {}).items():
+            try:
+                counters[name] = counters.get(name, 0) + value
+            except TypeError:
+                continue
+        for name, value in (snapshot.get("gauges") or {}).items():
+            gauges[name] = value
+        for name, timer in (snapshot.get("timers") or {}).items():
+            fields = _timer_fields(timer) if isinstance(timer, dict) else None
+            if fields is None:
+                continue
+            merged = timers.get(name)
+            if merged is None:
+                timers[name] = fields
+                continue
+            merged[0] += fields[0]
+            merged[1] += fields[1]
+            merged[2] = min(merged[2], fields[2])
+            merged[3] = max(merged[3], fields[3])
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "timers": {
+            name: {
+                "count": timer[0],
+                "total": timer[1],
+                "min": timer[2],
+                "max": timer[3],
+            }
+            for name, timer in timers.items()
+        },
+    }

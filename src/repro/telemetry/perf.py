@@ -1,0 +1,58 @@
+"""Machine-readable perf records for the benchmark suite.
+
+Every throughput benchmark prints human tables; with ``--json PATH`` it
+*also* appends one JSONL row per headline metric::
+
+    {"bench": "cluster", "metric": "speedup", "value": 3.1,
+     "criterion": ">= 2x at 4 worker daemons", "smoke": false}
+
+Rows append (never truncate), so the four benchmarks can share one file
+and CI can accumulate a perf trajectory across runs.  ``criterion`` is the
+human statement of the acceptance gate the value is judged against (or
+``None`` for context-only measurements).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.utils.serialization import append_jsonl
+
+__all__ = ["add_json_argument", "perf_row", "write_perf_records"]
+
+
+def add_json_argument(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--json PATH`` flag on a benchmark parser."""
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        dest="json_path",
+        help="append {bench, metric, value, criterion} JSONL perf rows here",
+    )
+
+
+def perf_row(
+    bench: str,
+    metric: str,
+    value: float,
+    criterion: Optional[str] = None,
+    **extra,
+) -> dict:
+    """One perf record; ``extra`` fields (e.g. ``smoke=True``) ride along."""
+    row = {
+        "bench": bench,
+        "metric": metric,
+        "value": float(value),
+        "criterion": criterion,
+    }
+    row.update(extra)
+    return row
+
+
+def write_perf_records(path: Optional[str], rows: Sequence[dict]) -> None:
+    """Append ``rows`` to ``path`` (no-op when ``path`` is ``None``)."""
+    if path is None or not rows:
+        return
+    append_jsonl(path, list(rows))

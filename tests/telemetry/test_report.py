@@ -1,0 +1,93 @@
+"""The read path: sink loading, metric merging, report/tail rendering."""
+
+from __future__ import annotations
+
+import io
+
+from repro import telemetry
+from repro.telemetry.report import (
+    load_run_records,
+    main,
+    merged_run_metrics,
+    render_report,
+    render_tail,
+)
+
+
+def make_run(tmp_path):
+    """Two sinks shaped like a coordinator + one worker run."""
+    with telemetry.recording(str(tmp_path), name="events-host-1", echo=None) as rec:
+        with rec.span("engine.plan", jobs=4):
+            pass
+        rec.event("cluster.spawn", workers=2)
+        rec.count("queue.enqueued", 2)
+    with telemetry.recording(str(tmp_path), name="worker-w1", echo=None) as rec:
+        rec.event("worker.start", worker="w1")
+        with rec.span("worker.item", worker="w1", item="group-abc", jobs=2) as span:
+            span.note(cells=2, completed=True)
+        rec.count("worker.items")
+        rec.count("worker.cells", 2)
+    return str(tmp_path)
+
+
+def test_load_run_records_merges_sinks_in_time_order(tmp_path):
+    run_dir = make_run(tmp_path)
+    records = load_run_records(run_dir)
+    assert {r["sink"] for r in records} == {"events-host-1", "worker-w1"}
+    timestamps = [r.get("ts", 0.0) for r in records]
+    assert timestamps == sorted(timestamps)
+
+
+def test_merged_run_metrics_sums_across_sinks(tmp_path):
+    run_dir = make_run(tmp_path)
+    merged = merged_run_metrics(run_dir)
+    assert merged["counters"]["queue.enqueued"] == 2
+    assert merged["counters"]["worker.items"] == 1
+    assert merged["counters"]["worker.cells"] == 2
+    # Spans fed the per-stage timers on both sinks.
+    assert merged["timers"]["span.worker.item"]["count"] == 1
+
+
+def test_merged_run_metrics_uses_only_each_sinks_last_snapshot(tmp_path):
+    with telemetry.recording(str(tmp_path), name="w", echo=None) as rec:
+        rec.count("items")
+        rec.flush_metrics()
+        rec.count("items")  # close() flushes the cumulative total (2)
+    merged = merged_run_metrics(str(tmp_path))
+    assert merged["counters"]["items"] == 2  # not 1 + 2
+
+
+def test_render_report_shows_stages_items_health_and_timeline(tmp_path):
+    run_dir = make_run(tmp_path)
+    stream = io.StringIO()
+    assert render_report(run_dir, stream=stream) == 0
+    text = stream.getvalue()
+    assert "per-stage time breakdown" in text
+    assert "engine.plan" in text and "worker.item" in text
+    assert "group-abc" in text  # the worker item table
+    assert "queue / worker health" in text
+    assert "queue.enqueued = 2" in text
+    assert "cluster.spawn" in text  # the timeline
+    assert "worker=w1" in text
+
+
+def test_render_tail_prints_the_last_records(tmp_path):
+    run_dir = make_run(tmp_path)
+    stream = io.StringIO()
+    assert render_tail(run_dir, n=2, stream=stream) == 0
+    lines = [line for line in stream.getvalue().splitlines() if line]
+    assert len(lines) == 2
+
+
+def test_report_without_telemetry_exits_one(tmp_path):
+    stream = io.StringIO()
+    assert render_report(str(tmp_path), stream=stream) == 1
+    assert "no telemetry records" in stream.getvalue()
+
+
+def test_cli_main_dispatches_report_and_tail(tmp_path):
+    run_dir = make_run(tmp_path)
+    stream = io.StringIO()
+    assert main(["report", run_dir, "--timeline", "3"], stream=stream) == 0
+    assert main(["tail", run_dir, "-n", "1"], stream=stream) == 0
+    assert main(["report", str(tmp_path / "empty")], stream=stream) == 1
