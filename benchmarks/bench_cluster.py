@@ -26,6 +26,15 @@ Fast smoke mode for CI (tiny grid, 2 daemons, completion + bit-parity
 asserted, no speedup assertion)::
 
     PYTHONPATH=src python benchmarks/bench_cluster.py --smoke
+
+Chaos mode (``--poison``) injects a deterministic, permanently-raising fault
+into one queue item and gates on graceful degradation instead of full
+parity: the sweep must terminate with every *surviving* cell bit-identical
+to serial and duplicate-free, the poisoned item dead-lettered after exactly
+``max_attempts`` attempts with a readable traceback, and a
+``failure-report.json`` artifact written into the run directory::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke --poison
 """
 
 from __future__ import annotations
@@ -41,12 +50,25 @@ import numpy as np
 
 from repro import telemetry
 from repro.biterror import make_error_fields
-from repro.cluster import ClusterExecutor
+from repro.cluster import (
+    ClusterExecutor,
+    JobQueue,
+    RetryPolicy,
+    group_item_id,
+    load_failure_report,
+)
 from repro.data import make_blob_dataset, train_test_split
+from repro.faults import FaultPlan, FaultRule
 from repro.models import MLP
 from repro.quant import FixedPointQuantizer, rquant
 from repro.quant.qat import quantize_model
-from repro.runtime import ResultStore, SerialExecutor, SweepSpec, run_sweep
+from repro.runtime import (
+    ResultStore,
+    SerialExecutor,
+    SweepSpec,
+    group_jobs,
+    run_sweep,
+)
 from repro.telemetry.perf import add_json_argument, perf_row, write_perf_records
 from repro.utils.tables import Table
 
@@ -96,6 +118,13 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny fast run for CI; 2 daemons, parity asserted, "
                              "no speedup assertion")
+    parser.add_argument("--poison", action="store_true",
+                        help="inject a permanent fault into one queue item and "
+                             "gate on graceful degradation: surviving cells "
+                             "bit-identical, poison dead-lettered, failure "
+                             "report written")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="retry budget per item in --poison mode")
     parser.add_argument("--telemetry", action="store_true",
                         help="record telemetry into the run dir during the "
                              "cluster leg (the serial timing stays untouched)")
@@ -126,11 +155,30 @@ def main() -> int:
             # coordinator records here and the manifest flag makes every
             # worker daemon record its own sink into the same run dir.
             telemetry.configure(run_dir, name="bench-coordinator")
+        retry = None
+        fault_plan = None
+        poison_id = None
+        poison_keys: set = set()
+        if args.poison:
+            poison_group = group_jobs(serial_spec.jobs)[-1]
+            poison_id = group_item_id(poison_group)
+            poison_keys = {job.content_key for job in poison_group}
+            retry = RetryPolicy(max_attempts=args.max_attempts,
+                                backoff_base=0.05, backoff_max=0.2)
+            fault_plan = FaultPlan([
+                FaultRule(seam="execute", kind="exception", match=poison_id,
+                          times=None, note="bench --poison"),
+            ])
+            print(f"poisoning item {poison_id[:12]} ({len(poison_keys)} "
+                  f"cell(s)) with a permanent InjectedFault; retry budget "
+                  f"{retry.max_attempts} attempt(s)")
         executor = ClusterExecutor(
             run_dir=run_dir,
             max_workers=args.workers,
             lease_timeout=30.0,
             poll_interval=0.02,
+            retry=retry,
+            fault_plan=fault_plan,
         )
         start = time.perf_counter()
         cluster_results = run_sweep(build_spec(args), executor=executor)
@@ -139,25 +187,47 @@ def main() -> int:
             telemetry.disable()
 
         # -- exactness gates (before any timing is reported) ------------------
+        # In --poison mode the poisoned cells are *expected* casualties; the
+        # gate is graceful degradation, not full parity.
+        expected = {
+            key: cell for key, cell in serial_results.items()
+            if key not in poison_keys
+        }
         mismatched = [
-            key for key, cell in serial_results.items()
+            key for key, cell in expected.items()
             if cluster_results.get(key) != cell
         ]
-        if mismatched or set(serial_results) != set(cluster_results):
+        if mismatched or set(expected) != set(cluster_results):
             print(f"FAIL: cluster results diverge from serial on "
                   f"{len(mismatched) or 'missing'} cells")
             return 1
         store = ResultStore(run_dir)
-        if any(store.get(k) != cell for k, cell in serial_results.items()):
+        if any(store.get(k) != cell for k, cell in expected.items()):
             print("FAIL: merged canonical store diverges from the serial run")
             return 1
         with open(os.path.join(run_dir, "results.jsonl")) as handle:
             keys = [json.loads(line)["key"] for line in handle if line.strip()]
-        if len(keys) != len(set(keys)) or set(keys) != set(serial_results):
+        if len(keys) != len(set(keys)) or set(keys) != set(expected):
             print(f"FAIL: canonical results.jsonl is not duplicate-free and "
                   f"complete ({len(keys)} lines, {len(set(keys))} distinct, "
-                  f"{len(serial_results)} expected)")
+                  f"{len(expected)} expected)")
             return 1
+        if args.poison:
+            queue = JobQueue(run_dir)
+            if queue.failed_ids() != [poison_id]:
+                print(f"FAIL: dead-letter set {queue.failed_ids()} != "
+                      f"[{poison_id}]")
+                return 1
+            failure = queue.failure_record(poison_id).get("failure") or {}
+            if (failure.get("exc_type") != "InjectedFault"
+                    or failure.get("attempts") != args.max_attempts
+                    or "InjectedFault" not in (failure.get("traceback") or "")):
+                print(f"FAIL: malformed failure record: {failure}")
+                return 1
+            report = load_failure_report(run_dir, queue)
+            report.write(os.path.join(run_dir, "failure-report.json"))
+            print("dead-letter report (failure-report.json):\n"
+                  + report.summary())
     finally:
         if args.run_dir is None:
             shutil.rmtree(run_dir, ignore_errors=True)
@@ -181,6 +251,11 @@ def main() -> int:
         perf_row("cluster", "cluster_wall_s", cluster_time, smoke=args.smoke),
     ])
 
+    if args.poison:
+        print("poison mode: sweep degraded gracefully — surviving cells "
+              "bit-identical, poison dead-lettered; skipping speedup "
+              "assertion")
+        return 0
     if args.smoke:
         print("smoke mode: sweep completed, results bit-identical to serial; "
               "skipping speedup assertion")

@@ -138,6 +138,14 @@ class Rep007Config:
 
 
 @dataclass
+class Rep008Config:
+    """REP008 — except blocks must not swallow exceptions silently."""
+
+    #: Directories whose handlers are held to the no-silent-swallow policy.
+    scoped_paths: Tuple[str, ...] = ("src/repro",)
+
+
+@dataclass
 class AnalysisConfig:
     """Everything one :func:`repro.analysis.engine.run_analysis` call needs."""
 
@@ -153,6 +161,7 @@ class AnalysisConfig:
     rep005: Rep005Config = field(default_factory=Rep005Config)
     rep006: Rep006Config = field(default_factory=Rep006Config)
     rep007: Rep007Config = field(default_factory=Rep007Config)
+    rep008: Rep008Config = field(default_factory=Rep008Config)
 
     def __post_init__(self) -> None:
         self.root = os.path.abspath(self.root)

@@ -12,6 +12,8 @@ Rule        Contract
 ``REP005``  Spec fields are folded into the content-key hash.
 ``REP006``  No-pickle payloads are cleared in ``__getstate__``.
 ``REP007``  Library modules don't print; they emit telemetry events.
+``REP008``  Except blocks never swallow silently: handle, re-raise,
+            record telemetry — or carry a reasoned waiver.
 ==========  ==============================================================
 """
 
@@ -26,6 +28,7 @@ from repro.analysis.rules.rep004_parity_seams import ParitySeamRule
 from repro.analysis.rules.rep005_content_key import ContentKeyRule
 from repro.analysis.rules.rep006_pickle_boundary import PickleBoundaryRule
 from repro.analysis.rules.rep007_no_print import NoPrintRule
+from repro.analysis.rules.rep008_swallowed_exceptions import SwallowedExceptionRule
 from repro.analysis.visitor import Rule
 
 __all__ = ["ALL_RULES", "default_rules", "rule_registry"]
@@ -38,6 +41,7 @@ ALL_RULES: List[Type[Rule]] = [
     ContentKeyRule,
     PickleBoundaryRule,
     NoPrintRule,
+    SwallowedExceptionRule,
 ]
 
 

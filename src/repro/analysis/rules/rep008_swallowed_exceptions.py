@@ -1,0 +1,75 @@
+"""REP008 — except blocks must not swallow exceptions silently.
+
+An ``except`` body that is nothing but ``pass`` / ``continue`` / ``break``
+(or a bare string constant) makes a failure invisible: no re-raise, no
+fallback value, no telemetry.  In a fault-tolerant stack that is exactly how
+real corruption hides — a torn shard line, a lost lease, a malformed result
+record all degrade into "worked, apparently".  PR 8's containment work made
+the policy explicit: every swallowed exception either *does* something
+(returns a default, retries, counts a telemetry counter, emits an event) or
+carries a waiver stating why ignoring it is correct, e.g. a benign
+filesystem race on a best-effort unlink::
+
+    try:
+        os.unlink(path)
+    # repro: ignore[REP008] best-effort cleanup; a lost race means someone
+    # else already removed it
+    except OSError:
+        pass
+
+The rule is deliberately syntactic — it flags only handler bodies with no
+substantive statement at all, so a handler that logs, counts, rebinds or
+falls back is never flagged; the residue is reviewed via the normal waiver
+machinery (REP000 keeps the waivers honest).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import Rule, SourceFile
+
+_TRIVIAL = (ast.Pass, ast.Continue, ast.Break)
+
+
+def _is_trivial(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, _TRIVIAL):
+        return True
+    return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    return all(_is_trivial(stmt) for stmt in handler.body)
+
+
+class SwallowedExceptionRule(Rule):
+    rule_id = "REP008"
+    title = "except blocks must handle, re-raise or record — never just pass"
+
+    def _in_scope(self, relpath: str, config) -> bool:
+        for scoped in config.scoped_paths:
+            if relpath == scoped or relpath.startswith(scoped.rstrip("/") + "/"):
+                return True
+        return False
+
+    def check_file(self, source: SourceFile, context) -> Iterable[Finding]:
+        config = context.config.rep008
+        if not self._in_scope(source.relpath, config):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and _swallows(node):
+                caught = ast.unparse(node.type) if node.type is not None else "Exception"
+                findings.append(
+                    source.finding(
+                        self.rule_id,
+                        node,
+                        f"this handler swallows {caught} without re-raising, "
+                        "recording telemetry or substituting a fallback — "
+                        "count/log the failure, or waive with the reason the "
+                        "silence is correct",
+                    )
+                )
+        return findings

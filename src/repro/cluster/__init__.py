@@ -43,6 +43,7 @@ from repro.cluster.broker import (
     submit_spec,
 )
 from repro.cluster.coordinator import ClusterExecutor, live_worker_ids, spawn_local_worker
+from repro.cluster.failures import FailureReport, ItemFailure, load_failure_report
 from repro.cluster.merge import (
     ShardTail,
     compact_results,
@@ -51,15 +52,24 @@ from repro.cluster.merge import (
     merge_records,
     merge_shards,
 )
-from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue, WorkItem
+from repro.cluster.queue import (
+    DEFAULT_LEASE_TIMEOUT,
+    JobQueue,
+    RetryPolicy,
+    WorkItem,
+)
 from repro.cluster.worker import WorkerStats, default_worker_id, worker_loop
 
 __all__ = [
     "ClusterExecutor",
     "JobQueue",
     "WorkItem",
+    "RetryPolicy",
     "Submission",
     "WorkerStats",
+    "FailureReport",
+    "ItemFailure",
+    "load_failure_report",
     "DEFAULT_LEASE_TIMEOUT",
     "group_item_id",
     "prepare_run_dir",

@@ -32,8 +32,8 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro import telemetry
-from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue
+from repro import faults, telemetry
+from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue, RetryPolicy
 from repro.runtime.executors import group_jobs
 from repro.runtime.spec import EvalJob, SweepContext, SweepSpec
 from repro.runtime.store import ResultStore
@@ -106,6 +106,8 @@ def prepare_run_dir(
     groups: Sequence[Sequence[EvalJob]],
     chunk_size: Optional[int] = None,
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[faults.FaultPlan] = None,
 ) -> Submission:
     """Publish ``groups`` (and their ``context``) as claimable work items.
 
@@ -114,9 +116,14 @@ def prepare_run_dir(
     a no-op.  Publishing a *different* context is refused while pending or
     leased items exist (they were enqueued against the old one); once the
     queue holds only done items the context may be replaced.
+
+    ``retry`` (the run's attempt budget / backoff knobs) and ``fault_plan``
+    (a chaos schedule for every worker serving this run) are recorded in the
+    manifest so the whole fleet — spawned daemons included — agrees on them.
     """
     run_dir = os.path.abspath(run_dir)
-    queue = JobQueue(run_dir, lease_timeout=lease_timeout)
+    retry = retry or RetryPolicy()
+    queue = JobQueue(run_dir, lease_timeout=lease_timeout, retry=retry)
     os.makedirs(os.path.join(run_dir, SHARDS_DIRNAME), exist_ok=True)
     os.makedirs(os.path.join(run_dir, WORKERS_DIRNAME), exist_ok=True)
 
@@ -162,6 +169,10 @@ def prepare_run_dir(
             # this run directory to record its own sink here too (see
             # repro.cluster.worker.worker_loop).
             "telemetry": telemetry.enabled(),
+            "retry": retry.to_manifest(),
+            # A chaos schedule every worker honors (an installed plan or the
+            # FAULTS_ENV variable wins inside a given worker process).
+            "faults": fault_plan.to_json() if fault_plan is not None else None,
         },
     )
     telemetry.get_recorder().event(
@@ -179,6 +190,8 @@ def submit_spec(
     spec: SweepSpec,
     chunk_size: Optional[int] = None,
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[faults.FaultPlan] = None,
 ) -> Submission:
     """Publish every not-yet-stored cell of ``spec`` to ``run_dir``.
 
@@ -205,6 +218,8 @@ def submit_spec(
         group_jobs(missing),
         chunk_size=chunk_size,
         lease_timeout=lease_timeout,
+        retry=retry,
+        fault_plan=fault_plan,
     )
     submission.cached_keys = cached
     submission.expected_keys = [job.content_key for job in spec.jobs]

@@ -13,6 +13,9 @@ programmatically::
     # anywhere: watch progress, recover crashed workers' leases
     python -m repro.cluster status runs/fig7
 
+    # after fixing whatever poisoned them: give dead-lettered items new life
+    python -m repro.cluster retry-failed runs/fig7
+
     # when (or while) workers run: fold shards into the canonical results
     python -m repro.cluster merge runs/fig7
 
@@ -74,6 +77,7 @@ def _cmd_worker(args) -> int:
         worker_id=args.id,
         lease_timeout=args.lease_timeout,
         poll_interval=args.poll,
+        max_poll=args.max_poll,
         max_idle=args.max_idle,
         max_items=args.max_items,
         exit_when_drained=not args.serve,
@@ -81,6 +85,7 @@ def _cmd_worker(args) -> int:
     )
     print(
         f"worker {stats.worker_id}: {stats.items} item(s), {stats.cells} cell(s), "
+        f"{stats.failures} failure(s) ({stats.dead_lettered} dead-lettered), "
         f"{stats.requeued} expired lease(s) requeued, "
         f"{stats.lost_leases} lease(s) lost"
     )
@@ -123,6 +128,13 @@ def run_status(run_dir: str, worker_ttl: float = DEFAULT_LEASE_TIMEOUT) -> Dict:
         "requeued_expired": int(
             (telemetry_counters or {}).get("queue.requeued_expired", 0)
         ),
+        "failed_items": queue.failed_ids(),
+        # {attempt: items} across every state — a crash-free run is all 1s;
+        # retries shift mass right, and mass at max_attempts marks poison.
+        "attempts": {
+            str(attempt): count
+            for attempt, count in sorted(queue.attempts_histogram().items())
+        },
         "telemetry": telemetry_counters,
     }
 
@@ -142,13 +154,21 @@ def _cmd_status(args) -> int:
     print(f"run dir: {status['run_dir']}")
     print(
         f"queue: {counts['pending']} pending, {counts['leased']} leased, "
-        f"{counts['done']} done"
+        f"{counts['done']} done, {counts['failed']} failed"
     )
     if status["expected"]:
         print(f"results: {status['stored']}/{status['expected']} expected cells stored")
     else:
         print(f"results: {status['stored']} cells stored")
     print(f"workers: {len(live)} live ({', '.join(live) if live else 'none'})")
+    if status["attempts"]:
+        histogram = ", ".join(
+            f"{count} item(s) x{attempt}" for attempt, count in status["attempts"].items()
+        )
+        print(f"attempts: {histogram}")
+    if status["failed_items"]:
+        print(f"dead-lettered: {', '.join(status['failed_items'])}")
+        print("  (inspect queue/failed/<item>.json; requeue with retry-failed)")
     if status["telemetry"] is not None:
         print(
             f"leases: {status['lost_leases']} lost, "
@@ -157,6 +177,27 @@ def _cmd_status(args) -> int:
     if "requeued_now" in status:
         print(f"requeued {status['requeued_now']} expired lease(s)")
     print(f"status: {'complete' if status['complete'] else 'in progress'}")
+    return 0
+
+
+def _cmd_retry_failed(args) -> int:
+    queue = JobQueue(args.run_dir)
+    failed = queue.failed_ids()
+    if args.item:
+        missing = sorted(set(args.item) - set(failed))
+        if missing:
+            print(
+                f"error: not dead-lettered: {', '.join(missing)}", file=sys.stderr
+            )
+            return 2
+    if not failed:
+        print("nothing to retry: the dead-letter directory is empty")
+        return 0
+    requeued = queue.retry_failed(item_ids=args.item or None)
+    print(
+        f"requeued {len(requeued)} dead-lettered item(s) with a fresh attempt "
+        f"budget: {', '.join(requeued)}"
+    )
     return 0
 
 
@@ -217,7 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("worker", help="serve the queue: claim, execute, append")
     p.add_argument("run_dir")
     p.add_argument("--id", default=None, help="worker id (default host-pid)")
-    p.add_argument("--poll", type=float, default=0.2, help="claim poll seconds")
+    p.add_argument("--poll", type=float, default=0.2, help="base claim poll seconds")
+    p.add_argument("--max-poll", type=float, default=None,
+                   help="cap of the idle-poll exponential backoff")
     p.add_argument("--lease-timeout", type=float, default=None,
                    help="override the run's lease timeout")
     p.add_argument("--max-idle", type=float, default=None,
@@ -236,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the status snapshot as JSON")
     p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("retry-failed",
+                       help="requeue dead-lettered items with a fresh attempt budget")
+    p.add_argument("run_dir")
+    p.add_argument("--item", action="append", default=None,
+                   help="specific item id(s) to requeue (default: all failed)")
+    p.set_defaults(func=_cmd_retry_failed)
 
     p = sub.add_parser("merge", help="fold worker shards into results.jsonl")
     p.add_argument("run_dir")

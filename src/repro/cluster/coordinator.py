@@ -39,14 +39,16 @@ import tempfile
 import time
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from repro import faults as faults_module
 from repro import telemetry
 from repro.cluster.broker import (
     WORKERS_DIRNAME,
     group_item_id,
     prepare_run_dir,
 )
+from repro.cluster.failures import FailureReport
 from repro.cluster.merge import ShardTail, discover_shards
-from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue
+from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue, RetryPolicy
 from repro.runtime.executors import GroupOutput, register_executor
 from repro.runtime.spec import EvalJob, SweepContext
 from repro.runtime.store import ResultStore
@@ -69,6 +71,8 @@ def live_worker_ids(run_dir: str, ttl: float) -> List[str]:
         try:
             if now - os.stat(os.path.join(workers_dir, name)).st_mtime <= ttl:
                 live.append(name)
+        # repro: ignore[REP008] beacon removed between listdir and stat (gc
+        # or a clean worker exit); that worker just isn't live.
         except OSError:
             continue
     return sorted(live)
@@ -150,6 +154,19 @@ class ClusterExecutor:
     stall_timeout:
         Seconds without progress or live workers before the coordinator
         falls back to in-process execution (``None``: ``2 * lease_timeout``).
+    retry:
+        The run's :class:`~repro.cluster.queue.RetryPolicy` (attempt budget
+        and backoff); recorded in the manifest so spawned and external
+        workers enforce the same budget.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` chaos schedule, propagated
+        to every worker through the manifest (the chaos tests' hook).
+
+    A run that dead-letters items terminates with **partial results**: the
+    failed groups are never yielded, and :attr:`failure_report` holds a
+    :class:`~repro.cluster.failures.FailureReport` naming each dead-lettered
+    item, its failure record and the content keys it cost.  Runs with no
+    failures leave :attr:`failure_report` as ``None``.
     """
 
     def __init__(
@@ -161,6 +178,8 @@ class ClusterExecutor:
         spawn_workers: bool = True,
         chunk_size: Optional[int] = None,
         stall_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[faults_module.FaultPlan] = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -179,6 +198,10 @@ class ClusterExecutor:
         self.stall_timeout = (
             2.0 * self.lease_timeout if stall_timeout is None else float(stall_timeout)
         )
+        self.retry = retry
+        self.fault_plan = fault_plan
+        #: The last run's dead-letter report (``None``: nothing failed).
+        self.failure_report: Optional[FailureReport] = None
 
     @property
     def results_path(self) -> Optional[str]:
@@ -214,6 +237,8 @@ class ClusterExecutor:
         )
         rec = telemetry.get_recorder()
         procs: List[subprocess.Popen] = []
+        self.failure_report = None
+        report = FailureReport()
         # Manual enter/exit rather than `with`: _run is a generator, and the
         # span must close in the same finally that reaps the daemons so it
         # records even when the consuming iterator is abandoned mid-run.
@@ -237,8 +262,12 @@ class ClusterExecutor:
                 list(outstanding.values()),
                 chunk_size=self.chunk_size,
                 lease_timeout=self.lease_timeout,
+                retry=self.retry,
+                fault_plan=self.fault_plan,
             )
-            queue = JobQueue(run_dir, lease_timeout=self.lease_timeout)
+            queue = JobQueue(
+                run_dir, lease_timeout=self.lease_timeout, retry=self.retry
+            )
             procs = self._maybe_spawn(run_dir, len(outstanding))
             if procs:
                 rec.event("cluster.spawn", workers=len(procs), run_dir=run_dir)
@@ -267,6 +296,27 @@ class ClusterExecutor:
                 if merged or drained:
                     last_progress = time.monotonic()
                 queue.requeue_expired()
+                # Dead-lettered items will never produce results: drop them
+                # from the wait set (graceful degradation — the run
+                # terminates with partial results plus a failure report
+                # instead of spinning forever on a poisoned group).
+                for item_id in queue.failed_ids():
+                    group = outstanding.pop(item_id, None)
+                    if group is None:
+                        continue
+                    report.add(
+                        item_id,
+                        queue.failure_record(item_id),
+                        keys=[job.content_key for job in group],
+                    )
+                    last_progress = time.monotonic()
+                    rec.count("cluster.dead_lettered")
+                    rec.event(
+                        "cluster.dead_lettered", level="error",
+                        item=item_id, cells=len(group),
+                    )
+                if not outstanding:
+                    return
                 procs, restarts_left = self._babysit(
                     run_dir, procs, restarts_left, queue
                 )
@@ -301,6 +351,13 @@ class ClusterExecutor:
                     continue
                 time.sleep(self.poll_interval)
         finally:
+            if report:
+                self.failure_report = report
+                span.note(failed_items=len(report.items), failed_cells=len(report.keys))
+                rec.event(
+                    "cluster.failure_report", level="warning",
+                    items=len(report.items), cells=len(report.keys),
+                )
             for proc in procs:
                 if proc.poll() is None:
                     proc.terminate()
@@ -345,8 +402,11 @@ class ClusterExecutor:
                         poll_interval=self.poll_interval,
                     )
                 )
+            # repro: ignore[REP008] spawn refusal *is* the degradation signal
+            # — the caller falls back to in-process execution with however
+            # many daemons did start.
             except OSError:
-                break  # host can't spawn (restricted sandbox): fall back below
+                break
         return procs
 
     def _babysit(

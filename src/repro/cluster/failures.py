@@ -1,0 +1,114 @@
+"""Failure reporting: what a run dead-lettered, and which cells it cost.
+
+The queue's dead-letter directory (``queue/failed/``) holds the raw
+per-item failure records; this module aggregates them into one
+:class:`FailureReport` — the object :class:`~repro.cluster.coordinator.
+ClusterExecutor` exposes after a run that terminated with partial results,
+and the document ``bench_cluster --poison`` writes as its CI artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.queue import JobQueue
+from repro.utils.serialization import atomic_write_json
+
+__all__ = ["ItemFailure", "FailureReport", "load_failure_report"]
+
+
+@dataclass(frozen=True)
+class ItemFailure:
+    """One dead-lettered work item.
+
+    ``keys`` are the content keys of the cells the item would have produced
+    (the sweep's missing results); ``record`` is the item's dead-letter
+    payload — ``failure`` (exception type, message, traceback, worker,
+    attempts) plus the full per-attempt ``history``.
+    """
+
+    item_id: str
+    keys: tuple
+    record: Optional[Dict[str, object]] = None
+
+    @property
+    def failure(self) -> Dict[str, object]:
+        return dict((self.record or {}).get("failure") or {})
+
+
+@dataclass
+class FailureReport:
+    """Every dead-lettered item of one run, with the cells they cost."""
+
+    failures: List[ItemFailure] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    @property
+    def items(self) -> List[str]:
+        return [failure.item_id for failure in self.failures]
+
+    @property
+    def keys(self) -> List[str]:
+        return [key for failure in self.failures for key in failure.keys]
+
+    def add(
+        self,
+        item_id: str,
+        record: Optional[Dict[str, object]],
+        keys: Optional[List[str]] = None,
+    ) -> None:
+        if keys is None:
+            keys = [
+                job.get("content_key")
+                for job in (record or {}).get("jobs") or []
+                if isinstance(job, dict)
+            ]
+        self.failures.append(
+            ItemFailure(item_id=item_id, keys=tuple(keys), record=record)
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "failed_items": len(self.failures),
+            "failed_cells": len(self.keys),
+            "failures": [
+                {
+                    "item": failure.item_id,
+                    "keys": list(failure.keys),
+                    "failure": failure.failure,
+                    "history": list((failure.record or {}).get("history") or []),
+                }
+                for failure in self.failures
+            ],
+        }
+
+    def write(self, path: str) -> None:
+        """Persist the report atomically (the CI artifact shape)."""
+        atomic_write_json(os.path.abspath(path), self.to_json())
+
+    def summary(self) -> str:
+        """One human line per dead-lettered item."""
+        lines = []
+        for item in self.failures:
+            failure = item.failure
+            lines.append(
+                f"{item.item_id}: {failure.get('exc_type') or 'unknown'} "
+                f"after {failure.get('attempts') or '?'} attempt(s) "
+                f"({len(item.keys)} cell(s)): {failure.get('message') or ''}"
+            )
+        return "\n".join(lines)
+
+
+def load_failure_report(
+    run_dir: str, queue: Optional[JobQueue] = None
+) -> FailureReport:
+    """The :class:`FailureReport` of ``run_dir``'s dead-letter directory."""
+    queue = queue or JobQueue(run_dir)
+    report = FailureReport()
+    for item_id in queue.failed_ids():
+        report.add(item_id, queue.failure_record(item_id))
+    return report

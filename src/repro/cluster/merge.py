@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.cluster.broker import SHARDS_DIRNAME, WORKERS_DIRNAME
 from repro.cluster.queue import JobQueue
 from repro.runtime.spec import CellResult
@@ -92,6 +93,7 @@ class ShardTail:
             return []  # only a partial line so far; keep the offset
         complete, self.offset = chunk[: last_newline + 1], self.offset + last_newline + 1
         records = []
+        torn = 0
         for line in complete.split(b"\n"):
             line = line.strip()
             if not line:
@@ -99,9 +101,12 @@ class ShardTail:
             try:
                 record = json.loads(line.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
+                torn += 1  # a writer died mid-line; the record is unrecoverable
                 continue
             if isinstance(record, dict):
                 records.append(record)
+        if torn:
+            telemetry.get_recorder().count("io.torn_lines", torn)
         return records
 
 
@@ -174,6 +179,8 @@ def merge_shards(
         if remove:
             try:
                 os.unlink(path)
+            # repro: ignore[REP008] best-effort removal — a shard that
+            # survives is simply re-merged (and deduped) on the next pass.
             except OSError:
                 pass
     return stats
@@ -270,6 +277,8 @@ def gc_run_dir(
         try:
             os.unlink(os.path.join(queue.queue_dir, "done", item_id + ".json"))
             stats.done_items_removed += 1
+        # repro: ignore[REP008] best-effort cleanup; a concurrent gc may have
+        # unlinked the done marker first — the item stays gone either way.
         except OSError:
             pass
 
@@ -280,12 +289,16 @@ def gc_run_dir(
             beacon = os.path.join(workers_dir, name)
             try:
                 age = now - os.stat(beacon).st_mtime
+            # repro: ignore[REP008] beacon vanished between listdir and stat
+            # (its worker exited cleanly); nothing to age-check.
             except OSError:
                 continue
             if age > worker_ttl:
                 try:
                     os.unlink(beacon)
                     stats.beacons_removed += 1
+                # repro: ignore[REP008] best-effort cleanup; losing an unlink
+                # race to a concurrent gc leaves the directory just as clean.
                 except OSError:
                     pass
             else:
@@ -299,6 +312,8 @@ def gc_run_dir(
             try:
                 os.unlink(path)
                 stats.shards_removed += 1
+            # repro: ignore[REP008] best-effort cleanup; an undeletable shard
+            # only costs disk — its cells are already merged.
             except OSError:
                 pass
     return stats

@@ -26,6 +26,17 @@ crash can never leave an item in two states or in none:
 * **complete**: ``leased/x.json -> done/x.json`` — only after the worker has
   flushed the group's results to its shard, so a completed item always has
   durable results.
+* **nack / dead-letter**: a worker whose execution *raised* reports the
+  failure instead of crashing.  The claim stamped an attempt count into the
+  payload; below the run's :class:`RetryPolicy` budget the item goes back to
+  ``pending/`` carrying a ``retry_after`` timestamp (exponential backoff
+  with deterministic derived-seed jitter) that :meth:`JobQueue.claim`
+  honors.  At the budget, the item moves to ``queue/failed/`` — the
+  dead-letter directory — with a structured failure record (exception type,
+  traceback, worker, full attempt history) folded into the item file.  An
+  item whose workers keep *crashing* (never reporting) burns one attempt per
+  claim and is dead-lettered by the next claim after the budget, so one
+  poisoned group can never crash-loop a fleet forever.
 
 Item payloads are small JSON documents (the serialized
 :class:`~repro.runtime.spec.EvalJob` records of one executor group), written
@@ -42,27 +53,106 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro import telemetry
+from repro.utils.rng import derived_seed, new_rng
 from repro.utils.serialization import atomic_write_json
 
-__all__ = ["JobQueue", "WorkItem", "DEFAULT_LEASE_TIMEOUT"]
+__all__ = [
+    "JobQueue",
+    "WorkItem",
+    "RetryPolicy",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_MAX_ATTEMPTS",
+]
 
 #: Seconds a leased item may go without a heartbeat before any process may
 #: requeue it.  Generous relative to the heartbeat interval (a quarter of
 #: it) so transient stalls don't cause spurious requeues.
 DEFAULT_LEASE_TIMEOUT = 30.0
 
+#: Executions an item gets before it is dead-lettered.
+DEFAULT_MAX_ATTEMPTS = 3
+
 PENDING = "pending"
 LEASED = "leased"
 DONE = "done"
-STATES = (PENDING, LEASED, DONE)
+FAILED = "failed"
+STATES = (PENDING, LEASED, DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many executions an item gets, and how retries back off.
+
+    The policy is manifest-configurable per run (see
+    :func:`repro.cluster.broker.prepare_run_dir`), so every participant —
+    coordinator, spawned daemons, external workers — enforces the same
+    budget.  Backoff for attempt ``n`` is
+    ``min(backoff_base * backoff_factor**(n-1), backoff_max)`` scaled by a
+    deterministic jitter in ``[1 - jitter, 1]`` derived from the item id and
+    attempt number, so a fleet retrying the same item doesn't thunder in
+    lockstep yet every rerun of a chaos schedule sees identical delays.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be non-negative, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff_factor must be at least 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff before retrying after the ``attempt``-th failure."""
+        base = min(
+            self.backoff_base * self.backoff_factor ** max(attempt - 1, 0),
+            self.backoff_max,
+        )
+        if base <= 0 or self.jitter <= 0:
+            return base
+        u = new_rng(derived_seed("retry-jitter", token, attempt)).random()
+        return base * (1.0 - self.jitter * u)
+
+    def to_manifest(self) -> Dict[str, float]:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "backoff_max": self.backoff_max,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_manifest(cls, obj: Optional[Dict[str, object]]) -> "RetryPolicy":
+        if not obj:
+            return cls()
+        known = {f for f in cls.__dataclass_fields__}
+        fields = {k: v for k, v in dict(obj).items() if k in known}
+        if "max_attempts" in fields:
+            fields["max_attempts"] = int(fields["max_attempts"])
+        return cls(**fields)
 
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One claimed queue item: its id and deserialized payload."""
+    """One claimed queue item: id, deserialized payload, attempt number."""
 
     item_id: str
     payload: Dict[str, object]
+    attempt: int = 1
 
 
 class JobQueue:
@@ -75,14 +165,24 @@ class JobQueue:
     lease_timeout:
         Seconds without a heartbeat after which a leased item is considered
         abandoned and :meth:`requeue_expired` moves it back to pending.
+    retry:
+        The run's :class:`RetryPolicy` (default: a fresh one).  Workers
+        construct their queue with the manifest's policy so the whole fleet
+        agrees on the attempt budget.
     """
 
-    def __init__(self, run_dir: str, lease_timeout: float = DEFAULT_LEASE_TIMEOUT):
+    def __init__(
+        self,
+        run_dir: str,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        retry: Optional[RetryPolicy] = None,
+    ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
         self.run_dir = os.path.abspath(run_dir)
         self.queue_dir = os.path.join(self.run_dir, "queue")
         self.lease_timeout = float(lease_timeout)
+        self.retry = retry or RetryPolicy()
         self.ensure_layout()
 
     # -- layout ---------------------------------------------------------------
@@ -109,10 +209,11 @@ class JobQueue:
     def enqueue(self, item_id: str, payload: Dict[str, object]) -> bool:
         """Publish a work item; returns ``False`` if it already exists.
 
-        Idempotent across resubmissions: an item already pending, leased or
-        done (deterministic ids make re-submitted groups collide on purpose)
-        is left untouched.  The payload is written atomically, so a claimant
-        can never read a partial item.
+        Idempotent across resubmissions: an item already pending, leased,
+        done or dead-lettered (deterministic ids make re-submitted groups
+        collide on purpose) is left untouched — resurrecting a failed item
+        takes an explicit :meth:`retry_failed`.  The payload is written
+        atomically, so a claimant can never read a partial item.
         """
         for state in STATES:
             if os.path.exists(self._path(state, item_id)):
@@ -128,10 +229,20 @@ class JobQueue:
 
         Candidates are tried in random order so a fleet of workers doesn't
         stampede the same file; each attempt is one rename, and losing a
-        race just moves on to the next candidate.  The winner's lease starts
-        immediately (the claim touches the file before returning).
+        race just moves on to the next candidate.  The winner stamps the
+        incremented attempt count into the item (atomically — the rewrite
+        also starts the lease clock) before returning, so even a worker that
+        is SIGKILLed one instruction later has burned an attempt.
+
+        Two retry-policy gates apply per candidate: an item whose
+        ``retry_after`` (set by :meth:`nack`) is still in the future is put
+        back without burning an attempt, and an item that already used its
+        whole attempt budget — its workers crashed without ever reporting —
+        is dead-lettered here instead of executed a ``max_attempts+1``-th
+        time.
         """
         rec = telemetry.get_recorder()
+        now = time.time()
         candidates = self._ids(PENDING)
         # repro: ignore[REP001] claim-order decorrelation across worker
         # processes is *meant* to be nondeterministic; results are merged by
@@ -145,8 +256,6 @@ class JobQueue:
             except (FileNotFoundError, PermissionError):
                 rec.count("queue.claim_races")
                 continue  # lost the race (or racing filesystem); next
-            os.utime(leased_path)  # start the lease at claim time
-            rec.count("queue.claims")
             try:
                 with open(leased_path, "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
@@ -154,8 +263,167 @@ class JobQueue:
                 # Unreadable item (should be impossible with atomic writes);
                 # surface rather than silently dropping work.
                 raise RuntimeError(f"claimed item {item_id!r} is unreadable")
-            return WorkItem(item_id=item_id, payload=payload)
+            retry_after = float(payload.get("retry_after") or 0.0)
+            if retry_after > now:
+                # Backing off: return it untouched and keep scanning.
+                os.rename(leased_path, pending_path)
+                rec.count("queue.deferred")
+                continue
+            attempt = int(payload.get("attempt") or 0) + 1
+            if attempt > self.retry.max_attempts:
+                # Every budgeted attempt ended in a crash (claimed, never
+                # nacked, lease expired).  Dead-letter instead of feeding
+                # the poison to yet another worker.
+                self._dead_letter(
+                    item_id,
+                    payload,
+                    worker=worker_id,
+                    error={
+                        "exc_type": "WorkerCrashLoop",
+                        "message": (
+                            f"all {self.retry.max_attempts} attempt(s) were "
+                            "claimed but never reported back (worker crashes "
+                            "or lost leases)"
+                        ),
+                        "traceback": "",
+                    },
+                    attempts=attempt - 1,
+                )
+                continue
+            payload["attempt"] = attempt
+            # Atomic rewrite doubles as the lease-start touch.
+            atomic_write_json(leased_path, payload)
+            rec.count("queue.claims")
+            return WorkItem(item_id=item_id, payload=payload, attempt=attempt)
         return None
+
+    def nack(
+        self,
+        item: WorkItem,
+        error: Optional[Dict[str, object]] = None,
+        worker: str = "",
+    ) -> str:
+        """Report a failed execution; returns the item's disposition.
+
+        ``"retry"``: attempts remain — the item went back to pending with a
+        backoff ``retry_after`` stamp.  ``"failed"``: the attempt budget is
+        spent — the item was dead-lettered with a structured failure record.
+        ``"lost"``: the lease had already expired and someone else owns the
+        item now; nothing to do (their execution carries its own attempt).
+
+        ``error`` should carry ``exc_type``/``message``/``traceback``; the
+        full attempt history accumulates in the payload either way.
+        """
+        rec = telemetry.get_recorder()
+        leased_path = self._path(LEASED, item.item_id)
+        error = dict(error or {})
+        payload = dict(item.payload)
+        history = list(payload.get("history") or [])
+        history.append(
+            {
+                "attempt": item.attempt,
+                "worker": worker,
+                "ts": time.time(),
+                "exc_type": error.get("exc_type"),
+                "message": error.get("message"),
+            }
+        )
+        payload["history"] = history
+        if item.attempt >= self.retry.max_attempts:
+            return self._dead_letter(
+                item.item_id, payload, worker=worker, error=error,
+                attempts=item.attempt,
+            )
+        delay = self.retry.delay(item.attempt, token=item.item_id)
+        payload["retry_after"] = time.time() + delay
+        try:
+            atomic_write_json(leased_path, payload)
+            os.rename(leased_path, self._path(PENDING, item.item_id))
+        except FileNotFoundError:
+            rec.count("queue.leases_lost")
+            return "lost"
+        rec.count("queue.nacks")
+        rec.event(
+            "queue.nacked", level="warning",
+            item=item.item_id, attempt=item.attempt, worker=worker,
+            exc_type=error.get("exc_type"), retry_in=round(delay, 3),
+        )
+        return "retry"
+
+    def _dead_letter(
+        self,
+        item_id: str,
+        payload: Dict[str, object],
+        worker: str,
+        error: Dict[str, object],
+        attempts: int,
+    ) -> str:
+        """Move a leased item to ``failed/`` with its failure record.
+
+        The record is folded into the item file and written atomically
+        *before* the rename, so a crash in between leaves a leased item that
+        already carries its failure — the next claim re-dead-letters it.
+        """
+        rec = telemetry.get_recorder()
+        leased_path = self._path(LEASED, item_id)
+        payload = dict(payload)
+        payload["failure"] = {
+            "exc_type": error.get("exc_type"),
+            "message": error.get("message"),
+            "traceback": error.get("traceback"),
+            "worker": worker,
+            "attempts": attempts,
+            "ts": time.time(),
+        }
+        try:
+            atomic_write_json(leased_path, payload)
+            os.rename(leased_path, self._path(FAILED, item_id))
+        except FileNotFoundError:
+            rec.count("queue.leases_lost")
+            return "lost"
+        rec.count("queue.dead_lettered")
+        rec.event(
+            "queue.dead_lettered", level="error",
+            item=item_id, attempts=attempts, worker=worker,
+            exc_type=error.get("exc_type"), message=error.get("message"),
+        )
+        return "failed"
+
+    def retry_failed(self, item_ids: Optional[List[str]] = None) -> List[str]:
+        """Return dead-lettered items to pending with a fresh attempt budget.
+
+        The recovery half of the dead-letter workflow (``repro.cluster
+        retry-failed``): the attempt counter and backoff stamp reset, the
+        failure record is cleared, but the accumulated attempt history stays
+        so a twice-dead item tells its whole story.  Returns the ids
+        actually requeued.
+        """
+        requeued = []
+        for item_id in item_ids if item_ids is not None else self.failed_ids():
+            failed_path = self._path(FAILED, item_id)
+            try:
+                with open(failed_path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            # repro: ignore[REP008] an unreadable dead-letter file is left in
+            # failed/ for manual inspection; requeueing garbage would be worse.
+            except (OSError, json.JSONDecodeError):
+                continue
+            payload["attempt"] = 0
+            payload.pop("retry_after", None)
+            payload.pop("failure", None)
+            try:
+                atomic_write_json(failed_path, payload)
+                os.rename(failed_path, self._path(PENDING, item_id))
+            # repro: ignore[REP008] lost the race with a concurrent
+            # retry-failed — the winner already requeued this item.
+            except FileNotFoundError:
+                continue
+            requeued.append(item_id)
+        if requeued:
+            rec = telemetry.get_recorder()
+            rec.count("queue.retried_failed", len(requeued))
+            rec.event("queue.retry_failed", items=len(requeued))
+        return requeued
 
     def heartbeat(self, item_id: str) -> bool:
         """Refresh the lease on ``item_id``; ``False`` if the lease is lost."""
@@ -217,12 +485,16 @@ class JobQueue:
             leased_path = self._path(LEASED, item_id)
             try:
                 heartbeat_at = os.stat(leased_path).st_mtime
+            # repro: ignore[REP008] completed or requeued by someone else
+            # between listdir and stat; nothing left to recover.
             except FileNotFoundError:
-                continue  # completed or requeued by someone else meanwhile
+                continue
             if now - heartbeat_at <= self.lease_timeout:
                 continue
             try:
                 os.rename(leased_path, self._path(PENDING, item_id))
+            # repro: ignore[REP008] a concurrent requeuer (or the slow owner
+            # completing) won the rename; the item is in good hands.
             except FileNotFoundError:
                 continue
             requeued.append(item_id)
@@ -251,6 +523,8 @@ class JobQueue:
         for item_id in self._ids(LEASED):
             try:
                 ages.append(now - os.stat(self._path(LEASED, item_id)).st_mtime)
+            # repro: ignore[REP008] the lease ended between listdir and stat;
+            # it simply doesn't contribute an age.
             except FileNotFoundError:
                 continue
         return min(ages) if ages else None
@@ -264,10 +538,50 @@ class JobQueue:
     def done_ids(self) -> List[str]:
         return self._ids(DONE)
 
+    def failed_ids(self) -> List[str]:
+        """Ids of dead-lettered items (sorted)."""
+        return self._ids(FAILED)
+
+    def failure_record(self, item_id: str) -> Optional[Dict[str, object]]:
+        """The dead-lettered item's payload (failure + history), or ``None``."""
+        try:
+            with open(self._path(FAILED, item_id), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def attempts_histogram(self) -> Dict[int, int]:
+        """``{attempt_count: items}`` over every item in every state.
+
+        An item that succeeded first try counts under 1; a dead-lettered
+        item counts under ``max_attempts``.  Status-time diagnostics only —
+        this reads every item file.
+        """
+        histogram: Dict[int, int] = {}
+        for state in STATES:
+            for item_id in self._ids(state):
+                try:
+                    with open(
+                        self._path(state, item_id), "r", encoding="utf-8"
+                    ) as handle:
+                        payload = json.load(handle)
+                # repro: ignore[REP008] diagnostics only: an item mid-rename
+                # (or mid-rewrite) drops out of this snapshot, not the queue.
+                except (OSError, json.JSONDecodeError):
+                    continue
+                attempt = int(payload.get("attempt") or 0)
+                histogram[attempt] = histogram.get(attempt, 0) + 1
+        return histogram
+
     def counts(self) -> Dict[str, int]:
-        """``{"pending": n, "leased": n, "done": n}`` snapshot."""
+        """``{"pending": n, "leased": n, "done": n, "failed": n}`` snapshot."""
         return {state: len(self._ids(state)) for state in STATES}
 
     def is_drained(self) -> bool:
-        """True when nothing is pending or leased (all published work done)."""
+        """True when nothing is pending or leased.
+
+        Dead-lettered items count as drained — they will never become
+        claimable without an explicit :meth:`retry_failed`, so waiting on
+        them would wait forever.
+        """
         return not self._ids(PENDING) and not self._ids(LEASED)

@@ -24,39 +24,60 @@ If this worker is SIGKILLed mid-group, its lease goes stale and the group
 is retried elsewhere; if it instead finishes after losing its lease, the
 completion rename fails and its shard records are deduplicated by content
 key on merge.  Either way the merged results are complete and exact.
+
+A job that *raises* is contained, not fatal: the worker records the failure
+(``worker.item_failures`` counter plus a ``worker.item_failed`` event with
+the traceback) and nacks the item back to the queue, which retries it with
+backoff or dead-letters it once the run's
+:class:`~repro.cluster.queue.RetryPolicy` budget is spent — the loop itself
+survives to claim the next item.  The :mod:`repro.faults` seams (claim,
+execute, publish, complete, heartbeat) are woven through this flow so chaos
+schedules can inject exceptions, stalls, SIGKILLs and torn shard writes at
+exactly these points.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import socket
 import threading
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.cluster.broker import (
     CONTEXT_FILENAME,
     SHARDS_DIRNAME,
     WORKERS_DIRNAME,
     read_manifest,
 )
-from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue, WorkItem
+from repro.cluster.queue import (
+    DEFAULT_LEASE_TIMEOUT,
+    JobQueue,
+    RetryPolicy,
+    WorkItem,
+)
 from repro.runtime.executors import execute_group
 from repro.runtime.spec import EvalJob
 from repro.runtime.store import job_metadata
+from repro.utils.rng import derived_seed, new_rng
 from repro.utils.serialization import append_jsonl, atomic_write_text
 
 __all__ = ["WorkerStats", "worker_loop", "default_worker_id"]
 
-#: Fault-injection hook honoured only by the ``repro.cluster worker`` CLI
-#: (never by library callers such as the coordinator's in-process fallback):
-#: when set to ``N``, the worker *process* SIGKILLs itself immediately after
-#: its ``N``-th successful claim — i.e. mid-group, with the lease held and
-#: no results written.  Used by the crash-recovery tests to exercise lease
-#: expiry deterministically.
+#: Legacy fault-injection hook, honoured only by the ``repro.cluster
+#: worker`` CLI (never by library callers such as the coordinator's
+#: in-process fallback): when set to ``N``, the worker *process* SIGKILLs
+#: itself immediately after its ``N``-th successful claim — i.e. mid-group,
+#: with the lease held and no results written.  Internally this is now one
+#: rule of the general :mod:`repro.faults` harness
+#: (:func:`repro.faults.crash_after_claim_plan`); new chaos scenarios should
+#: ship a full schedule via :data:`repro.faults.FAULTS_ENV` or the manifest
+#: instead.
 CRASH_AFTER_CLAIM_ENV = "REPRO_CLUSTER_CRASH_AFTER_CLAIM"
 
 
@@ -74,6 +95,8 @@ class WorkerStats:
     cells: int = 0
     requeued: int = 0
     lost_leases: int = 0
+    failures: int = 0
+    dead_lettered: int = 0
     item_ids: List[str] = field(default_factory=list)
 
 
@@ -89,6 +112,7 @@ class _Heartbeat:
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
+            faults.fire("heartbeat", self._item_id)
             self._queue.heartbeat(self._item_id)
 
     def __enter__(self) -> "_Heartbeat":
@@ -117,11 +141,30 @@ def _touch_beacon(run_dir: str, worker_id: str) -> None:
         atomic_write_text(path, str(os.getpid()) + "\n")
 
 
-def _maybe_crash(claims_done: int, crash_after_claim: Optional[int]) -> None:
-    if crash_after_claim is not None and claims_done == crash_after_claim:
-        import signal
+def _resolve_fault_plan(
+    manifest: dict, crash_after_claim: Optional[int]
+) -> Optional[faults.FaultPlan]:
+    """The fault schedule this loop should run under, or ``None``.
 
-        os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies here
+    Precedence mirrors telemetry configuration: an explicitly installed plan
+    wins, then :data:`repro.faults.FAULTS_ENV`, then the run manifest.  The
+    legacy ``crash_after_claim`` hook appends its SIGKILL-at-claim rule to
+    whatever else is scheduled.
+    """
+    plan = faults.current()
+    if plan is None:
+        plan = faults.plan_from_env()
+    if plan is None and manifest.get("faults"):
+        plan = faults.FaultPlan.from_json(manifest["faults"])
+    if crash_after_claim is not None:
+        crash = faults.crash_after_claim_plan(crash_after_claim)
+        if plan is None:
+            plan = crash
+        else:
+            plan = faults.FaultPlan(
+                rules=list(plan.rules) + list(crash.rules), seed=plan.seed
+            )
+    return plan
 
 
 def worker_loop(
@@ -129,6 +172,7 @@ def worker_loop(
     worker_id: Optional[str] = None,
     lease_timeout: Optional[float] = None,
     poll_interval: float = 0.2,
+    max_poll: Optional[float] = None,
     max_idle: Optional[float] = None,
     max_items: Optional[int] = None,
     exit_when_drained: bool = True,
@@ -145,7 +189,13 @@ def worker_loop(
         Lease expiry horizon; defaults to the run's manifest value, so every
         participant agrees on what "abandoned" means.
     poll_interval:
-        Sleep between claim attempts while the queue is empty.
+        Initial sleep between claim attempts while the queue is empty.
+        Consecutive empty polls back off exponentially (with deterministic
+        jitter derived from the worker id through :mod:`repro.utils.rng`) up
+        to ``max_poll``, so an idle fleet doesn't hammer a shared
+        filesystem; any claimed item resets the backoff.
+    max_poll:
+        Idle-sleep ceiling (default: ``max(poll_interval, 2.0)`` seconds).
     max_idle:
         Exit after this many seconds without claiming anything (``None``: no
         idle limit).
@@ -158,10 +208,12 @@ def worker_loop(
         same run directory until ``max_idle`` (or termination) — the
         long-lived daemon mode (``repro.cluster worker --serve``).
     crash_after_claim:
-        Fault injection for tests: SIGKILL this process right after the
+        Legacy fault-injection hook: SIGKILL this process right after the
         ``N``-th successful claim (see :data:`CRASH_AFTER_CLAIM_ENV`; the
         CLI wires the environment variable through, library callers must
-        opt in explicitly).
+        opt in explicitly).  General schedules come from :mod:`repro.faults`
+        — installed, via :data:`~repro.faults.FAULTS_ENV`, or via the run
+        manifest (``manifest["faults"]``), in that precedence order.
     """
     run_dir = os.path.abspath(run_dir)
     worker_id = worker_id or default_worker_id()
@@ -170,6 +222,7 @@ def worker_loop(
         lease_timeout = float(manifest.get("lease_timeout") or DEFAULT_LEASE_TIMEOUT)
     chunk_size = manifest.get("chunk_size")
     chunk_size = int(chunk_size) if chunk_size is not None else None
+    retry = RetryPolicy.from_manifest(manifest.get("retry"))
     # A submission made while telemetry was enabled flags the manifest; a
     # worker that has no recorder of its own then records into the shared
     # run directory (one sink per worker, named like its result shard).  A
@@ -179,12 +232,22 @@ def worker_loop(
     if manifest.get("telemetry") and not telemetry.enabled():
         telemetry.configure(run_dir, name=f"worker-{worker_id}")
         owns_recorder = True
+    # Fault schedules propagate the same way; restore the caller's plan on
+    # exit so a library call (the coordinator's in-process fallback, tests)
+    # doesn't leave a chaos schedule armed in the calling process.
+    previous_plan = faults.current()
+    plan = _resolve_fault_plan(manifest, crash_after_claim)
+    if plan is not previous_plan:
+        faults.install(plan)
     rec = telemetry.get_recorder()
-    queue = JobQueue(run_dir, lease_timeout=lease_timeout)
+    queue = JobQueue(run_dir, lease_timeout=lease_timeout, retry=retry)
     context = _load_context(run_dir)
     shard_path = os.path.join(run_dir, SHARDS_DIRNAME, f"worker-{worker_id}.jsonl")
     stats = WorkerStats(worker_id=worker_id)
     heartbeat_interval = max(lease_timeout / 4.0, 0.05)
+    max_poll = max(poll_interval, 2.0) if max_poll is None else float(max_poll)
+    idle_rng = new_rng(derived_seed("worker-idle", worker_id))
+    idle_polls = 0
 
     rec.event("worker.start", worker=worker_id, run_dir=run_dir)
     try:
@@ -201,10 +264,15 @@ def worker_loop(
                     return stats
                 if max_idle is not None and time.monotonic() - idle_since > max_idle:
                     return stats
-                time.sleep(poll_interval)
+                # Capped exponential backoff with deterministic jitter in
+                # [0.5, 1.5): idle fleets poll ever more gently, but any
+                # deferred (backing-off) item is revisited within max_poll.
+                delay = min(poll_interval * 2.0 ** min(idle_polls, 16), max_poll)
+                time.sleep(delay * (0.5 + idle_rng.random()))
+                idle_polls += 1
                 continue
             idle_since = time.monotonic()
-            _maybe_crash(stats.items + 1, crash_after_claim)
+            idle_polls = 0
             _execute_item(
                 queue, context, item, shard_path, worker_id, chunk_size,
                 heartbeat_interval, stats,
@@ -215,11 +283,14 @@ def worker_loop(
         rec.event(
             "worker.exit", worker=worker_id, items=stats.items,
             cells=stats.cells, lost_leases=stats.lost_leases,
+            failures=stats.failures,
         )
         if owns_recorder:
             telemetry.disable()  # flushes the final metrics snapshot
         else:
             rec.flush_metrics()
+        if plan is not previous_plan:
+            faults.install(previous_plan)
 
 
 def _execute_item(
@@ -243,26 +314,42 @@ def _execute_item(
     jobs = [EvalJob.from_record(record) for record in item.payload["jobs"]]
     jobs_by_key = {job.content_key: job for job in jobs}
     with rec.span(
-        "worker.item", worker=worker_id, item=item.item_id, jobs=len(jobs)
+        "worker.item", worker=worker_id, item=item.item_id, jobs=len(jobs),
+        attempt=item.attempt,
     ) as span:
-        with _Heartbeat(queue, item.item_id, heartbeat_interval):
-            output = execute_group(context, jobs, chunk_size=chunk_size)
-        records = []
-        for key, cell in output:
-            job = jobs_by_key.get(key)
-            record = {
-                "key": key,
-                "error": float(cell.error),
-                "confidence": float(cell.confidence),
-                "worker": worker_id,
-                "item": item.item_id,
-            }
-            if job is not None:
-                record.update(job_metadata(job))
-            records.append(record)
-        # Durability before visibility: results reach the shard before the
-        # item is marked done, so a done item always has its cells on disk.
-        append_jsonl(shard_path, records)
+        try:
+            faults.fire("claim", item.item_id)
+            with _Heartbeat(queue, item.item_id, heartbeat_interval):
+                faults.fire("execute", item.item_id)
+                output = execute_group(context, jobs, chunk_size=chunk_size)
+            records = []
+            for key, cell in output:
+                job = jobs_by_key.get(key)
+                record = {
+                    "key": key,
+                    "error": float(cell.error),
+                    "confidence": float(cell.confidence),
+                    "worker": worker_id,
+                    "item": item.item_id,
+                }
+                if job is not None:
+                    record.update(job_metadata(job))
+                records.append(record)
+            faults.fire("publish", item.item_id)
+            if faults.should_tear("publish", item.item_id):
+                _torn_publish(shard_path, records)
+            # Durability before visibility: results reach the shard before
+            # the item is marked done, so a done item always has its cells
+            # on disk.
+            append_jsonl(shard_path, records)
+            faults.fire("complete", item.item_id)
+        except Exception as exc:  # noqa: BLE001 - the containment boundary
+            # A poisoned job must cost one attempt, not one worker: record
+            # the failure, hand the item back to the retry/dead-letter
+            # machinery, and keep the loop alive.
+            _record_item_failure(queue, item, exc, worker_id, stats, span)
+            rec.flush_metrics()
+            return
         completed = queue.complete(item.item_id)
         span.note(cells=len(records), completed=completed)
     stats.items += 1
@@ -282,3 +369,55 @@ def _execute_item(
     # Snapshot after every item so a mid-run `status --json` / `report` sees
     # current counters without waiting for the worker to exit.
     rec.flush_metrics()
+
+
+def _record_item_failure(
+    queue: JobQueue,
+    item: WorkItem,
+    exc: BaseException,
+    worker_id: str,
+    stats: WorkerStats,
+    span,
+) -> None:
+    """Report one failed execution to telemetry and the queue."""
+    rec = telemetry.get_recorder()
+    error = {
+        "exc_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+    disposition = queue.nack(item, error, worker=worker_id)
+    stats.failures += 1
+    if disposition == "failed":
+        stats.dead_lettered += 1
+    span.note(failed=True, exc_type=error["exc_type"], disposition=disposition)
+    rec.count("worker.item_failures")
+    rec.event(
+        "worker.item_failed", level="error",
+        worker=worker_id, item=item.item_id, attempt=item.attempt,
+        exc_type=error["exc_type"], message=error["message"][:500],
+        disposition=disposition,
+    )
+
+
+def _torn_publish(shard_path: str, records: List[dict]) -> None:
+    """Chaos hook: die mid-append, leaving a truncated final shard line.
+
+    Writes every record but the last as complete lines, then half of the
+    last record's line with no trailing newline, fsyncs so the torn bytes
+    are durably on disk, and SIGKILLs the process — exactly what a worker
+    killed mid-``append_jsonl`` leaves behind.  The merge layer must skip
+    (and count) the torn line, and the item — never completed — is retried
+    after lease expiry.
+    """
+    import signal
+
+    lines = [json.dumps(record, sort_keys=True) + "\n" for record in records]
+    torn = lines[-1][: max(1, len(lines[-1]) // 2)]
+    os.makedirs(os.path.dirname(os.path.abspath(shard_path)), exist_ok=True)
+    with open(shard_path, "a", encoding="utf-8") as handle:
+        handle.writelines(lines[:-1])
+        handle.write(torn)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies here

@@ -1,0 +1,343 @@
+"""Deterministic fault injection for the sweep/cluster stack.
+
+The cluster protocol claims to survive crashed workers, poisoned jobs, torn
+shard writes and stalled heartbeats — this module makes those failures
+*schedulable*, so the chaos tests (and ``bench_cluster --poison``) can
+assert the survival invariants deterministically instead of hoping a race
+shows up.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` entries, each naming a
+**seam** (a point in the worker/executor flow where faults are injected):
+
+=============  ==============================================================
+seam           fires
+=============  ==============================================================
+``claim``      right after a worker claims an item, before any execution
+``execute``    just before :func:`~repro.runtime.executors.execute_group`
+``publish``    just before the group's records are appended to the shard
+``complete``   after a durable publish, before the completion rename
+``heartbeat``  in the background lease-refresh thread, before each beat
+=============  ==============================================================
+
+and a **kind**:
+
+* ``exception`` — raise :class:`InjectedFault` (a poisoned job);
+* ``stall`` — sleep ``stall_s`` seconds (a slow disk / GC pause);
+* ``sigkill`` — ``SIGKILL`` the current process (a crashed worker);
+* ``torn_write`` — cooperative: :meth:`FaultPlan.should_tear` returns
+  ``True`` and the *seam's owner* performs the torn write (only the code
+  holding the file handle can tear its own write, so this kind never fires
+  from :meth:`FaultPlan.fire`).
+
+Rules match a seam ``tag`` (usually the queue item id) with an
+:func:`fnmatch.fnmatch` pattern, arm on the ``nth`` matching visit, fire at
+most ``times`` times per process (``None``: every armed visit), and may fire
+probabilistically (``p``) — where the coin flip derives from the plan seed,
+the rule and the visit number via :func:`repro.utils.rng.derived_seed`, so a
+given schedule makes identical decisions on every host and every rerun.
+
+Plans propagate exactly like telemetry configuration: a process-local
+install (:func:`install`), the :data:`FAULTS_ENV` environment variable, or
+the run manifest (``manifest["faults"]``, written by
+:func:`repro.cluster.broker.prepare_run_dir`) — in that precedence order,
+resolved by :func:`repro.cluster.worker.worker_loop` so spawned worker
+daemons honor the same schedule as in-process callers.  This generalizes
+(and subsumes) the original single-purpose
+:data:`~repro.cluster.worker.CRASH_AFTER_CLAIM_ENV` hook, which is now a
+one-rule plan (:func:`crash_after_claim_plan`).
+
+With no plan installed, every seam costs one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import telemetry
+from repro.utils.rng import derived_seed, new_rng
+
+__all__ = [
+    "FAULTS_ENV",
+    "SEAMS",
+    "KINDS",
+    "InjectedFault",
+    "FaultRule",
+    "FaultPlan",
+    "install",
+    "clear",
+    "current",
+    "fire",
+    "should_tear",
+    "plan_from_env",
+    "install_from_env",
+    "crash_after_claim_plan",
+]
+
+#: Environment variable holding a JSON-serialized plan (see
+#: :meth:`FaultPlan.to_json`); spawned subprocesses inherit it.
+FAULTS_ENV = "REPRO_FAULT_SCHEDULE"
+
+SEAMS = ("claim", "execute", "publish", "complete", "heartbeat")
+KINDS = ("exception", "stall", "sigkill", "torn_write")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by an ``exception``-kind fault rule."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: where, what, when and how often.
+
+    Parameters
+    ----------
+    seam:
+        Injection point, one of :data:`SEAMS`.
+    kind:
+        Fault kind, one of :data:`KINDS`.
+    match:
+        :mod:`fnmatch` pattern over the seam tag (usually the queue item id);
+        ``"*"`` matches every visit, an exact item id poisons one item.
+    nth:
+        Arm on the ``nth`` matching visit of this rule in this process
+        (1-based) — ``nth=3`` lets two visits pass untouched.
+    times:
+        Fire at most this many times per process; ``None`` fires on every
+        armed visit (a permanently poisoned item).
+    p:
+        Probability a given armed visit fires.  Decided by a coin derived
+        from ``(plan seed, rule, seam, tag, visit)``, so the same schedule
+        replays identically.
+    stall_s:
+        Sleep duration for ``stall`` rules.
+    note:
+        Free-form annotation, carried into telemetry events.
+    """
+
+    seam: str
+    kind: str
+    match: str = "*"
+    nth: int = 1
+    times: Optional[int] = 1
+    p: float = 1.0
+    stall_s: float = 0.05
+    note: str = ""
+
+    def __post_init__(self):
+        if self.seam not in SEAMS:
+            raise ValueError(f"unknown fault seam {self.seam!r}; one of {SEAMS}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {KINDS}")
+        if self.nth < 1:
+            raise ValueError(f"nth must be at least 1, got {self.nth}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be at least 1 or None, got {self.times}")
+        if not 0.0 < self.p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {self.p}")
+        if self.stall_s < 0:
+            raise ValueError(f"stall_s must be non-negative, got {self.stall_s}")
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "seam": self.seam,
+            "kind": self.kind,
+            "match": self.match,
+            "nth": self.nth,
+            "times": self.times,
+            "p": self.p,
+            "stall_s": self.stall_s,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "FaultRule":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in dict(record).items() if k in known})
+
+
+@dataclass
+class FaultPlan:
+    """A seeded fault schedule; per-rule counters live per process.
+
+    The counters (visits, firings) are process-local by design: a schedule
+    like "tear the first publish of item X" then applies to *each* worker
+    process that reaches that seam, which is what crash-loop scenarios need.
+    """
+
+    rules: List[FaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self):
+        self.rules = [
+            rule if isinstance(rule, FaultRule) else FaultRule.from_record(rule)
+            for rule in self.rules
+        ]
+        self._visits: Dict[int, int] = {}
+        self._fired: Dict[int, int] = {}
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _armed(self, index: int, rule: FaultRule, tag: str) -> bool:
+        """Record one visit of ``rule`` and decide whether it fires."""
+        visit = self._visits.get(index, 0) + 1
+        self._visits[index] = visit
+        if visit < rule.nth:
+            return False
+        if rule.times is not None and self._fired.get(index, 0) >= rule.times:
+            return False
+        if rule.p < 1.0:
+            coin = new_rng(
+                derived_seed(self.seed, index, rule.seam, tag, visit)
+            ).random()
+            if coin >= rule.p:
+                return False
+        self._fired[index] = self._fired.get(index, 0) + 1
+        return True
+
+    def _firing(self, seam: str, tag: str, kinds: Sequence[str]) -> List[FaultRule]:
+        firing = []
+        for index, rule in enumerate(self.rules):
+            if rule.seam != seam or rule.kind not in kinds:
+                continue
+            if not fnmatch.fnmatch(tag, rule.match):
+                continue
+            if self._armed(index, rule, tag):
+                firing.append(rule)
+        return firing
+
+    def fire(self, seam: str, tag: str = "") -> None:
+        """Inject every scheduled fault of this seam visit.
+
+        Stalls sleep and fall through (other rules still get their visit);
+        an exception or SIGKILL ends the visit the obvious way.  Torn-write
+        rules never fire here — they are cooperative, see
+        :meth:`should_tear`.
+        """
+        for rule in self._firing(seam, tag, ("stall", "exception", "sigkill")):
+            telemetry.get_recorder().event(
+                "faults.injected", level="warning",
+                seam=seam, kind=rule.kind, tag=tag, note=rule.note,
+            )
+            if rule.kind == "stall":
+                time.sleep(rule.stall_s)
+            elif rule.kind == "exception":
+                raise InjectedFault(
+                    f"injected fault at seam {seam!r}"
+                    + (f" ({rule.note})" if rule.note else "")
+                )
+            else:  # pragma: no cover - the process dies here
+                import signal
+
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    def should_tear(self, seam: str, tag: str = "") -> bool:
+        """``True`` when a ``torn_write`` rule fires on this seam visit.
+
+        The caller owns the file handle, so the caller performs the torn
+        write (and, per the scenario's contract, dies without completing the
+        item — see ``_torn_publish`` in :mod:`repro.cluster.worker`).
+        """
+        firing = self._firing(seam, tag, ("torn_write",))
+        if firing:
+            telemetry.get_recorder().event(
+                "faults.injected", level="warning",
+                seam=seam, kind="torn_write", tag=tag, note=firing[0].note,
+            )
+        return bool(firing)
+
+    def fired_counts(self) -> Dict[str, int]:
+        """``{"seam:kind": firings}`` so far in this process (test helper)."""
+        counts: Dict[str, int] = {}
+        for index, fired in self._fired.items():
+            rule = self.rules[index]
+            key = f"{rule.seam}:{rule.kind}"
+            counts[key] = counts.get(key, 0) + fired
+        return counts
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-safe document (the manifest / env-var representation)."""
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_record() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, object]) -> "FaultPlan":
+        return cls(
+            rules=[FaultRule.from_record(r) for r in (obj.get("rules") or [])],
+            seed=int(obj.get("seed") or 0),
+        )
+
+    def to_env(self) -> Dict[str, str]:
+        """``{FAULTS_ENV: json}`` for ``subprocess`` ``env=`` plumbing."""
+        return {FAULTS_ENV: json.dumps(self.to_json(), sort_keys=True)}
+
+
+# -- process-local plan -------------------------------------------------------
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` as this process's fault schedule (``None`` clears)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear() -> None:
+    """Remove any installed fault schedule."""
+    install(None)
+
+
+def current() -> Optional[FaultPlan]:
+    """The installed fault schedule, or ``None``."""
+    return _PLAN
+
+
+def fire(seam: str, tag: str = "") -> None:
+    """Module-level seam hook: delegates to the installed plan, if any."""
+    if _PLAN is not None:
+        _PLAN.fire(seam, tag)
+
+
+def should_tear(seam: str, tag: str = "") -> bool:
+    """Module-level cooperative torn-write hook (``False`` with no plan)."""
+    return _PLAN is not None and _PLAN.should_tear(seam, tag)
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan serialized in :data:`FAULTS_ENV`, or ``None``.
+
+    A malformed value raises — a chaos schedule that silently fails to
+    parse would let a broken test pass vacuously.
+    """
+    raw = os.environ.get(FAULTS_ENV)
+    if not raw:
+        return None
+    return FaultPlan.from_json(json.loads(raw))
+
+
+def install_from_env() -> Optional[FaultPlan]:
+    """Install the env-var plan unless one is already installed."""
+    if _PLAN is not None:
+        return _PLAN
+    plan = plan_from_env()
+    if plan is not None:
+        install(plan)
+    return plan
+
+
+def crash_after_claim_plan(nth: int) -> FaultPlan:
+    """The legacy ``CRASH_AFTER_CLAIM_ENV`` behaviour as a one-rule plan:
+    SIGKILL this process right after its ``nth`` successful claim."""
+    return FaultPlan(
+        [FaultRule(seam="claim", kind="sigkill", nth=int(nth),
+                   note="crash_after_claim")]
+    )

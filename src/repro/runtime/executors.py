@@ -261,11 +261,19 @@ def _init_worker(
             level=telemetry_config.level,
             echo=telemetry_config.echo,
         )
+    # Pool workers honor an env-propagated chaos schedule (repro.faults),
+    # so fault-injection tests can kill or poison a worker deterministically.
+    from repro import faults
+
+    faults.install_from_env()
 
 
 def _run_group_in_worker(group: Sequence[EvalJob]) -> GroupOutput:
     if _WORKER_CONTEXT is None:  # pragma: no cover - misconfigured pool
         raise RuntimeError("worker context was not initialized")
+    from repro import faults
+
+    faults.fire("execute", group[0].content_key if group else "")
     return execute_group(_WORKER_CONTEXT, group, chunk_size=_WORKER_CHUNK_SIZE)
 
 
@@ -315,7 +323,7 @@ class ParallelExecutor:
     def run(
         self, context: SweepContext, groups: Sequence[Sequence[EvalJob]]
     ) -> Iterator[GroupOutput]:
-        """Yield each group's results as it completes (pool ``imap`` order).
+        """Yield each group's results as it completes (submission order).
 
         Streaming — not a barrier: the engine persists every yielded group
         immediately, so killing a sweep mid-run loses at most the groups
@@ -329,10 +337,12 @@ class ParallelExecutor:
         telemetry_config = recorder.config() if recorder.enabled else None
         try:
             import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
 
             mp_context = multiprocessing.get_context(self.start_method)
-            pool = mp_context.Pool(
-                processes=workers,
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=mp_context,
                 initializer=_init_worker,
                 initargs=(context, self.chunk_size, telemetry_config),
             )
@@ -349,18 +359,69 @@ class ParallelExecutor:
             "parallel.pool", workers=workers, groups=len(groups),
             start_method=self.start_method or "default",
         )
-        return self._stream(pool, groups)
+        return self._stream(pool, context, groups)
+
+    def _stream(
+        self, pool, context: SweepContext, groups: List[List[EvalJob]]
+    ) -> Iterator[GroupOutput]:
+        """Yield group results in submission order, surviving pool breakage.
+
+        A worker process that dies *mid-job* (OOM-killed, segfaulted,
+        SIGKILLed by a fault schedule) breaks the whole
+        :class:`~concurrent.futures.ProcessPoolExecutor` — every unfinished
+        future raises ``BrokenProcessPool``.  Each such group is retried
+        serially in this process, **once**: results that completed before
+        the breakage are kept as-is, and since every evaluation is a pure
+        function of the shipped context, the serial rerun is bit-identical
+        to what the dead worker would have produced.  A group that fails
+        again serially raises for real — a deterministic job error is not a
+        pool problem.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        recorder = telemetry.get_recorder()
+        try:
+            futures = []
+            broken = False
+            for group in groups:
+                try:
+                    futures.append(pool.submit(_run_group_in_worker, group))
+                except BrokenProcessPool:
+                    # Pool died mid-submission; everything unsubmitted
+                    # retries serially below.
+                    broken = True
+                    self._note_broken(recorder, len(groups) - len(futures))
+                    break
+            for index, group in enumerate(groups):
+                future = futures[index] if index < len(futures) else None
+                if future is not None and not broken:
+                    try:
+                        yield future.result()
+                        continue
+                    except BrokenProcessPool:
+                        broken = True
+                        self._note_broken(recorder, len(groups) - index)
+                # Post-breakage: keep results that finished clean, retry the
+                # rest (and anything never submitted) serially.
+                if (
+                    future is not None
+                    and future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    yield future.result()
+                else:
+                    recorder.count("parallel.serial_retries")
+                    yield execute_group(context, group, chunk_size=self.chunk_size)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     @staticmethod
-    def _stream(pool, groups: List[List[EvalJob]]) -> Iterator[GroupOutput]:
-        try:
-            yield from pool.imap(_run_group_in_worker, groups, chunksize=1)
-            pool.close()
-        except BaseException:
-            pool.terminate()
-            raise
-        finally:
-            pool.join()
+    def _note_broken(recorder, groups_left: int) -> None:
+        recorder.count("parallel.broken_pools")
+        recorder.event(
+            "parallel.broken_pool", level="warning", groups_left=groups_left,
+        )
 
 
 #: Executor factories resolvable by name through :func:`resolve_executor`

@@ -65,9 +65,11 @@ class ResultStore:
         os.makedirs(self.run_dir, exist_ok=True)
         self.path = os.path.join(self.run_dir, RESULTS_FILENAME)
         self._cache: Dict[str, CellResult] = {}
+        malformed = 0
         for record in read_jsonl(self.path):
             key = record.get("key")
             if not isinstance(key, str):
+                malformed += 1
                 continue
             try:
                 result = CellResult(
@@ -75,8 +77,13 @@ class ResultStore:
                     confidence=float(record["confidence"]),
                 )
             except (KeyError, TypeError, ValueError):
+                malformed += 1
                 continue
             self._cache[key] = result
+        if malformed:
+            # A record we cannot type is dropped (the cell will simply be
+            # recomputed), but never silently: surface it in telemetry.
+            telemetry.get_recorder().count("store.malformed_records", malformed)
 
     def __contains__(self, key: str) -> bool:
         return key in self._cache

@@ -110,6 +110,8 @@ def merge_snapshots(snapshots: Iterable[dict]) -> Dict[str, dict]:
         for name, value in (snapshot.get("counters") or {}).items():
             try:
                 counters[name] = counters.get(name, 0) + value
+            # repro: ignore[REP008] a non-numeric counter from a corrupt sink
+            # must not sink the whole merge; this *is* the tolerant reader.
             except TypeError:
                 continue
         for name, value in (snapshot.get("gauges") or {}).items():

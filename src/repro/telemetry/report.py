@@ -138,6 +138,34 @@ def _worker_item_table(spans: Sequence[dict], limit: int = 40) -> Tuple[Table, i
     return table, max(0, len(items) - limit)
 
 
+def _failure_table(events: Sequence[dict], limit: int = 40) -> Tuple[Table, int]:
+    """Item failures and dead-letters, one row per failure event.
+
+    Folds ``worker.item_failed`` (each contained attempt failure) and
+    ``queue.dead_lettered`` (attempt budget exhausted) into the report so a
+    chaotic run's damage is readable without opening ``queue/failed/``.
+    """
+    table = Table(
+        title="failures (contained attempts + dead letters)",
+        headers=["event", "item", "attempt", "exc", "disposition", "message"],
+    )
+    failures = [
+        e
+        for e in events
+        if e.get("name") in ("worker.item_failed", "queue.dead_lettered")
+    ]
+    for event in failures[:limit]:
+        table.add_row(
+            str(event.get("name", "?")),
+            str(event.get("item", "?"))[:26],
+            str(event.get("attempt", event.get("attempts", ""))),
+            str(event.get("exc_type", ""))[:24],
+            str(event.get("disposition", event.get("state", "")))[:12],
+            str(event.get("message", ""))[:48],
+        )
+    return table, max(0, len(failures) - limit)
+
+
 def _format_fields(record: dict, skip: Sequence[str]) -> str:
     parts = []
     for key, value in record.items():
@@ -211,6 +239,11 @@ def render_report(run_dir: str, stream=None, timeline_limit: int = 40) -> int:
             print("\n" + item_table.render(), file=stream)
             if dropped:
                 print(f"  ... {dropped} more item span(s)", file=stream)
+    failure_table, failures_dropped = _failure_table(events)
+    if failure_table.rows:
+        print("\n" + failure_table.render(), file=stream)
+        if failures_dropped:
+            print(f"  ... {failures_dropped} more failure event(s)", file=stream)
     merged = merged_run_metrics(records)
     health = _health_lines(merged)
     if health:

@@ -10,11 +10,12 @@ seeds so results are comparable across models and bit error rates.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["SeedSequence", "new_rng", "spawn_rngs", "as_rng"]
+__all__ = ["SeedSequence", "new_rng", "spawn_rngs", "as_rng", "derived_seed"]
 
 SeedLike = Union[int, np.random.Generator, None]
 
@@ -85,3 +86,17 @@ def spawn_rngs(seed: Optional[int], n: int) -> List[np.random.Generator]:
 def sample_seeds(rng: np.random.Generator, n: int) -> Sequence[int]:
     """Draw ``n`` integer seeds from ``rng`` (for logging / reproducibility)."""
     return [int(s) for s in rng.integers(0, 2**31 - 1, size=n)]
+
+
+def derived_seed(*tokens: object) -> int:
+    """A stable 63-bit seed derived from string-able ``tokens`` (SHA-256).
+
+    The infrastructure's analogue of :attr:`EvalJob.derived_seed`: anywhere a
+    component needs randomness that must be reproducible across processes and
+    hosts (retry-backoff jitter, idle-poll jitter, fault-schedule rolls), it
+    derives a seed from its identifying tokens and feeds it to
+    :func:`new_rng` instead of consuming ambient entropy.
+    """
+    joined = "\x1f".join(str(token) for token in tokens)
+    digest = hashlib.sha256(joined.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

@@ -104,6 +104,8 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
     except BaseException:
         try:
             os.unlink(tmp_path)
+        # repro: ignore[REP008] best-effort tmp cleanup on the error path —
+        # the original exception re-raises right below either way.
         except OSError:
             pass
         raise
@@ -122,11 +124,14 @@ def atomic_write_json(path: str, obj) -> None:
 def read_jsonl(path: str) -> List[dict]:
     """Read every intact record of a JSONL file.
 
-    Malformed lines (e.g. a truncated final line left by an interrupted
-    writer) are skipped rather than raised, so a result store survives being
-    killed mid-append.
+    Malformed lines (e.g. a truncated final line left by an interrupted or
+    killed writer) are skipped rather than raised, so a result store
+    survives being killed mid-append.  Skips are not silent: each one bumps
+    the ``io.torn_lines`` telemetry counter, so chaos runs can assert how
+    much was torn and real runs surface quiet corruption.
     """
     records: List[dict] = []
+    torn = 0
     if not os.path.exists(path):
         return records
     with open(path, "r", encoding="utf-8") as handle:
@@ -137,7 +142,12 @@ def read_jsonl(path: str) -> List[dict]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
+                torn += 1
                 continue
             if isinstance(record, dict):
                 records.append(record)
+    if torn:
+        from repro import telemetry  # local: keep repro.utils import-light
+
+        telemetry.get_recorder().count("io.torn_lines", torn)
     return records

@@ -130,3 +130,22 @@ def test_gc_keeps_shards_of_live_workers(tmp_path):
     stats = gc_run_dir(run_dir, worker_ttl=300.0)
     assert stats.shards_removed == 0
     assert os.path.exists(path)
+
+
+def test_shard_tail_counts_torn_terminated_lines(tmp_path):
+    """A malformed line that *is* newline-terminated (a writer died and a
+    later append supplied the newline) is unrecoverable: the tail skips it,
+    keeps reading past it, and counts it as torn."""
+    from repro import telemetry
+
+    path = str(tmp_path / "shard.jsonl")
+    with open(path, "w") as handle:
+        handle.write(json.dumps({"key": "k1"}) + "\n")
+        handle.write('{"key": "k2", "error": 0.\n')  # torn, then terminated
+        handle.write(json.dumps({"key": "k3"}) + "\n")
+    tail = ShardTail(path)
+    with telemetry.recording(str(tmp_path), name="tail", echo=None):
+        assert [r["key"] for r in tail.read_new()] == ["k1", "k3"]
+    from repro.telemetry.report import merged_run_metrics
+
+    assert merged_run_metrics(str(tmp_path))["counters"]["io.torn_lines"] == 1

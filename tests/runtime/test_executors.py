@@ -187,3 +187,20 @@ def test_patcher_and_batch_plan_are_reused_across_groups(grid):
     blob = pickle.loads(pickle.dumps(context))
     assert "_plan_cache" not in blob.__dict__
     assert blob.models["m"]._patcher_cache is None
+
+
+@pytest.mark.slow
+def test_pool_worker_death_mid_job_is_salvaged_bit_identically(grid, monkeypatch):
+    """A pool worker SIGKILLed mid-job breaks the whole pool; the executor
+    keeps clean-finished groups and retries the rest serially, so the sweep
+    completes bit-identical to a clean run.  The fault schedule travels via
+    the environment and is installed by pool workers only — the parent
+    process (where the serial retry runs) never installs it."""
+    from repro.faults import FAULTS_ENV, FaultPlan, FaultRule
+
+    plan = FaultPlan([FaultRule(seam="execute", kind="sigkill", nth=1)])
+    monkeypatch.setenv(FAULTS_ENV, plan.to_env()[FAULTS_ENV])
+    results = run_sweep(grid(), executor=ParallelExecutor(max_workers=2))
+    monkeypatch.delenv(FAULTS_ENV)
+    serial = run_sweep(grid(), executor=SerialExecutor())
+    assert results == serial  # equal, not merely close — nothing lost

@@ -1,9 +1,16 @@
-"""Tests for state-dict serialization."""
+"""Tests for state-dict serialization and the tolerant JSONL reader."""
 
 import numpy as np
 
+from repro import telemetry
 from repro.models import MLP
-from repro.utils.serialization import load_state_dict, save_state_dict
+from repro.telemetry.report import merged_run_metrics
+from repro.utils.serialization import (
+    append_jsonl,
+    load_state_dict,
+    read_jsonl,
+    save_state_dict,
+)
 
 
 def test_round_trip(tmp_path):
@@ -68,3 +75,16 @@ def test_jsonl_skips_truncated_trailing_line(tmp_path):
         handle.write('{"key": "b", "err')  # interrupted mid-append
     records = read_jsonl(path)
     assert [r["key"] for r in records] == ["a"]
+
+
+def test_torn_trailing_lines_are_counted_not_silent(tmp_path):
+    """Every skipped line bumps ``io.torn_lines`` so chaos runs can assert
+    exactly how much was torn (and real runs surface quiet corruption)."""
+    path = str(tmp_path / "records.jsonl")
+    append_jsonl(path, [{"key": "a"}, {"key": "b"}])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "c", "err')  # a writer killed mid-line
+    with telemetry.recording(str(tmp_path), name="reader", echo=None):
+        assert [r["key"] for r in read_jsonl(path)] == ["a", "b"]
+    merged = merged_run_metrics(str(tmp_path))
+    assert merged["counters"]["io.torn_lines"] == 1
