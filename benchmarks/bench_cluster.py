@@ -40,7 +40,6 @@ to serial and duplicate-free, the poisoned item dead-lettered after exactly
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import shutil
 import tempfile
@@ -70,6 +69,7 @@ from repro.runtime import (
     run_sweep,
 )
 from repro.telemetry.perf import add_json_argument, perf_row, write_perf_records
+from repro.utils.serialization import read_jsonl
 from repro.utils.tables import Table
 
 
@@ -205,8 +205,8 @@ def main() -> int:
         if any(store.get(k) != cell for k, cell in expected.items()):
             print("FAIL: merged canonical store diverges from the serial run")
             return 1
-        with open(os.path.join(run_dir, "results.jsonl")) as handle:
-            keys = [json.loads(line)["key"] for line in handle if line.strip()]
+        store_records = read_jsonl(os.path.join(run_dir, "results.jsonl"))
+        keys = [record["key"] for record in store_records]
         if len(keys) != len(set(keys)) or set(keys) != set(expected):
             print(f"FAIL: canonical results.jsonl is not duplicate-free and "
                   f"complete ({len(keys)} lines, {len(set(keys))} distinct, "

@@ -130,6 +130,7 @@ class Rep007Config:
     exempt_files: Tuple[str, ...] = (
         "src/repro/analysis/cli.py",  # linter front-end: reports to stdout
         "src/repro/cluster/cli.py",  # operator CLI: status text is the API
+        "src/repro/faults/cli.py",  # schedule validator CLI: stdout is the API
         "src/repro/telemetry/report.py",  # the telemetry renderer itself
         "src/repro/telemetry/record.py",  # the recorder's stderr echo
     )
@@ -143,6 +144,23 @@ class Rep008Config:
 
     #: Directories whose handlers are held to the no-silent-swallow policy.
     scoped_paths: Tuple[str, ...] = ("src/repro",)
+
+
+@dataclass
+class Rep009Config:
+    """REP009 — infrastructure derives RNGs via the utils/rng wrappers."""
+
+    #: Packages whose randomness must replay across hosts, so every
+    #: generator they build flows through the audited derivation seam.
+    scoped_paths: Tuple[str, ...] = (
+        "src/repro/runtime",
+        "src/repro/cluster",
+        "src/repro/faults",
+    )
+    #: The one module allowed to call the raw constructors (it *is* the seam).
+    allowed_files: Tuple[str, ...] = ("src/repro/utils/rng.py",)
+    #: ``numpy.random`` constructors that must be reached via the wrappers.
+    banned_constructors: Tuple[str, ...] = ("default_rng",)
 
 
 @dataclass
@@ -162,6 +180,7 @@ class AnalysisConfig:
     rep006: Rep006Config = field(default_factory=Rep006Config)
     rep007: Rep007Config = field(default_factory=Rep007Config)
     rep008: Rep008Config = field(default_factory=Rep008Config)
+    rep009: Rep009Config = field(default_factory=Rep009Config)
 
     def __post_init__(self) -> None:
         self.root = os.path.abspath(self.root)

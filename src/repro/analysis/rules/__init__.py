@@ -14,6 +14,8 @@ Rule        Contract
 ``REP007``  Library modules don't print; they emit telemetry events.
 ``REP008``  Except blocks never swallow silently: handle, re-raise,
             record telemetry — or carry a reasoned waiver.
+``REP009``  Infrastructure code derives RNGs through the
+            :mod:`repro.utils.rng` wrappers, not raw ``default_rng``.
 ==========  ==============================================================
 """
 
@@ -29,6 +31,7 @@ from repro.analysis.rules.rep005_content_key import ContentKeyRule
 from repro.analysis.rules.rep006_pickle_boundary import PickleBoundaryRule
 from repro.analysis.rules.rep007_no_print import NoPrintRule
 from repro.analysis.rules.rep008_swallowed_exceptions import SwallowedExceptionRule
+from repro.analysis.rules.rep009_raw_rng_construction import RawRngConstructionRule
 from repro.analysis.visitor import Rule
 
 __all__ = ["ALL_RULES", "default_rules", "rule_registry"]
@@ -42,6 +45,7 @@ ALL_RULES: List[Type[Rule]] = [
     PickleBoundaryRule,
     NoPrintRule,
     SwallowedExceptionRule,
+    RawRngConstructionRule,
 ]
 
 

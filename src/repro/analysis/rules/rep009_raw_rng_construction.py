@@ -1,0 +1,81 @@
+"""REP009 — infrastructure code derives seeds through ``repro.utils.rng``.
+
+REP001 bans *global* RNG state; this rule closes the remaining gap in the
+sweep/cluster/faults infrastructure: constructing generators with a raw
+``np.random.default_rng(...)`` call.  The raw constructor is semantically
+fine (it is what :func:`repro.utils.rng.new_rng` wraps), but it scatters
+the seed-derivation story across modules — the whole point of
+:mod:`repro.utils.rng` is that every reproducibility-bearing generator in
+the engine, the cluster stack and the fault injector is created through
+one audited seam (``new_rng`` / ``as_rng`` / ``spawn_rngs`` fed by
+``derived_seed``), so "where does this randomness come from?" always has
+the same one-hop answer.  A raw call in scoped code either duplicates a
+wrapper (drift risk when the wrappers grow policy, e.g. bit-generator
+pinning) or bypasses ``derived_seed`` entirely (ambient entropy in code
+that must replay identically across hosts).
+
+Scope is the infrastructure packages only — ``src/repro/runtime``,
+``src/repro/cluster``, ``src/repro/faults``; the science-side modules under
+``repro.eval`` / ``repro.biterror`` take generators as *arguments* and do
+not construct them.  :mod:`repro.utils.rng` itself is the one allowed
+implementation site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import Rule, SourceFile, call_name
+
+
+class RawRngConstructionRule(Rule):
+    rule_id = "REP009"
+    title = "infrastructure derives RNGs via repro.utils.rng wrappers"
+
+    def _in_scope(self, relpath: str, config) -> bool:
+        if relpath in config.allowed_files:
+            return False
+        for scoped in config.scoped_paths:
+            if relpath == scoped or relpath.startswith(scoped.rstrip("/") + "/"):
+                return True
+        return False
+
+    def check_file(self, source: SourceFile, context) -> Iterable[Finding]:
+        config = context.config.rep009
+        if not self._in_scope(source.relpath, config):
+            return ()
+        # Constructors imported straight out of numpy.random, e.g.
+        # ``from numpy.random import default_rng``.
+        imported: dict = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name in config.banned_constructors:
+                        imported[alias.asname or alias.name] = alias.name
+
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            head, _, attr = name.rpartition(".")
+            raw = (
+                attr in config.banned_constructors
+                and head in ("np.random", "numpy.random")
+            ) or (not head and name in imported)
+            if raw:
+                findings.append(
+                    source.finding(
+                        self.rule_id,
+                        node,
+                        f"raw generator construction `{name}` in "
+                        "infrastructure code — derive it through the "
+                        "repro.utils.rng wrappers (new_rng/as_rng/"
+                        "spawn_rngs, seeded via derived_seed)",
+                    )
+                )
+        return findings

@@ -21,10 +21,16 @@ processes/hosts that share **only a filesystem**:
   spawns local daemons when none are attached, streams group results as
   they land, and always terminates (lease recovery + in-process fallback);
 * :mod:`repro.cluster.merge` — store tooling: idempotent shard merge into
-  the canonical ``results.jsonl`` (content keys dedupe), log compaction and
-  run-directory gc;
+  the canonical ``results.jsonl`` (content keys dedupe) behind the
+  :class:`MergeGuard` integrity gate (fence epochs against zombie writers,
+  dead-letter key exclusion, quarantine of rejected records), log
+  compaction and run-directory gc;
+* :mod:`repro.cluster.integrity` — :func:`verify_run_dir` /
+  :func:`repair_run_dir`: the machine-checkable audit of every run-dir
+  invariant (leases, fences, checksums, dedupe) and the quarantine-and-
+  rewrite path that restores a verify-clean state;
 * :mod:`repro.cluster.cli` — the ``submit`` / ``worker`` / ``status`` /
-  ``merge`` / ``compact`` / ``gc`` commands.
+  ``merge`` / ``compact`` / ``gc`` / ``verify`` / ``repair`` commands.
 
 Every worker funnels through the engine's single execution primitive, so
 cluster results are **bit-identical** to ``SerialExecutor``'s by
@@ -44,7 +50,17 @@ from repro.cluster.broker import (
 )
 from repro.cluster.coordinator import ClusterExecutor, live_worker_ids, spawn_local_worker
 from repro.cluster.failures import FailureReport, ItemFailure, load_failure_report
+from repro.cluster.integrity import (
+    IntegrityFinding,
+    IntegrityReport,
+    RepairStats,
+    repair_run_dir,
+    verify_run_dir,
+)
 from repro.cluster.merge import (
+    QUARANTINE_FILENAME,
+    FenceTable,
+    MergeGuard,
     ShardTail,
     compact_results,
     discover_shards,
@@ -83,6 +99,14 @@ __all__ = [
     "gc_run_dir",
     "discover_shards",
     "ShardTail",
+    "FenceTable",
+    "MergeGuard",
+    "QUARANTINE_FILENAME",
+    "IntegrityFinding",
+    "IntegrityReport",
+    "RepairStats",
+    "verify_run_dir",
+    "repair_run_dir",
     "live_worker_ids",
     "spawn_local_worker",
 ]

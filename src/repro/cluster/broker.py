@@ -108,6 +108,7 @@ def prepare_run_dir(
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
     retry: Optional[RetryPolicy] = None,
     fault_plan: Optional[faults.FaultPlan] = None,
+    checksums: bool = True,
 ) -> Submission:
     """Publish ``groups`` (and their ``context``) as claimable work items.
 
@@ -119,7 +120,10 @@ def prepare_run_dir(
 
     ``retry`` (the run's attempt budget / backoff knobs) and ``fault_plan``
     (a chaos schedule for every worker serving this run) are recorded in the
-    manifest so the whole fleet — spawned daemons included — agrees on them.
+    manifest so the whole fleet — spawned daemons included — agrees on them;
+    so is ``checksums`` (on by default for cluster runs), which makes every
+    shard and canonical-store line carry a per-line integrity footer that
+    ``repro.cluster verify`` can audit.
     """
     run_dir = os.path.abspath(run_dir)
     retry = retry or RetryPolicy()
@@ -173,6 +177,8 @@ def prepare_run_dir(
             # A chaos schedule every worker honors (an installed plan or the
             # FAULTS_ENV variable wins inside a given worker process).
             "faults": fault_plan.to_json() if fault_plan is not None else None,
+            # Per-line checksum footers on shard/store appends fleet-wide.
+            "checksums": bool(checksums),
         },
     )
     telemetry.get_recorder().event(
@@ -192,6 +198,7 @@ def submit_spec(
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
     retry: Optional[RetryPolicy] = None,
     fault_plan: Optional[faults.FaultPlan] = None,
+    checksums: bool = True,
 ) -> Submission:
     """Publish every not-yet-stored cell of ``spec`` to ``run_dir``.
 
@@ -220,6 +227,7 @@ def submit_spec(
         lease_timeout=lease_timeout,
         retry=retry,
         fault_plan=fault_plan,
+        checksums=checksums,
     )
     submission.cached_keys = cached
     submission.expected_keys = [job.content_key for job in spec.jobs]

@@ -23,6 +23,10 @@ programmatically::
     python -m repro.cluster compact runs/fig7
     python -m repro.cluster gc runs/fig7
 
+    # audit the run directory's integrity invariants; quarantine violations
+    python -m repro.cluster verify runs/fig7 --json
+    python -m repro.cluster repair runs/fig7
+
 ``submit`` takes a pickled :class:`~repro.runtime.spec.SweepSpec` (build it
 in Python with the usual ``SweepSpec`` API and ``pickle.dump`` it) because a
 spec is a program-level object; scripted pipelines normally skip the CLI and
@@ -39,11 +43,22 @@ import sys
 from typing import Dict, Optional, Sequence
 
 from repro.cluster.broker import read_manifest, submit_spec
-from repro.cluster.merge import compact_results, gc_run_dir, merge_shards
+from repro.cluster.integrity import (
+    DEFAULT_SKEW_TOLERANCE,
+    repair_run_dir,
+    verify_run_dir,
+)
+from repro.cluster.merge import (
+    QUARANTINE_FILENAME,
+    compact_results,
+    gc_run_dir,
+    merge_shards,
+)
 from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue
 from repro.cluster.worker import worker_loop
 from repro.runtime.spec import SweepSpec
 from repro.runtime.store import ResultStore
+from repro.utils.serialization import atomic_write_text
 
 __all__ = ["main", "run_status"]
 
@@ -104,12 +119,15 @@ def run_status(run_dir: str, worker_ttl: float = DEFAULT_LEASE_TIMEOUT) -> Dict:
     from repro.cluster.coordinator import live_worker_ids
     from repro.telemetry.report import merged_run_metrics
 
+    from repro.utils.serialization import read_jsonl
+
     run_dir = os.path.abspath(run_dir)
     queue = JobQueue(run_dir)
     store = ResultStore(run_dir)
     manifest = read_manifest(run_dir) or {}
     expected = manifest.get("expected_keys") or []
     stored = sum(1 for key in expected if key in store) if expected else len(store)
+    quarantined = len(read_jsonl(os.path.join(run_dir, QUARANTINE_FILENAME)))
     telemetry_counters = None
     try:
         merged = merged_run_metrics(run_dir)
@@ -129,6 +147,7 @@ def run_status(run_dir: str, worker_ttl: float = DEFAULT_LEASE_TIMEOUT) -> Dict:
             (telemetry_counters or {}).get("queue.requeued_expired", 0)
         ),
         "failed_items": queue.failed_ids(),
+        "quarantined": quarantined,
         # {attempt: items} across every state — a crash-free run is all 1s;
         # retries shift mass right, and mass at max_attempts marks poison.
         "attempts": {
@@ -169,6 +188,11 @@ def _cmd_status(args) -> int:
     if status["failed_items"]:
         print(f"dead-lettered: {', '.join(status['failed_items'])}")
         print("  (inspect queue/failed/<item>.json; requeue with retry-failed)")
+    if status["quarantined"]:
+        print(
+            f"quarantined: {status['quarantined']} record(s) "
+            f"(see {QUARANTINE_FILENAME}; audit with verify)"
+        )
     if status["telemetry"] is not None:
         print(
             f"leases: {status['lost_leases']} lost, "
@@ -229,6 +253,79 @@ def _cmd_compact(args) -> int:
         f"{stats.malformed_dropped} malformed dropped)"
     )
     return 0
+
+
+def _render_report(report) -> None:
+    print(f"run dir: {report.run_dir}")
+    if report.clean:
+        print("verify: clean — every integrity invariant holds")
+        return
+    print(f"verify: {len(report.findings)} finding(s)")
+    for check, count in sorted(report.counts().items()):
+        print(f"  {check}: {count}")
+    for finding in report.findings[:20]:
+        where = f" [{finding.source}]" if finding.source else ""
+        what = " ".join(
+            f"{name}={getattr(finding, name)}"
+            for name in ("key", "item", "worker")
+            if getattr(finding, name)
+        )
+        detail = f" — {finding.detail}" if finding.detail else ""
+        print(f"  {finding.check}{where} {what}{detail}".rstrip())
+    if len(report.findings) > 20:
+        print(f"  ... and {len(report.findings) - 20} more (use --json --out)")
+
+
+def _cmd_verify(args) -> int:
+    report = verify_run_dir(
+        args.run_dir,
+        lease_timeout=args.lease_timeout,
+        skew_tolerance=args.skew_tolerance,
+    )
+    if args.out:
+        atomic_write_text(
+            args.out, json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        _render_report(report)
+    return 0 if report.clean else 1
+
+
+def _cmd_repair(args) -> int:
+    from repro.cluster.coordinator import live_worker_ids
+
+    live = live_worker_ids(args.run_dir, ttl=args.worker_ttl)
+    if live and not args.force:
+        print(
+            f"error: {len(live)} live worker(s) attached ({', '.join(live)}); "
+            "repair rewrites shard and store files and must not race an "
+            "active writer — wait for the run to quiesce or pass --force",
+            file=sys.stderr,
+        )
+        return 2
+    stats = repair_run_dir(
+        args.run_dir,
+        lease_timeout=args.lease_timeout,
+        skew_tolerance=args.skew_tolerance,
+    )
+    print(
+        f"repair: {stats.leases_reset} skewed lease(s) reset, "
+        f"{stats.leases_requeued} orphan lease(s) requeued, "
+        f"{stats.shard_lines_quarantined} shard line(s) and "
+        f"{stats.store_lines_quarantined} store line(s) quarantined"
+    )
+    report = verify_run_dir(
+        args.run_dir,
+        lease_timeout=args.lease_timeout,
+        skew_tolerance=args.skew_tolerance,
+    )
+    if report.clean:
+        print("verify: clean after repair")
+        return 0
+    _render_report(report)
+    return 1
 
 
 def _cmd_gc(args) -> int:
@@ -299,6 +396,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--force", action="store_true",
                    help="compact even with live workers attached (unsafe)")
     p.set_defaults(func=_cmd_compact)
+
+    p = sub.add_parser("verify",
+                       help="audit run-dir integrity (fences, checksums, "
+                            "leases, dedupe); exit 1 on findings")
+    p.add_argument("run_dir")
+    p.add_argument("--lease-timeout", type=float, default=None,
+                   help="override the manifest's lease timeout")
+    p.add_argument("--skew-tolerance", type=float,
+                   default=DEFAULT_SKEW_TOLERANCE,
+                   help="future-mtime slack before a lease counts as skewed")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON on stdout")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to this path")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("repair",
+                       help="quarantine integrity violations and rewrite the "
+                            "damaged files atomically (then re-verify)")
+    p.add_argument("run_dir")
+    p.add_argument("--lease-timeout", type=float, default=None,
+                   help="override the manifest's lease timeout")
+    p.add_argument("--skew-tolerance", type=float,
+                   default=DEFAULT_SKEW_TOLERANCE,
+                   help="future-mtime slack before a lease counts as skewed")
+    p.add_argument("--worker-ttl", type=float, default=DEFAULT_LEASE_TIMEOUT,
+                   help="beacon freshness horizon for the live-writer guard")
+    p.add_argument("--force", action="store_true",
+                   help="repair even with live workers attached (unsafe)")
+    p.set_defaults(func=_cmd_repair)
 
     p = sub.add_parser("gc", help="merge shards, then collect run-dir debris")
     p.add_argument("run_dir")

@@ -47,7 +47,12 @@ from repro.cluster.broker import (
     prepare_run_dir,
 )
 from repro.cluster.failures import FailureReport
-from repro.cluster.merge import ShardTail, discover_shards
+from repro.cluster.merge import (
+    MergeGuard,
+    ShardTail,
+    discover_shards,
+    quarantine_entry,
+)
 from repro.cluster.queue import DEFAULT_LEASE_TIMEOUT, JobQueue, RetryPolicy
 from repro.runtime.executors import GroupOutput, register_executor
 from repro.runtime.spec import EvalJob, SweepContext
@@ -161,6 +166,11 @@ class ClusterExecutor:
     fault_plan:
         Optional :class:`repro.faults.FaultPlan` chaos schedule, propagated
         to every worker through the manifest (the chaos tests' hook).
+    checksums:
+        Per-line integrity footers on every shard and canonical-store
+        append, fleet-wide via the manifest (default on; see
+        :mod:`repro.utils.serialization`).  Disable only to produce
+        byte-identical legacy logs.
 
     A run that dead-letters items terminates with **partial results**: the
     failed groups are never yielded, and :attr:`failure_report` holds a
@@ -180,6 +190,7 @@ class ClusterExecutor:
         stall_timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[faults_module.FaultPlan] = None,
+        checksums: bool = True,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -200,6 +211,7 @@ class ClusterExecutor:
         )
         self.retry = retry
         self.fault_plan = fault_plan
+        self.checksums = bool(checksums)
         #: The last run's dead-letter report (``None``: nothing failed).
         self.failure_report: Optional[FailureReport] = None
 
@@ -245,7 +257,7 @@ class ClusterExecutor:
         span = rec.span("cluster.run", run_dir=run_dir, groups=len(groups))
         span.__enter__()
         try:
-            store = ResultStore(run_dir)
+            store = ResultStore(run_dir, checksum=self.checksums)
             outstanding: Dict[str, List[EvalJob]] = {}
             for group in groups:
                 output = self._group_output(store, group)
@@ -264,10 +276,12 @@ class ClusterExecutor:
                 lease_timeout=self.lease_timeout,
                 retry=self.retry,
                 fault_plan=self.fault_plan,
+                checksums=self.checksums,
             )
             queue = JobQueue(
                 run_dir, lease_timeout=self.lease_timeout, retry=self.retry
             )
+            guard = MergeGuard(run_dir, queue=queue)
             procs = self._maybe_spawn(run_dir, len(outstanding))
             if procs:
                 rec.event("cluster.spawn", workers=len(procs), run_dir=run_dir)
@@ -280,7 +294,7 @@ class ClusterExecutor:
             restarts_left = self.max_workers
             last_progress = time.monotonic()
             while outstanding:
-                merged = self._merge_new(run_dir, store, tails)
+                merged = self._merge_new(run_dir, store, tails, guard)
                 if merged:
                     rec.count("cluster.merged_cells", merged)
                 drained = []
@@ -309,6 +323,18 @@ class ClusterExecutor:
                         queue.failure_record(item_id),
                         keys=[job.content_key for job in group],
                     )
+                    # Exclude the dead letter's partial results *by key*:
+                    # any cell an earlier attempt already published (and a
+                    # prior poll merged) is quarantined out of the live
+                    # store, and the guard blocks later shard copies.
+                    for job in group:
+                        if job.content_key in store:
+                            quarantine_entry(
+                                run_dir, "dead_letter",
+                                key=job.content_key, item=item_id,
+                                source="coordinator",
+                            )
+                            store.discard(job.content_key)
                     last_progress = time.monotonic()
                     rec.count("cluster.dead_lettered")
                     rec.event(
@@ -460,7 +486,11 @@ class ClusterExecutor:
         return freshest is None or freshest > self.lease_timeout
 
     def _merge_new(
-        self, run_dir: str, store: ResultStore, tails: Dict[str, ShardTail]
+        self,
+        run_dir: str,
+        store: ResultStore,
+        tails: Dict[str, ShardTail],
+        guard: Optional[MergeGuard] = None,
     ) -> int:
         """Incrementally merge fresh shard records; returns new cells stored."""
         from repro.cluster.merge import merge_records
@@ -470,7 +500,10 @@ class ClusterExecutor:
             tail = tails.get(path)
             if tail is None:
                 tail = tails[path] = ShardTail(path)
-            merged += merge_records(store, tail.read_new()).merged
+            merged += merge_records(
+                store, tail.read_new(), guard=guard,
+                source=os.path.basename(path),
+            ).merged
         return merged
 
 

@@ -19,24 +19,42 @@ host append races exist.  This module folds those shards into the canonical
 * :func:`gc_run_dir` removes the run-directory debris a long campaign
   accumulates: done queue items, fully-merged shards, and stale worker
   beacons.
+
+The merge path is also where the run's **integrity gate** lives: a
+:class:`MergeGuard` checks every record against the queue's fence epochs
+(:class:`FenceTable` — a zombie worker that resumed after losing its lease
+publishes *stale-fenced* lines, which must never reach the canonical store)
+and against the dead-letter directory (a failed item's already-published
+partial results are excluded *by key*, not by hoping they never landed).
+Rejected records are not dropped: they move to
+``<run_dir>/quarantine.jsonl`` with a structured reason record, so an
+operator can audit exactly what was kept out and why.
 """
 
 from __future__ import annotations
 
-import json
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro import telemetry
-from repro.cluster.broker import SHARDS_DIRNAME, WORKERS_DIRNAME
+from repro.cluster.broker import SHARDS_DIRNAME, WORKERS_DIRNAME, read_manifest
 from repro.cluster.queue import JobQueue
 from repro.runtime.spec import CellResult
 from repro.runtime.store import RESULTS_FILENAME, ResultStore
-from repro.utils.serialization import atomic_write_text, read_jsonl
+from repro.utils.serialization import (
+    append_jsonl,
+    atomic_write_text,
+    parse_jsonl_line,
+    read_jsonl,
+)
 
 __all__ = [
     "ShardTail",
+    "FenceTable",
+    "MergeGuard",
+    "QUARANTINE_FILENAME",
     "discover_shards",
     "merge_records",
     "merge_shards",
@@ -46,6 +64,9 @@ __all__ = [
     "CompactStats",
     "GcStats",
 ]
+
+#: Rejected records land here (run-dir root, beside ``results.jsonl``).
+QUARANTINE_FILENAME = "quarantine.jsonl"
 
 
 def discover_shards(run_dir: str) -> List[str]:
@@ -94,20 +115,149 @@ class ShardTail:
         complete, self.offset = chunk[: last_newline + 1], self.offset + last_newline + 1
         records = []
         torn = 0
+        corrupt = 0
         for line in complete.split(b"\n"):
-            line = line.strip()
-            if not line:
-                continue
             try:
-                record = json.loads(line.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
+                text = line.decode("utf-8")
+            except UnicodeDecodeError:
                 torn += 1  # a writer died mid-line; the record is unrecoverable
                 continue
-            if isinstance(record, dict):
+            record, status = parse_jsonl_line(text)
+            if status == "ok":
                 records.append(record)
+            elif status == "torn":
+                torn += 1
+            elif status == "corrupt":
+                corrupt += 1
         if torn:
             telemetry.get_recorder().count("io.torn_lines", torn)
+        if corrupt:
+            telemetry.get_recorder().count("io.corrupt_lines", corrupt)
         return records
+
+
+class FenceTable:
+    """Cached view of the queue's per-item fence epochs for the merge gate.
+
+    Fences only ever increase, so a cached value is a valid *lower bound*:
+    a record whose fence is already below it is stale no matter what
+    happened since, with no disk access.  Only an unknown item or a record
+    claiming a fence *ahead* of the cache forces a re-read of that item's
+    file — the slow path that catches a re-claim the cache hasn't seen.
+    An item the queue no longer knows at all (gc'd after completion)
+    cannot be judged and is accepted.
+    """
+
+    def __init__(self, queue: JobQueue):
+        self._queue = queue
+        self._cache: Dict[str, int] = {}
+
+    def is_stale(self, item_id: str, fence: int) -> bool:
+        fence = int(fence)
+        cached = self._cache.get(item_id)
+        if cached is None or fence > cached:
+            current = self._queue.fence_of(item_id)
+            if current is None:
+                return False  # item gone; no authority left to call it stale
+            cached = max(cached or 0, current)
+            self._cache[item_id] = cached
+        return fence < cached
+
+
+class MergeGuard:
+    """The integrity gate every record passes before the canonical store.
+
+    Two checks, both provenance-based: the record's ``(item, fence)`` must
+    match the item's *current* fence epoch (:class:`FenceTable` — rejects a
+    zombie's post-lease-loss publishes), and the record's key must not
+    belong to a dead-lettered item (rejects the partial results a failed
+    group managed to publish before its final attempt died).  Rejects are
+    appended to ``quarantine.jsonl`` with the reason, source file and
+    provenance — auditable, never silently dropped.
+    """
+
+    def __init__(self, run_dir: str, queue: Optional[JobQueue] = None):
+        self.run_dir = os.path.abspath(run_dir)
+        self._queue = queue or JobQueue(self.run_dir)
+        self.fences = FenceTable(self._queue)
+        self._dead_keys_by_item: Dict[str, Set[str]] = {}
+        self.quarantined = 0
+
+    def dead_letter_keys(self) -> Set[str]:
+        """Content keys belonging to currently dead-lettered items."""
+        keys: Set[str] = set()
+        for item_id in self._queue.failed_ids():
+            cached = self._dead_keys_by_item.get(item_id)
+            if cached is None:
+                payload = self._queue.failure_record(item_id) or {}
+                cached = {
+                    record.get("content_key")
+                    for record in (payload.get("jobs") or [])
+                    if isinstance(record, dict) and record.get("content_key")
+                }
+                self._dead_keys_by_item[item_id] = cached
+            keys |= cached
+        return keys
+
+    def check(self, record: dict) -> Optional[str]:
+        """The quarantine reason for ``record``, or ``None`` if it may merge."""
+        item_id = record.get("item")
+        fence = record.get("fence")
+        if isinstance(item_id, str) and fence is not None:
+            try:
+                fence = int(fence)
+            except (TypeError, ValueError):
+                return "fence_invalid"
+            if self.fences.is_stale(item_id, fence):
+                return "fence_stale"
+        if record.get("key") in self.dead_letter_keys():
+            return "dead_letter"
+        return None
+
+    def quarantine(self, record: dict, reason: str, source: str = "") -> None:
+        """Append one rejected record to the run's quarantine log."""
+        quarantine_entry(
+            self.run_dir,
+            reason,
+            record=record,
+            source=source,
+            key=record.get("key"),
+            item=record.get("item"),
+            worker=record.get("worker"),
+        )
+        self.quarantined += 1
+
+
+def quarantine_entry(
+    run_dir: str,
+    reason: str,
+    record: Optional[dict] = None,
+    raw: Optional[str] = None,
+    source: str = "",
+    **provenance,
+) -> None:
+    """Append one reason-stamped entry to ``<run_dir>/quarantine.jsonl``.
+
+    ``record`` carries an intact-but-rejected record (fence violations,
+    dead-letter leaks, duplicates); ``raw`` carries the undecodable bytes of
+    a torn or checksum-corrupt line.  Quarantine is append-only and plain
+    JSONL — the audit trail must stay readable even when everything else in
+    the run directory is suspect.
+    """
+    entry = {"reason": reason, "source": source, "ts": time.time()}
+    if record is not None:
+        entry["record"] = record
+    if raw is not None:
+        entry["raw"] = raw
+    entry.update({k: v for k, v in provenance.items() if v is not None})
+    append_jsonl(os.path.join(os.path.abspath(run_dir), QUARANTINE_FILENAME), [entry])
+    rec = telemetry.get_recorder()
+    rec.count("store.quarantined")
+    rec.event(
+        "store.quarantined", level="warning",
+        reason=reason, source=source,
+        key=provenance.get("key"), item=provenance.get("item"),
+    )
 
 
 def _record_result(record: dict) -> Optional[CellResult]:
@@ -130,15 +280,28 @@ class MergeStats:
     records: int = 0  # intact records seen across shards
     merged: int = 0  # new keys appended to the canonical store
     duplicates: int = 0  # records whose key was already stored
+    quarantined: int = 0  # records the MergeGuard rejected
 
 
-def merge_records(store: ResultStore, records, stats: Optional[MergeStats] = None):
+def merge_records(
+    store: ResultStore,
+    records,
+    stats: Optional[MergeStats] = None,
+    guard: Optional[MergeGuard] = None,
+    source: str = "",
+):
     """Fold shard-shaped ``records`` into ``store``, deduplicating by key.
 
     The single merge body behind :func:`merge_shards` and the coordinator's
     incremental tailing: malformed records are skipped, keys the store
     already holds count as duplicates, and worker annotations (everything
-    beyond the result fields) are forwarded as record metadata.
+    beyond the result fields) are forwarded as record metadata — except the
+    fence, which is transport-level provenance: stripping it keeps the
+    canonical store byte-comparable across topologies (a cell that needed
+    three claims stores identically to one that needed one).  With a
+    ``guard``, every record passes the integrity gate *before* the dedupe —
+    a zombie's stale line must reach quarantine, not be silently absorbed
+    as a duplicate of its legitimate twin.
     """
     stats = MergeStats() if stats is None else stats
     for record in records:
@@ -146,13 +309,19 @@ def merge_records(store: ResultStore, records, stats: Optional[MergeStats] = Non
         if result is None:
             continue
         stats.records += 1
+        if guard is not None:
+            reason = guard.check(record)
+            if reason is not None:
+                guard.quarantine(record, reason, source=source)
+                stats.quarantined += 1
+                continue
         if record["key"] in store:
             stats.duplicates += 1
         else:
             metadata = {
                 k: v
                 for k, v in record.items()
-                if k not in ("key", "error", "confidence")
+                if k not in ("key", "error", "confidence", "fence")
             }
             store.put(record["key"], result, metadata=metadata or None)
             stats.merged += 1
@@ -160,22 +329,34 @@ def merge_records(store: ResultStore, records, stats: Optional[MergeStats] = Non
 
 
 def merge_shards(
-    run_dir: str, store: Optional[ResultStore] = None, remove: bool = False
+    run_dir: str,
+    store: Optional[ResultStore] = None,
+    remove: bool = False,
+    guard: Optional[MergeGuard] = None,
 ) -> MergeStats:
     """Fold every worker shard into the canonical ``results.jsonl``.
 
     Content keys dedupe: a key already in the store (from an earlier merge,
     a previous run, or another shard) is counted as a duplicate and not
     re-appended, which makes the merge idempotent under re-runs and immune
-    to at-least-once execution.  With ``remove=True`` fully-merged shard
-    files are deleted afterwards (only safe once their writers have exited;
-    the gc command gates on that).
+    to at-least-once execution.  Every record passes the
+    :class:`MergeGuard` integrity gate (a fresh one per call unless the
+    caller shares its own): stale-fenced and dead-lettered records land in
+    quarantine instead of the store.  With ``remove=True`` fully-merged
+    shard files are deleted afterwards (only safe once their writers have
+    exited; the gc command gates on that).
     """
-    store = ResultStore(run_dir) if store is None else store
+    if store is None:
+        manifest = read_manifest(run_dir) or {}
+        store = ResultStore(run_dir, checksum=bool(manifest.get("checksums")))
+    guard = MergeGuard(run_dir) if guard is None else guard
     stats = MergeStats()
     for path in discover_shards(run_dir):
         stats.shards += 1
-        merge_records(store, read_jsonl(path), stats)
+        merge_records(
+            store, read_jsonl(path), stats, guard=guard,
+            source=os.path.basename(path),
+        )
         if remove:
             try:
                 os.unlink(path)
@@ -223,12 +404,8 @@ def compact_results(run_dir: str) -> CompactStats:
     kept: List[str] = []
     seen: Dict[str, bool] = {}
     for line in raw_lines:
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            stats.malformed_dropped += 1
-            continue
-        if not isinstance(record, dict) or _record_result(record) is None:
+        record, status = parse_jsonl_line(line)
+        if status != "ok" or _record_result(record) is None:
             stats.malformed_dropped += 1
             continue
         key = record["key"]
@@ -236,7 +413,11 @@ def compact_results(run_dir: str) -> CompactStats:
             stats.duplicates_dropped += 1
             continue
         seen[key] = True
-        kept.append(json.dumps(record, sort_keys=True))
+        # Keep the original bytes, not a re-serialization: a checksummed
+        # line keeps its verified footer, a plain line stays plain, and a
+        # byte-level diff against the pre-compaction log shows only
+        # deletions.
+        kept.append(line.strip())
     stats.lines_after = len(kept)
     atomic_write_text(path, "".join(line + "\n" for line in kept))
     return stats

@@ -14,7 +14,13 @@ crash can never leave an item in two states or in none:
 
 * **claim**: ``pending/x.json -> leased/x.json``.  Losers get
   ``FileNotFoundError`` and move on to the next candidate.  The winner
-  immediately touches the file, starting its lease.
+  immediately touches the file, starting its lease, and stamps the item's
+  **fence epoch** — a per-item counter that increments at every claim and
+  never resets.  Workers tag each shard line they publish with their fence;
+  the merger rejects lines whose fence is stale for that item, so a zombie
+  worker that resumes after losing its lease cannot contaminate the
+  canonical store alongside the item's new owner (see
+  :mod:`repro.cluster.merge`).
 * **heartbeat**: ``os.utime`` on the leased file.  Workers heartbeat from a
   background thread while executing, so a long group never looks abandoned.
 * **expiry / requeue**: any process may move a leased item whose mtime is
@@ -148,11 +154,12 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One claimed queue item: id, deserialized payload, attempt number."""
+    """One claimed queue item: id, payload, attempt number, fence epoch."""
 
     item_id: str
     payload: Dict[str, object]
     attempt: int = 1
+    fence: int = 1
 
 
 class JobQueue:
@@ -291,10 +298,17 @@ class JobQueue:
                 )
                 continue
             payload["attempt"] = attempt
+            # The fence epoch counts *claims*, not attempts: unlike the
+            # attempt counter it survives retry_failed, so no later owner
+            # can ever share a fence with an earlier one.
+            fence = int(payload.get("fence") or 0) + 1
+            payload["fence"] = fence
             # Atomic rewrite doubles as the lease-start touch.
             atomic_write_json(leased_path, payload)
             rec.count("queue.claims")
-            return WorkItem(item_id=item_id, payload=payload, attempt=attempt)
+            return WorkItem(
+                item_id=item_id, payload=payload, attempt=attempt, fence=fence
+            )
         return None
 
     def nack(
@@ -395,8 +409,9 @@ class JobQueue:
         The recovery half of the dead-letter workflow (``repro.cluster
         retry-failed``): the attempt counter and backoff stamp reset, the
         failure record is cleared, but the accumulated attempt history stays
-        so a twice-dead item tells its whole story.  Returns the ids
-        actually requeued.
+        so a twice-dead item tells its whole story — and the fence epoch is
+        deliberately *not* reset, so shard lines published by pre-failure
+        owners stay stale forever.  Returns the ids actually requeued.
         """
         requeued = []
         for item_id in item_ids if item_ids is not None else self.failed_ids():
@@ -425,10 +440,20 @@ class JobQueue:
             rec.event("queue.retry_failed", items=len(requeued))
         return requeued
 
-    def heartbeat(self, item_id: str) -> bool:
-        """Refresh the lease on ``item_id``; ``False`` if the lease is lost."""
+    def heartbeat(self, item_id: str, skew: float = 0.0) -> bool:
+        """Refresh the lease on ``item_id``; ``False`` if the lease is lost.
+
+        ``skew`` offsets the stamped mtime from the local clock — the seam
+        the ``clock_skew`` fault kind drives to rehearse a worker whose
+        clock runs ahead (a future-dated lease defeats expiry-based
+        recovery; ``cluster verify`` flags it).
+        """
         try:
-            os.utime(self._path(LEASED, item_id))
+            if skew:
+                now = time.time() + skew
+                os.utime(self._path(LEASED, item_id), (now, now))
+            else:
+                os.utime(self._path(LEASED, item_id))
             telemetry.get_recorder().count("queue.heartbeats")
             return True
         except FileNotFoundError:
@@ -528,6 +553,51 @@ class JobQueue:
             except FileNotFoundError:
                 continue
         return min(ages) if ages else None
+
+    def fence_of(self, item_id: str) -> Optional[int]:
+        """The item's current fence epoch, or ``None`` if it is gone (gc'd).
+
+        Reads the item's file in whichever state directory holds it; an
+        item mid-rename can briefly look absent, in which case the caller
+        must treat the fence as unknown rather than zero.
+        """
+        for state in STATES:
+            try:
+                with open(
+                    self._path(state, item_id), "r", encoding="utf-8"
+                ) as handle:
+                    payload = json.load(handle)
+            # repro: ignore[REP008] not in this state (or mid-rename out of
+            # it); the next state directory gets its chance.
+            except (OSError, json.JSONDecodeError):
+                continue
+            return int(payload.get("fence") or 0)
+        return None
+
+    def fences(self) -> Dict[str, int]:
+        """``{item_id: fence}`` over every item in every state.
+
+        The authoritative fence table at scan time: an item's current fence
+        lives in its state file (stamped by the latest claim).  Because
+        fences only ever increase, a scanned value is a valid *lower bound*
+        even if another claim lands right after — the merge guard exploits
+        this to cache the table and re-scan only when a record's fence looks
+        new (see :class:`repro.cluster.merge.FenceTable`).
+        """
+        table: Dict[str, int] = {}
+        for state in STATES:
+            for item_id in self._ids(state):
+                try:
+                    with open(
+                        self._path(state, item_id), "r", encoding="utf-8"
+                    ) as handle:
+                        payload = json.load(handle)
+                # repro: ignore[REP008] item mid-rename between listdir and
+                # open; its fence is picked up from its new state next scan.
+                except (OSError, json.JSONDecodeError):
+                    continue
+                table[item_id] = int(payload.get("fence") or 0)
+        return table
 
     def pending_ids(self) -> List[str]:
         return self._ids(PENDING)

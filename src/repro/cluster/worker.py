@@ -38,7 +38,6 @@ exactly these points.
 
 from __future__ import annotations
 
-import json
 import os
 import pickle
 import socket
@@ -65,7 +64,7 @@ from repro.runtime.executors import execute_group
 from repro.runtime.spec import EvalJob
 from repro.runtime.store import job_metadata
 from repro.utils.rng import derived_seed, new_rng
-from repro.utils.serialization import append_jsonl, atomic_write_text
+from repro.utils.serialization import append_jsonl, atomic_write_text, jsonl_line
 
 __all__ = ["WorkerStats", "worker_loop", "default_worker_id"]
 
@@ -113,7 +112,8 @@ class _Heartbeat:
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
             faults.fire("heartbeat", self._item_id)
-            self._queue.heartbeat(self._item_id)
+            skew = faults.clock_skew("heartbeat", self._item_id)
+            self._queue.heartbeat(self._item_id, skew=skew or 0.0)
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -237,11 +237,16 @@ def worker_loop(
     # doesn't leave a chaos schedule armed in the calling process.
     previous_plan = faults.current()
     plan = _resolve_fault_plan(manifest, crash_after_claim)
+    if plan is not None:
+        # Run-scoped rules (scope="run") share their firing budget across
+        # the whole fleet through slot files under <run_dir>/faults/.
+        plan.bind(os.path.join(run_dir, faults.BUDGET_DIRNAME))
     if plan is not previous_plan:
         faults.install(plan)
     rec = telemetry.get_recorder()
     queue = JobQueue(run_dir, lease_timeout=lease_timeout, retry=retry)
     context = _load_context(run_dir)
+    checksum = bool(manifest.get("checksums"))
     shard_path = os.path.join(run_dir, SHARDS_DIRNAME, f"worker-{worker_id}.jsonl")
     stats = WorkerStats(worker_id=worker_id)
     heartbeat_interval = max(lease_timeout / 4.0, 0.05)
@@ -275,7 +280,7 @@ def worker_loop(
             idle_polls = 0
             _execute_item(
                 queue, context, item, shard_path, worker_id, chunk_size,
-                heartbeat_interval, stats,
+                heartbeat_interval, stats, checksum=checksum,
             )
             if max_items is not None and stats.items >= max_items:
                 return stats
@@ -302,6 +307,7 @@ def _execute_item(
     chunk_size: Optional[int],
     heartbeat_interval: float,
     stats: WorkerStats,
+    checksum: bool = False,
 ) -> None:
     """Execute one claimed item and publish its results durably.
 
@@ -331,17 +337,23 @@ def _execute_item(
                     "confidence": float(cell.confidence),
                     "worker": worker_id,
                     "item": item.item_id,
+                    # The fence this execution ran under: the merge layer
+                    # rejects lines whose fence is stale for the item, so a
+                    # zombie re-publish after a lost lease never lands.
+                    "fence": item.fence,
                 }
                 if job is not None:
                     record.update(job_metadata(job))
                 records.append(record)
             faults.fire("publish", item.item_id)
             if faults.should_tear("publish", item.item_id):
-                _torn_publish(shard_path, records)
+                _torn_publish(shard_path, records, checksum=checksum)
+            if faults.should_fill_disk("publish", item.item_id):
+                _disk_full_publish(shard_path, records, checksum=checksum)
             # Durability before visibility: results reach the shard before
             # the item is marked done, so a done item always has its cells
             # on disk.
-            append_jsonl(shard_path, records)
+            append_jsonl(shard_path, records, checksum=checksum)
             faults.fire("complete", item.item_id)
         except Exception as exc:  # noqa: BLE001 - the containment boundary
             # A poisoned job must cost one attempt, not one worker: record
@@ -400,7 +412,9 @@ def _record_item_failure(
     )
 
 
-def _torn_publish(shard_path: str, records: List[dict]) -> None:
+def _torn_publish(
+    shard_path: str, records: List[dict], checksum: bool = False
+) -> None:
     """Chaos hook: die mid-append, leaving a truncated final shard line.
 
     Writes every record but the last as complete lines, then half of the
@@ -412,7 +426,7 @@ def _torn_publish(shard_path: str, records: List[dict]) -> None:
     """
     import signal
 
-    lines = [json.dumps(record, sort_keys=True) + "\n" for record in records]
+    lines = [jsonl_line(record, checksum=checksum) for record in records]
     torn = lines[-1][: max(1, len(lines[-1]) // 2)]
     os.makedirs(os.path.dirname(os.path.abspath(shard_path)), exist_ok=True)
     with open(shard_path, "a", encoding="utf-8") as handle:
@@ -421,3 +435,26 @@ def _torn_publish(shard_path: str, records: List[dict]) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies here
+
+
+def _disk_full_publish(
+    shard_path: str, records: List[dict], checksum: bool = False
+) -> None:
+    """Chaos hook: run out of disk mid-append — torn line, then ``ENOSPC``.
+
+    Unlike :func:`_torn_publish` the worker *survives*: it writes a torn
+    prefix of the first record's line (what a filesystem that filled up
+    mid-``write`` leaves behind), fsyncs it durable, then raises the
+    ``OSError`` the real syscall would have.  The containment boundary
+    nacks the item, the retry republishes the full group, and the merge
+    layer skips-and-counts the torn residue.
+    """
+    import errno
+
+    line = jsonl_line(records[0], checksum=checksum)
+    os.makedirs(os.path.dirname(os.path.abspath(shard_path)), exist_ok=True)
+    with open(shard_path, "a", encoding="utf-8") as handle:
+        handle.write(line[: max(1, len(line) // 2)])
+        handle.flush()
+        os.fsync(handle.fileno())
+    raise OSError(errno.ENOSPC, "No space left on device (injected)", shard_path)

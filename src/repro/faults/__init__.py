@@ -23,11 +23,21 @@ and a **kind**:
 
 * ``exception`` — raise :class:`InjectedFault` (a poisoned job);
 * ``stall`` — sleep ``stall_s`` seconds (a slow disk / GC pause);
+* ``stall_resume`` — sleep ``stall_s`` seconds *and then keep going*: a
+  zombie that outlives its lease and resumes publishing.  Pair it with a
+  ``stall_s`` past the lease timeout to rehearse the fence (the merge layer
+  must reject the zombie's stale-fenced shard lines);
 * ``sigkill`` — ``SIGKILL`` the current process (a crashed worker);
 * ``torn_write`` — cooperative: :meth:`FaultPlan.should_tear` returns
   ``True`` and the *seam's owner* performs the torn write (only the code
   holding the file handle can tear its own write, so this kind never fires
-  from :meth:`FaultPlan.fire`).
+  from :meth:`FaultPlan.fire`);
+* ``disk_full`` — cooperative: :meth:`FaultPlan.should_fill_disk` tells the
+  seam owner to write a torn prefix and raise ``ENOSPC``, the failure a
+  filesystem that filled up mid-append produces;
+* ``clock_skew`` — cooperative: :meth:`FaultPlan.clock_skew` hands the seam
+  owner a ``skew_s`` offset to stamp into lease mtimes (a worker whose
+  clock runs ahead; ``cluster verify`` flags the future-dated lease).
 
 Rules match a seam ``tag`` (usually the queue item id) with an
 :func:`fnmatch.fnmatch` pattern, arm on the ``nth`` matching visit, fire at
@@ -35,6 +45,13 @@ most ``times`` times per process (``None``: every armed visit), and may fire
 probabilistically (``p``) — where the coin flip derives from the plan seed,
 the rule and the visit number via :func:`repro.utils.rng.derived_seed`, so a
 given schedule makes identical decisions on every host and every rerun.
+With ``scope="run"`` the ``times`` budget is shared across the *fleet*
+instead: firings claim slot files under ``<run_dir>/faults/`` (bound via
+:meth:`FaultPlan.bind` by :func:`repro.cluster.worker.worker_loop`) with
+``O_CREAT|O_EXCL``, so ``times=1`` means once run-wide no matter how many
+worker processes carry the plan.  The per-process default is deliberate —
+poison rules ("tear the first publish of item X") must re-arm in every
+crash-looped replacement worker.
 
 Plans propagate exactly like telemetry configuration: a process-local
 install (:func:`install`), the :data:`FAULTS_ENV` environment variable, or
@@ -65,6 +82,8 @@ __all__ = [
     "FAULTS_ENV",
     "SEAMS",
     "KINDS",
+    "SCOPES",
+    "BUDGET_DIRNAME",
     "InjectedFault",
     "FaultRule",
     "FaultPlan",
@@ -73,6 +92,8 @@ __all__ = [
     "current",
     "fire",
     "should_tear",
+    "should_fill_disk",
+    "clock_skew",
     "plan_from_env",
     "install_from_env",
     "crash_after_claim_plan",
@@ -82,8 +103,20 @@ __all__ = [
 #: :meth:`FaultPlan.to_json`); spawned subprocesses inherit it.
 FAULTS_ENV = "REPRO_FAULT_SCHEDULE"
 
+#: Directory under a run dir where run-scoped rules claim firing slots.
+BUDGET_DIRNAME = "faults"
+
 SEAMS = ("claim", "execute", "publish", "complete", "heartbeat")
-KINDS = ("exception", "stall", "sigkill", "torn_write")
+KINDS = (
+    "exception",
+    "stall",
+    "stall_resume",
+    "sigkill",
+    "torn_write",
+    "disk_full",
+    "clock_skew",
+)
+SCOPES = ("process", "run")
 
 
 class InjectedFault(RuntimeError):
@@ -114,7 +147,16 @@ class FaultRule:
         from ``(plan seed, rule, seam, tag, visit)``, so the same schedule
         replays identically.
     stall_s:
-        Sleep duration for ``stall`` rules.
+        Sleep duration for ``stall`` / ``stall_resume`` rules.
+    skew_s:
+        Clock offset (seconds, may be negative) handed to the seam owner by
+        ``clock_skew`` rules; the default is a clock running five minutes
+        ahead — far past any sane lease timeout.
+    scope:
+        ``"process"`` (default): the ``times`` budget counts per process.
+        ``"run"``: firings additionally claim slot files under the bound
+        run directory (:meth:`FaultPlan.bind`), so the budget is fleet-wide.
+        An unbound run-scoped rule falls back to per-process counting.
     note:
         Free-form annotation, carried into telemetry events.
     """
@@ -126,6 +168,8 @@ class FaultRule:
     times: Optional[int] = 1
     p: float = 1.0
     stall_s: float = 0.05
+    skew_s: float = 300.0
+    scope: str = "process"
     note: str = ""
 
     def __post_init__(self):
@@ -141,6 +185,10 @@ class FaultRule:
             raise ValueError(f"p must be in (0, 1], got {self.p}")
         if self.stall_s < 0:
             raise ValueError(f"stall_s must be non-negative, got {self.stall_s}")
+        if self.scope not in SCOPES:
+            raise ValueError(f"unknown fault scope {self.scope!r}; one of {SCOPES}")
+        if self.scope == "run" and self.times is None:
+            raise ValueError("scope='run' needs a finite times budget to share")
 
     def to_record(self) -> Dict[str, object]:
         return {
@@ -151,6 +199,8 @@ class FaultRule:
             "times": self.times,
             "p": self.p,
             "stall_s": self.stall_s,
+            "skew_s": self.skew_s,
+            "scope": self.scope,
             "note": self.note,
         }
 
@@ -179,8 +229,39 @@ class FaultPlan:
         ]
         self._visits: Dict[int, int] = {}
         self._fired: Dict[int, int] = {}
+        self._budget_dir: Optional[str] = None
 
     # -- scheduling -----------------------------------------------------------
+
+    def bind(self, budget_dir: str) -> "FaultPlan":
+        """Bind run-scoped rules to a shared firing-budget directory.
+
+        Workers bind the plan to ``<run_dir>/faults/`` before installing it
+        (:func:`repro.cluster.worker.worker_loop`), so every process serving
+        one run shares one budget.  Returns ``self`` for chaining; binding
+        an already-bound plan to the same directory is a no-op.
+        """
+        self._budget_dir = os.path.abspath(budget_dir)
+        return self
+
+    def _acquire_slot(self, index: int, rule: FaultRule) -> bool:
+        """Claim one fleet-wide firing slot for a run-scoped rule.
+
+        Slots are files created with ``O_CREAT|O_EXCL`` — atomic on POSIX,
+        so across every process exactly ``times`` acquisitions can ever
+        succeed for one rule.
+        """
+        os.makedirs(self._budget_dir, exist_ok=True)
+        for slot in range(int(rule.times)):
+            path = os.path.join(self._budget_dir, f"rule-{index}-slot-{slot}")
+            try:
+                os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            # repro: ignore[REP008] slot already claimed by another process
+            # (or an earlier firing of this one); try the next slot.
+            except FileExistsError:
+                continue
+        return False
 
     def _armed(self, index: int, rule: FaultRule, tag: str) -> bool:
         """Record one visit of ``rule`` and decide whether it fires."""
@@ -195,6 +276,9 @@ class FaultPlan:
                 derived_seed(self.seed, index, rule.seam, tag, visit)
             ).random()
             if coin >= rule.p:
+                return False
+        if rule.scope == "run" and self._budget_dir is not None:
+            if not self._acquire_slot(index, rule):
                 return False
         self._fired[index] = self._fired.get(index, 0) + 1
         return True
@@ -213,17 +297,24 @@ class FaultPlan:
     def fire(self, seam: str, tag: str = "") -> None:
         """Inject every scheduled fault of this seam visit.
 
-        Stalls sleep and fall through (other rules still get their visit);
-        an exception or SIGKILL ends the visit the obvious way.  Torn-write
-        rules never fire here — they are cooperative, see
-        :meth:`should_tear`.
+        Stalls (both kinds) sleep and fall through — ``stall_resume`` is a
+        ``stall`` whose name documents the scenario: the sleep outlasts the
+        lease, the worker resumes as a zombie and keeps publishing, and the
+        fence must stop it.  An exception or SIGKILL ends the visit the
+        obvious way.  The cooperative kinds (``torn_write``, ``disk_full``,
+        ``clock_skew``) never fire here — only the seam owner can perform
+        them; see :meth:`should_tear` / :meth:`should_fill_disk` /
+        :meth:`clock_skew`.
         """
-        for rule in self._firing(seam, tag, ("stall", "exception", "sigkill")):
+        firing = self._firing(
+            seam, tag, ("stall", "stall_resume", "exception", "sigkill")
+        )
+        for rule in firing:
             telemetry.get_recorder().event(
                 "faults.injected", level="warning",
                 seam=seam, kind=rule.kind, tag=tag, note=rule.note,
             )
-            if rule.kind == "stall":
+            if rule.kind in ("stall", "stall_resume"):
                 time.sleep(rule.stall_s)
             elif rule.kind == "exception":
                 raise InjectedFault(
@@ -249,6 +340,40 @@ class FaultPlan:
                 seam=seam, kind="torn_write", tag=tag, note=firing[0].note,
             )
         return bool(firing)
+
+    def should_fill_disk(self, seam: str, tag: str = "") -> bool:
+        """``True`` when a ``disk_full`` rule fires on this seam visit.
+
+        Cooperative like :meth:`should_tear`: the seam owner writes the torn
+        prefix its filesystem would have managed and raises ``ENOSPC`` (see
+        ``_disk_full_publish`` in :mod:`repro.cluster.worker`), so the
+        containment boundary — not the injection harness — handles it.
+        """
+        firing = self._firing(seam, tag, ("disk_full",))
+        if firing:
+            telemetry.get_recorder().event(
+                "faults.injected", level="warning",
+                seam=seam, kind="disk_full", tag=tag, note=firing[0].note,
+            )
+        return bool(firing)
+
+    def clock_skew(self, seam: str, tag: str = "") -> Optional[float]:
+        """Clock offset to apply on this seam visit, or ``None``.
+
+        Cooperative: the seam owner (the heartbeat thread) stamps lease
+        mtimes at ``now + skew_s``, simulating a worker whose clock runs
+        ahead — which defeats mtime-based expiry and is exactly what
+        ``cluster verify``'s ``queue.clock_skew`` check catches.
+        """
+        firing = self._firing(seam, tag, ("clock_skew",))
+        if not firing:
+            return None
+        telemetry.get_recorder().event(
+            "faults.injected", level="warning",
+            seam=seam, kind="clock_skew", tag=tag,
+            skew_s=firing[0].skew_s, note=firing[0].note,
+        )
+        return firing[0].skew_s
 
     def fired_counts(self) -> Dict[str, int]:
         """``{"seam:kind": firings}`` so far in this process (test helper)."""
@@ -310,6 +435,16 @@ def fire(seam: str, tag: str = "") -> None:
 def should_tear(seam: str, tag: str = "") -> bool:
     """Module-level cooperative torn-write hook (``False`` with no plan)."""
     return _PLAN is not None and _PLAN.should_tear(seam, tag)
+
+
+def should_fill_disk(seam: str, tag: str = "") -> bool:
+    """Module-level cooperative disk-full hook (``False`` with no plan)."""
+    return _PLAN is not None and _PLAN.should_fill_disk(seam, tag)
+
+
+def clock_skew(seam: str, tag: str = "") -> Optional[float]:
+    """Module-level cooperative clock-skew hook (``None`` with no plan)."""
+    return None if _PLAN is None else _PLAN.clock_skew(seam, tag)
 
 
 def plan_from_env() -> Optional[FaultPlan]:

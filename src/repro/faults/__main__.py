@@ -1,0 +1,8 @@
+"""``python -m repro.faults`` — see :mod:`repro.faults.cli`."""
+
+import sys
+
+from repro.faults.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

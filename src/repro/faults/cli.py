@@ -1,0 +1,147 @@
+"""Command-line interface of the fault-injection harness.
+
+Author, sanity-check and replay chaos schedules without writing Python::
+
+    # is this schedule well-formed?  (bad seams/kinds/scopes exit 2)
+    python -m repro.faults validate schedule.json
+
+    # what would it do?  (reads a schedule file or a run dir's manifest)
+    python -m repro.faults show schedule.json
+    python -m repro.faults show runs/fig7
+
+    # re-arm the exact schedule a failed run recorded in its manifest:
+    #   eval "$(python -m repro.faults replay runs/fig7 --export)"
+    #   python -m repro.cluster worker runs/fig7
+    python -m repro.faults replay runs/fig7
+
+``replay`` closes the chaos loop: a run submitted with a fault plan carries
+it in ``manifest.json``, so the schedule that dead-lettered an item can be
+re-emitted verbatim — to stdout as JSON (pipe into a file to edit), or as a
+shell ``export`` line arming :data:`repro.faults.FAULTS_ENV` so the next
+worker reproduces the exact same injections.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shlex
+import sys
+from typing import Optional, Sequence
+
+from repro.faults import FAULTS_ENV, FaultPlan
+
+__all__ = ["main"]
+
+
+def _load_plan(path: str) -> FaultPlan:
+    """A plan from a schedule file or a run directory's manifest.
+
+    Raises ``ValueError`` for anything unusable — a missing manifest plan,
+    unparseable JSON, or rules the :class:`~repro.faults.FaultRule`
+    validators reject.
+    """
+    if os.path.isdir(path):
+        from repro.cluster.broker import read_manifest
+
+        manifest = read_manifest(path)
+        if not manifest:
+            raise ValueError(f"{path} has no readable manifest.json")
+        obj = manifest.get("faults")
+        if not obj:
+            raise ValueError(f"{path} was submitted without a fault schedule")
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            obj = json.load(handle)
+    return FaultPlan.from_json(obj)
+
+
+def _describe(plan: FaultPlan) -> str:
+    lines = [f"seed: {plan.seed}", f"rules: {len(plan.rules)}"]
+    for index, rule in enumerate(plan.rules):
+        times = "inf" if rule.times is None else str(rule.times)
+        extras = []
+        if rule.kind in ("stall", "stall_resume"):
+            extras.append(f"stall_s={rule.stall_s}")
+        if rule.kind == "clock_skew":
+            extras.append(f"skew_s={rule.skew_s}")
+        if rule.p < 1.0:
+            extras.append(f"p={rule.p}")
+        if rule.note:
+            extras.append(f"note={rule.note!r}")
+        detail = (" " + " ".join(extras)) if extras else ""
+        lines.append(
+            f"  [{index}] {rule.seam}:{rule.kind} match={rule.match!r} "
+            f"nth={rule.nth} times={times} scope={rule.scope}{detail}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_validate(args) -> int:
+    try:
+        plan = _load_plan(args.schedule)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"invalid: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"ok: {len(plan.rules)} rule(s), seed {plan.seed} "
+        f"({sum(1 for r in plan.rules if r.scope == 'run')} run-scoped)"
+    )
+    return 0
+
+
+def _cmd_show(args) -> int:
+    try:
+        plan = _load_plan(args.schedule)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(_describe(plan))
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    try:
+        plan = _load_plan(args.run_dir)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    serialized = json.dumps(plan.to_json(), sort_keys=True)
+    if args.export:
+        print(f"export {FAULTS_ENV}={shlex.quote(serialized)}")
+    else:
+        print(serialized)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Author, validate and replay deterministic fault schedules.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="check a schedule file (or run dir) parses")
+    p.add_argument("schedule", help="schedule JSON file or run directory")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("show", help="describe a schedule's rules")
+    p.add_argument("schedule", help="schedule JSON file or run directory")
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-emit the schedule recorded in a run's manifest "
+             f"(--export: a shell line arming {FAULTS_ENV})",
+    )
+    p.add_argument("run_dir")
+    p.add_argument("--export", action="store_true",
+                   help="print a shell export line instead of raw JSON")
+    p.set_defaults(func=_cmd_replay)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -35,6 +35,7 @@ from repro import telemetry
 from repro.biterror.random_errors import iter_apply_fields_batch
 from repro.runtime.spec import CellResult, EvalJob, SweepContext
 from repro.utils.markers import hot_path
+from repro.utils.rng import new_rng
 
 __all__ = [
     "SerialExecutor",
@@ -94,7 +95,7 @@ def subsample_plan(context: SweepContext, job: EvalJob):
     With ``context.subsample`` unset this is the process-wide memoized
     full-dataset plan.  With ``subsample=n`` set, every job evaluates its
     own reproducible ``n``-example subset: the indices are drawn without
-    replacement from ``np.random.default_rng(job.derived_seed)`` and kept in
+    replacement from ``repro.utils.rng.new_rng(job.derived_seed)`` and kept in
     sorted (dataset) order.  The derived seed is a function of the content
     key — which folds in the subsample size — so re-runs draw identical
     subsets, distinct cells draw independent ones, and cached results can
@@ -108,7 +109,7 @@ def subsample_plan(context: SweepContext, job: EvalJob):
         return context.batch_plan()
     from repro.eval.fast_eval import BatchPlan
 
-    rng = np.random.default_rng(job.derived_seed)
+    rng = new_rng(job.derived_seed)
     indices = np.sort(rng.choice(n, size=context.subsample, replace=False))
     return BatchPlan(context.dataset.subset(indices), context.batch_size)
 

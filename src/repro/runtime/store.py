@@ -58,10 +58,17 @@ class ResultStore:
         Directory holding the run's ``results.jsonl``; created if missing.
         Existing records are loaded eagerly, so membership tests and reads
         never touch the filesystem after construction.
+    checksum:
+        ``True`` suffixes every appended line with the integrity footer of
+        :func:`repro.utils.serialization.jsonl_line` (cluster runs enable
+        this via their manifest).  Reading is always footer-tolerant, so
+        the flag only affects what *this* store writes; ``False`` (the
+        default) keeps the log byte-identical to the historical format.
     """
 
-    def __init__(self, run_dir: str):
+    def __init__(self, run_dir: str, checksum: bool = False):
         self.run_dir = os.path.abspath(run_dir)
+        self.checksum = bool(checksum)
         os.makedirs(self.run_dir, exist_ok=True)
         self.path = os.path.join(self.run_dir, RESULTS_FILENAME)
         self._cache: Dict[str, CellResult] = {}
@@ -127,5 +134,15 @@ class ResultStore:
                 "confidence": float(result.confidence),
             }
         )
-        append_jsonl(self.path, [record])
+        append_jsonl(self.path, [record], checksum=self.checksum)
         self._cache[key] = result
+
+    def discard(self, key: str) -> bool:
+        """Forget ``key`` in this store's *cache*; ``True`` if it was held.
+
+        The log is untouched (append-only); discarding only reopens the
+        key for a future :meth:`put`.  The cluster coordinator uses this
+        when a dead-lettered item's partial results were already merged —
+        the repair path (``repro.cluster repair``) rewrites the log itself.
+        """
+        return self._cache.pop(key, None) is not None

@@ -41,11 +41,11 @@ def test_rep004_fires_when_the_fused_parity_test_is_deleted():
 def test_every_registered_rule_has_an_id_and_title():
     from repro.analysis.rules import ALL_RULES, rule_registry
 
-    assert len(ALL_RULES) == 8
+    assert len(ALL_RULES) == 9
     registry = rule_registry()
     assert sorted(registry) == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-        "REP008",
+        "REP008", "REP009",
     ]
     for rule in ALL_RULES:
         assert rule.title

@@ -52,9 +52,13 @@ def _poison_target(spec):
 
 
 def _results_keys(run_dir):
+    from repro.utils.serialization import parse_jsonl_line
+
     path = os.path.join(run_dir, "results.jsonl")
     with open(path) as handle:
-        return [json.loads(line)["key"] for line in handle if line.strip()]
+        parsed = [parse_jsonl_line(line) for line in handle if line.strip()]
+    assert all(status == "ok" for _, status in parsed)
+    return [record["key"] for record, _ in parsed]
 
 
 def _assert_survivors_exact(run_dir, serial, poison_keys):
@@ -302,3 +306,132 @@ def test_injected_fault_is_a_regular_exception():
     """Containment treats injected faults like any job failure — nothing in
     the worker special-cases them, so InjectedFault must be a plain error."""
     assert issubclass(InjectedFault, RuntimeError)
+
+
+def _sorted_store_lines(run_dir):
+    with open(os.path.join(run_dir, "results.jsonl"), encoding="utf-8") as fh:
+        return sorted(line for line in fh if line.strip())
+
+
+def test_zombie_stall_resume_cannot_contaminate_the_canonical_store(
+    grid, tmp_path
+):
+    """The fence acceptance criterion, fully deterministic: a worker that
+    claims an item, stalls past its lease (the ``stall_resume`` kind — a
+    pause the process survives), loses the item to a healthy peer and then
+    resumes its publish cannot reach the canonical store.  The merged
+    ``results.jsonl`` is bit-identical to a clean run's; the zombie's lines
+    land in ``quarantine.jsonl`` with fence-violation reasons."""
+    import pickle
+
+    from repro.cluster import repair_run_dir, verify_run_dir
+    from repro.runtime.executors import execute_group
+    from repro.runtime.spec import EvalJob
+    from repro.runtime.store import job_metadata
+    from repro.utils.serialization import append_jsonl, read_jsonl
+
+    run_dir = str(tmp_path / "chaos")
+    clean_dir = str(tmp_path / "clean")
+    submit_spec(run_dir, grid(), lease_timeout=0.5)
+
+    # The zombie claims an item at fence epoch 1 and executes it...
+    queue = JobQueue(run_dir, lease_timeout=0.5)
+    zitem = queue.claim("zombie")
+    assert zitem is not None and zitem.fence == 1
+    with open(os.path.join(run_dir, "context.pkl"), "rb") as fh:
+        context = pickle.load(fh)
+    jobs = [EvalJob.from_record(r) for r in zitem.payload["jobs"]]
+    jobs_by_key = {job.content_key: job for job in jobs}
+    zombie_records = []
+    for key, cell in execute_group(context, jobs):
+        record = {
+            "key": key, "error": float(cell.error),
+            "confidence": float(cell.confidence),
+            "worker": "zombie", "item": zitem.item_id, "fence": zitem.fence,
+        }
+        record.update(job_metadata(jobs_by_key[key]))
+        zombie_records.append(record)
+
+    # ... then stalls at the publish seam past its lease; the lease
+    # expires and the item is requeued out from under it.
+    plan = FaultPlan([FaultRule(seam="publish", kind="stall_resume",
+                                match=zitem.item_id, stall_s=0.05)])
+    faults.install(plan)
+    old = time.time() - 60.0
+    os.utime(queue._path("leased", zitem.item_id), (old, old))
+    assert zitem.item_id in queue.requeue_expired()
+
+    # A healthy worker re-claims it (fence epoch 2) and drains the run.
+    stats = worker_loop(run_dir, worker_id="w1", poll_interval=0.01)
+    assert stats.items == len(queue.done_ids())
+    assert queue.is_drained()
+    assert queue.fence_of(zitem.item_id) == 2
+
+    # The zombie finally resumes: its stall elapses, it publishes its
+    # stale-fenced lines, and its completion rename loses.
+    faults.fire("publish", zitem.item_id)  # the stall_resume pause
+    zombie_shard = os.path.join(run_dir, "shards", "worker-zombie.jsonl")
+    append_jsonl(zombie_shard, zombie_records, checksum=True)
+    assert not queue.complete(zitem.item_id)
+
+    merge_stats = merge_shards(run_dir)
+    assert merge_stats.quarantined == len(zombie_records)
+
+    # Ground truth: the same sweep, same healthy worker id, no chaos.
+    submit_spec(clean_dir, grid(), lease_timeout=0.5)
+    worker_loop(clean_dir, worker_id="w1", poll_interval=0.01)
+    merge_shards(clean_dir)
+    assert _sorted_store_lines(run_dir) == _sorted_store_lines(clean_dir)
+
+    entries = read_jsonl(os.path.join(run_dir, "quarantine.jsonl"))
+    assert {e["reason"] for e in entries} == {"fence_stale"}
+    assert ({e["record"]["key"] for e in entries}
+            == {r["key"] for r in zombie_records})
+
+    # verify still flags the zombie's shard residue; repair quarantines it
+    # (without touching the store) and the audit comes back clean.
+    report = verify_run_dir(run_dir)
+    assert report.counts() == {"shard.stale_fence": len(zombie_records)}
+    before = _sorted_store_lines(run_dir)
+    rstats = repair_run_dir(run_dir)
+    assert rstats.shard_lines_quarantined == len(zombie_records)
+    assert rstats.store_lines_quarantined == 0
+    assert _sorted_store_lines(run_dir) == before
+    assert verify_run_dir(run_dir).clean
+
+
+def test_disk_full_publish_nacks_and_repair_restores_verify_clean(
+    grid, tmp_path
+):
+    """An injected ENOSPC mid-append: the worker nacks (one failure, no
+    dead letter), the retry republishes the whole group, the canonical
+    store ends exact, and verify flags only the torn residue — which
+    repair quarantines, restoring a clean audit."""
+    from repro.cluster import repair_run_dir, verify_run_dir
+    from repro.utils.serialization import read_jsonl
+
+    run_dir = str(tmp_path)
+    spec = grid()
+    target_id, _ = _poison_target(spec)
+    plan = FaultPlan([FaultRule(seam="publish", kind="disk_full",
+                                match=target_id, times=1)])
+    submit_spec(run_dir, spec, retry=NO_BACKOFF, fault_plan=plan)
+    stats = worker_loop(run_dir, worker_id="w1", poll_interval=0.01)
+    assert stats.failures == 1  # the injected ENOSPC cost one attempt
+    assert stats.dead_lettered == 0
+    queue = JobQueue(run_dir)
+    assert queue.is_drained() and queue.failed_ids() == []
+    assert queue.fence_of(target_id) == 2  # nack + re-claim bumped the epoch
+
+    # No torn canonical state: the merged store is exact and complete.
+    serial = run_sweep(grid(), executor=SerialExecutor())
+    _assert_survivors_exact(run_dir, serial, poison_keys=set())
+
+    report = verify_run_dir(run_dir)
+    assert report.counts() == {"shard.torn_line": 1}  # the ENOSPC residue
+    rstats = repair_run_dir(run_dir)
+    assert rstats.shard_lines_quarantined == 1
+    assert verify_run_dir(run_dir).clean
+    entries = read_jsonl(os.path.join(run_dir, "quarantine.jsonl"))
+    assert [e["reason"] for e in entries] == ["torn"]
+    assert "raw" in entries[0]  # the undecodable bytes are kept for audit

@@ -172,15 +172,14 @@ def test_context_round_trips_through_pickle_without_caches(grid, tmp_path):
 def test_same_dir_store_and_executor_stay_duplicate_free(grid, tmp_path):
     """store=<run_dir> alongside ClusterExecutor(run_dir=<same>) — the
     documented resumable combination — must not double-write the log."""
-    import json
+    from repro.utils.serialization import read_jsonl
 
     run_dir = str(tmp_path)
     executor = ClusterExecutor(
         run_dir=run_dir, spawn_workers=False, poll_interval=0.01, stall_timeout=0.0
     )
     results = run_sweep(grid(), executor=executor, store=run_dir)
-    with open(os.path.join(run_dir, "results.jsonl")) as handle:
-        keys = [json.loads(line)["key"] for line in handle if line.strip()]
+    keys = [r["key"] for r in read_jsonl(os.path.join(run_dir, "results.jsonl"))]
     assert sorted(keys) == sorted(results)  # one line per cell, no doubles
     # A store in a *different* directory is still written as usual.
     other_dir = str(tmp_path / "elsewhere")

@@ -44,9 +44,10 @@ def _spawn_worker(run_dir, worker_id, crash_after_claim=None):
 
 
 def _results_keys(run_dir):
+    from repro.utils.serialization import read_jsonl
+
     path = os.path.join(run_dir, "results.jsonl")
-    with open(path) as handle:
-        return [json.loads(line)["key"] for line in handle if line.strip()]
+    return [record["key"] for record in read_jsonl(path)]
 
 
 @pytest.mark.slow

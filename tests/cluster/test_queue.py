@@ -25,9 +25,10 @@ def test_enqueue_claim_complete_lifecycle(queue):
     assert queue.counts() == {"pending": 1, "leased": 0, "done": 0, "failed": 0}
     item = queue.claim("w1")
     assert item is not None and item.item_id == "a"
-    # The claim stamps the attempt count into the payload.
-    assert item.payload == {"item": "a", "jobs": [], "attempt": 1}
+    # The claim stamps the attempt count and fence epoch into the payload.
+    assert item.payload == {"item": "a", "jobs": [], "attempt": 1, "fence": 1}
     assert item.attempt == 1
+    assert item.fence == 1
     assert queue.counts() == {"pending": 0, "leased": 1, "done": 0, "failed": 0}
     assert not queue.is_drained()
     assert queue.complete("a")

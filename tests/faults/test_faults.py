@@ -146,3 +146,77 @@ def test_crash_after_claim_plan_shape():
     rule = plan.rules[0]
     assert (rule.seam, rule.kind, rule.nth, rule.times) == ("claim", "sigkill", 3, 1)
     assert rule.note == "crash_after_claim"
+
+
+def test_stall_resume_sleeps_and_survives():
+    """The zombie-maker: a pause the process *outlives* (unlike sigkill), so
+    the worker resumes after its lease has been reassigned elsewhere."""
+    import time
+
+    plan = FaultPlan(
+        [FaultRule(seam="publish", kind="stall_resume", stall_s=0.05)]
+    )
+    start = time.monotonic()
+    plan.fire("publish", "item")  # stalls, raises nothing, resumes
+    assert time.monotonic() - start >= 0.05
+    assert plan.fired_counts() == {"publish:stall_resume": 1}
+
+
+def test_clock_skew_is_cooperative_and_reports_its_offset():
+    plan = FaultPlan(
+        [FaultRule(seam="heartbeat", kind="clock_skew", skew_s=120.0)]
+    )
+    plan.fire("heartbeat", "item")  # cooperative kinds never fire()
+    assert plan.clock_skew("heartbeat", "item") == 120.0
+    assert plan.clock_skew("heartbeat", "item") is None  # times=1 spent
+    # Rules of other kinds do not answer the clock_skew query.
+    plan2 = FaultPlan([FaultRule(seam="heartbeat", kind="exception")])
+    assert plan2.clock_skew("heartbeat", "item") is None
+
+
+def test_disk_full_is_cooperative():
+    plan = FaultPlan([FaultRule(seam="publish", kind="disk_full")])
+    plan.fire("publish", "item")  # no visit burned by fire()
+    assert plan.should_fill_disk("publish", "item")
+    assert not plan.should_fill_disk("publish", "item")  # times=1
+    assert not plan.should_tear("publish", "item")  # distinct kinds
+
+
+def test_run_scope_requires_a_finite_budget():
+    with pytest.raises(ValueError, match="scope"):
+        FaultRule(seam="execute", kind="exception", scope="orbit")
+    with pytest.raises(ValueError, match="times"):
+        FaultRule(seam="execute", kind="exception", scope="run", times=None)
+
+
+def test_run_scoped_budget_is_shared_across_bound_plans(tmp_path):
+    """Two plans bound to one run dir model two worker processes: the rule's
+    firing budget is fleet-wide, claimed through O_EXCL slot files."""
+    import os
+
+    budget_dir = str(tmp_path / "faults")
+
+    def make_plan():
+        return FaultPlan(
+            [FaultRule(seam="execute", kind="exception", times=1, scope="run")]
+        ).bind(budget_dir)
+
+    a, b = make_plan(), make_plan()
+    with pytest.raises(InjectedFault):
+        a.fire("execute", "item")  # worker A claims the only slot
+    b.fire("execute", "item")  # worker B: budget spent fleet-wide
+    a.fire("execute", "item")  # and A itself cannot re-fire
+    assert os.listdir(budget_dir) == ["rule-0-slot-0"]
+    assert a.fired_counts() == {"execute:exception": 1}
+    assert b.fired_counts() == {}
+
+
+def test_unbound_run_scope_falls_back_to_process_budget():
+    """Without bind() (no run dir to share through) the rule still honors
+    its local times budget — chaos in plain unit tests keeps working."""
+    plan = FaultPlan(
+        [FaultRule(seam="execute", kind="exception", times=1, scope="run")]
+    )
+    with pytest.raises(InjectedFault):
+        plan.fire("execute", "item")
+    plan.fire("execute", "item")  # local budget spent

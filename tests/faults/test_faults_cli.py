@@ -1,0 +1,94 @@
+"""The ``python -m repro.faults`` CLI: validate, show, replay."""
+
+import json
+import os
+import shlex
+
+import pytest
+
+from repro.faults import FAULTS_ENV, FaultPlan, FaultRule
+from repro.faults.cli import main
+
+
+@pytest.fixture
+def plan():
+    return FaultPlan(
+        [
+            FaultRule(seam="execute", kind="exception", match="group-a*",
+                      times=None, note="poison"),
+            FaultRule(seam="publish", kind="stall_resume", stall_s=0.5,
+                      p=0.25),
+            FaultRule(seam="heartbeat", kind="clock_skew", skew_s=90.0,
+                      times=2, scope="run"),
+        ],
+        seed=99,
+    )
+
+
+@pytest.fixture
+def schedule_file(tmp_path, plan):
+    path = tmp_path / "schedule.json"
+    path.write_text(json.dumps(plan.to_json()))
+    return str(path)
+
+
+def test_validate_accepts_a_well_formed_schedule(schedule_file, capsys):
+    assert main(["validate", schedule_file]) == 0
+    out = capsys.readouterr().out
+    assert "ok: 3 rule(s), seed 99 (1 run-scoped)" in out
+
+
+def test_validate_rejects_bad_schedules(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"rules": [{"seam": "teleport", "kind": "x"}]}))
+    assert main(["validate", str(bad)]) == 2
+    assert "invalid:" in capsys.readouterr().err
+    unparseable = tmp_path / "broken.json"
+    unparseable.write_text("{not json")
+    assert main(["validate", str(unparseable)]) == 2
+    assert main(["validate", str(tmp_path / "missing.json")]) == 2
+
+
+def test_show_describes_every_rule(schedule_file, capsys):
+    assert main(["show", schedule_file]) == 0
+    out = capsys.readouterr().out
+    assert "seed: 99" in out and "rules: 3" in out
+    assert "execute:exception" in out and "times=inf" in out
+    assert "stall_s=0.5" in out and "p=0.25" in out
+    assert "skew_s=90.0" in out and "scope=run" in out
+    assert "note='poison'" in out
+
+
+def test_replay_round_trips_the_manifest_schedule(tmp_path, plan, capsys):
+    """A run dir's recorded schedule comes back verbatim — as JSON, or as a
+    shell export line arming the env var a worker honors."""
+    from repro.cluster.broker import MANIFEST_FILENAME
+    from repro.utils.serialization import atomic_write_json
+
+    run_dir = str(tmp_path)
+    atomic_write_json(
+        os.path.join(run_dir, MANIFEST_FILENAME), {"faults": plan.to_json()}
+    )
+    assert main(["replay", run_dir]) == 0
+    replayed = FaultPlan.from_json(json.loads(capsys.readouterr().out))
+    assert replayed.rules == plan.rules and replayed.seed == plan.seed
+
+    assert main(["replay", run_dir, "--export"]) == 0
+    line = capsys.readouterr().out.strip()
+    assert line.startswith(f"export {FAULTS_ENV}=")
+    _, _, quoted = line.partition("=")
+    restored = FaultPlan.from_json(json.loads(shlex.split(quoted)[0]))
+    assert restored.rules == plan.rules
+
+
+def test_replay_refuses_a_run_without_a_schedule(tmp_path, capsys):
+    from repro.cluster.broker import MANIFEST_FILENAME
+    from repro.utils.serialization import atomic_write_json
+
+    assert main(["replay", str(tmp_path)]) == 2  # no manifest at all
+    assert "manifest.json" in capsys.readouterr().err
+    atomic_write_json(
+        os.path.join(str(tmp_path), MANIFEST_FILENAME), {"faults": None}
+    )
+    assert main(["replay", str(tmp_path)]) == 2
+    assert "without a fault schedule" in capsys.readouterr().err

@@ -88,3 +88,84 @@ def test_torn_trailing_lines_are_counted_not_silent(tmp_path):
         assert [r["key"] for r in read_jsonl(path)] == ["a", "b"]
     merged = merged_run_metrics(str(tmp_path))
     assert merged["counters"]["io.torn_lines"] == 1
+
+
+def test_checksum_off_is_byte_identical_to_the_legacy_format(tmp_path):
+    """checksum=False must write exactly what the pre-checksum code wrote —
+    existing run directories and their diffs stay stable."""
+    import json
+
+    from repro.utils.serialization import jsonl_line
+
+    record = {"key": "k", "error": 0.25, "nested": {"b": [1, 2]}}
+    legacy = json.dumps(record, sort_keys=True, default=str) + "\n"
+    assert jsonl_line(record) == legacy
+    path = str(tmp_path / "plain.jsonl")
+    append_jsonl(path, [record])
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read() == legacy
+
+
+def test_checksummed_lines_round_trip_and_self_describe(tmp_path):
+    """The footer is per-line: files may mix checksummed and plain lines and
+    the reader needs no mode flag."""
+    from repro.utils.serialization import CHECKSUM_SEP, parse_jsonl_line
+
+    path = str(tmp_path / "mixed.jsonl")
+    append_jsonl(path, [{"key": "plain"}])
+    append_jsonl(path, [{"key": "summed"}], checksum=True)
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    assert CHECKSUM_SEP not in lines[0] and CHECKSUM_SEP in lines[1]
+    assert [r["key"] for r in read_jsonl(path)] == ["plain", "summed"]
+    for line in lines:
+        record, status = parse_jsonl_line(line)
+        assert status == "ok" and "key" in record
+
+
+def test_parse_jsonl_line_statuses():
+    from repro.utils.serialization import jsonl_line, parse_jsonl_line
+
+    good = jsonl_line({"key": "a", "v": 1}, checksum=True)
+    assert parse_jsonl_line(good) == ({"key": "a", "v": 1}, "ok")
+    assert parse_jsonl_line("   \n") == (None, "empty")
+    assert parse_jsonl_line(good[:10])[1] == "torn"  # cut mid-JSON
+    assert parse_jsonl_line("[1, 2, 3]")[1] == "torn"  # non-record JSON
+    # Intact JSON whose footer disagrees: corruption, not tearing.
+    tampered = good.replace('"v": 1', '"v": 2')
+    assert parse_jsonl_line(tampered) == (None, "corrupt")
+
+
+def test_append_confines_a_torn_predecessor_to_its_own_line(tmp_path):
+    """An appender that died mid-line (ENOSPC, SIGKILL) must not swallow
+    the first record of the *next* append: the torn residue gets its own
+    newline before new lines start, and the repair is counted."""
+    path = str(tmp_path / "records.jsonl")
+    append_jsonl(path, [{"key": "a"}], checksum=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "b", "err')  # no trailing newline
+    with telemetry.recording(str(tmp_path), name="writer", echo=None):
+        append_jsonl(path, [{"key": "c"}], checksum=True)
+    assert [r["key"] for r in read_jsonl(path)] == ["a", "c"]
+    counters = merged_run_metrics(str(tmp_path))["counters"]
+    assert counters["io.append_newline_repairs"] == 1
+
+
+def test_corrupt_lines_are_skipped_and_counted_separately(tmp_path):
+    """A checksum mismatch is a distinct signal from a torn line — verify
+    and the readers must never conflate bit-rot with a killed writer."""
+    from repro.utils.serialization import jsonl_line
+
+    path = str(tmp_path / "records.jsonl")
+    append_jsonl(path, [{"key": "a", "v": 1}, {"key": "b", "v": 2}], checksum=True)
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(lines[0].replace('"v": 1', '"v": 9') + "\n")  # bit-rot
+        handle.write(lines[1] + "\n")
+        handle.write(jsonl_line({"key": "c"}, checksum=True)[:20])  # torn
+    with telemetry.recording(str(tmp_path), name="reader", echo=None):
+        assert [r["key"] for r in read_jsonl(path)] == ["b"]
+    counters = merged_run_metrics(str(tmp_path))["counters"]
+    assert counters["io.corrupt_lines"] == 1
+    assert counters["io.torn_lines"] == 1
