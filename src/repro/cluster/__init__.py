@@ -41,6 +41,18 @@ Importing this module registers the ``"cluster"`` executor with
 :func:`repro.runtime.executors.register_executor`.
 """
 
+from repro.cluster.backends import (
+    DEFAULT_QUEUE_BACKEND,
+    BlobStore,
+    FilesystemQueueBackend,
+    KVQueueBackend,
+    LocalDirBlobStore,
+    QueueBackend,
+    manifest_queue_backend,
+    queue_backend_names,
+    register_queue_backend,
+    resolve_queue_backend,
+)
 from repro.cluster.broker import (
     Submission,
     group_item_id,
@@ -109,4 +121,14 @@ __all__ = [
     "repair_run_dir",
     "live_worker_ids",
     "spawn_local_worker",
+    "QueueBackend",
+    "FilesystemQueueBackend",
+    "KVQueueBackend",
+    "BlobStore",
+    "LocalDirBlobStore",
+    "DEFAULT_QUEUE_BACKEND",
+    "register_queue_backend",
+    "queue_backend_names",
+    "resolve_queue_backend",
+    "manifest_queue_backend",
 ]

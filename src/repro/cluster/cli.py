@@ -42,6 +42,7 @@ import pickle
 import sys
 from typing import Dict, Optional, Sequence
 
+from repro.cluster.backends import DEFAULT_QUEUE_BACKEND
 from repro.cluster.broker import read_manifest, submit_spec
 from repro.cluster.integrity import (
     DEFAULT_SKEW_TOLERANCE,
@@ -74,6 +75,7 @@ def _cmd_submit(args) -> int:
         spec,
         chunk_size=args.chunk_size,
         lease_timeout=args.lease_timeout,
+        queue_backend=args.queue_backend,
     )
     print(
         f"submitted {len(submission.enqueued)} new item(s) to {submission.run_dir} "
@@ -281,6 +283,7 @@ def _cmd_verify(args) -> int:
         args.run_dir,
         lease_timeout=args.lease_timeout,
         skew_tolerance=args.skew_tolerance,
+        only=args.only,
     )
     if args.out:
         atomic_write_text(
@@ -296,7 +299,8 @@ def _cmd_verify(args) -> int:
 def _cmd_repair(args) -> int:
     from repro.cluster.coordinator import live_worker_ids
 
-    live = live_worker_ids(args.run_dir, ttl=args.worker_ttl)
+    # A dry run writes nothing, so the live-writer guard does not apply.
+    live = [] if args.dry_run else live_worker_ids(args.run_dir, ttl=args.worker_ttl)
     if live and not args.force:
         print(
             f"error: {len(live)} live worker(s) attached ({', '.join(live)}); "
@@ -309,13 +313,27 @@ def _cmd_repair(args) -> int:
         args.run_dir,
         lease_timeout=args.lease_timeout,
         skew_tolerance=args.skew_tolerance,
+        dry_run=args.dry_run,
     )
+    verb = "repair (dry run): would" if args.dry_run else "repair:"
     print(
-        f"repair: {stats.leases_reset} skewed lease(s) reset, "
+        f"{verb} {stats.leases_reset} skewed lease(s) reset, "
         f"{stats.leases_requeued} orphan lease(s) requeued, "
         f"{stats.shard_lines_quarantined} shard line(s) and "
         f"{stats.store_lines_quarantined} store line(s) quarantined"
     )
+    if args.dry_run:
+        for action in stats.planned:
+            fields = " ".join(
+                f"{name}={action[name]}"
+                for name in ("reason", "key", "item", "worker", "skew", "stale_for")
+                if action.get(name) is not None
+            )
+            print(f"  would {action['action']} [{action.get('source', '')}] "
+                  f"{fields}".rstrip())
+        if not stats.planned:
+            print("  nothing to repair — the run directory is clean")
+        return 0
     report = verify_run_dir(
         args.run_dir,
         lease_timeout=args.lease_timeout,
@@ -350,6 +368,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spec", required=True, help="path to a pickled SweepSpec")
     p.add_argument("--chunk-size", type=int, default=None)
     p.add_argument("--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT)
+    p.add_argument("--queue-backend", default=DEFAULT_QUEUE_BACKEND,
+                   help="registered queue storage backend "
+                        "(filesystem | kv | a custom registration)")
     p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser("worker", help="serve the queue: claim, execute, append")
@@ -410,6 +431,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the report as JSON on stdout")
     p.add_argument("--out", default=None,
                    help="also write the JSON report to this path")
+    p.add_argument("--only", action="append", default=None, metavar="CHECK",
+                   help="restrict the report to this check (exact name like "
+                        "store.duplicate_key, or a family like queue); "
+                        "repeatable")
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("repair",
@@ -425,6 +450,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="beacon freshness horizon for the live-writer guard")
     p.add_argument("--force", action="store_true",
                    help="repair even with live workers attached (unsafe)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="write nothing: print every lease reset/requeue and "
+                        "quarantine the repair would perform")
     p.set_defaults(func=_cmd_repair)
 
     p = sub.add_parser("gc", help="merge shards, then collect run-dir debris")

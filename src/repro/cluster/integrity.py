@@ -42,7 +42,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import telemetry
 from repro.cluster.broker import read_manifest
@@ -191,12 +191,10 @@ def _check_queue(
             else:
                 seen[item_id] = state
     for item_id in queue.leased_ids():
-        path = queue._path(LEASED, item_id)
-        try:
-            mtime = os.stat(path).st_mtime
-        # repro: ignore[REP008] the lease ended between listdir and stat;
-        # whatever state the item is in now, it is not an orphan lease.
-        except OSError:
+        mtime = queue.backend.mtime(LEASED, item_id)
+        if mtime is None:
+            # The lease ended between list and read; whatever state the
+            # item is in now, it is not an orphan lease.
             continue
         if mtime > now + skew_tolerance:
             findings.append(
@@ -318,11 +316,25 @@ def _check_store(
                 )
 
 
+def _matches_only(check: str, only: Sequence[str]) -> bool:
+    """Whether ``check`` is selected by the ``only`` filter.
+
+    Each entry matches its exact check name or, as a prefix, a whole family
+    (``"queue"`` selects ``queue.orphan_lease``, ``queue.clock_skew``, ...).
+    """
+    for entry in only:
+        entry = entry.rstrip(".")
+        if check == entry or check.startswith(entry + "."):
+            return True
+    return False
+
+
 def verify_run_dir(
     run_dir: str,
     lease_timeout: Optional[float] = None,
     skew_tolerance: float = DEFAULT_SKEW_TOLERANCE,
     now: Optional[float] = None,
+    only: Optional[Sequence[str]] = None,
 ) -> IntegrityReport:
     """Audit ``run_dir`` against the full invariant set (read-only).
 
@@ -331,6 +343,11 @@ def verify_run_dir(
     exit (the chaos-smoke CI job), before trusting ``results.jsonl``, or
     any time ``status`` looks suspicious.  Detection only — nothing is
     modified; hand the report's findings to :func:`repair_run_dir`.
+
+    ``only`` restricts the *report* to the named checks (exact names like
+    ``"store.duplicate_key"`` or families like ``"queue"``); the audit
+    itself always runs in full, so filtering never changes what a finding
+    would have said.
     """
     run_dir = os.path.abspath(run_dir)
     now = time.time() if now is None else float(now)
@@ -344,6 +361,8 @@ def verify_run_dir(
     _check_store(
         run_dir, guard, fences, _shard_fence_index(run_dir), findings
     )
+    if only:
+        findings = [f for f in findings if _matches_only(f.check, only)]
     report = IntegrityReport(run_dir=run_dir, findings=findings, ts=now)
     rec = telemetry.get_recorder()
     rec.event(
@@ -358,12 +377,18 @@ def verify_run_dir(
 
 @dataclass
 class RepairStats:
-    """What one :func:`repair_run_dir` pass changed."""
+    """What one :func:`repair_run_dir` pass changed (or, dry, would change)."""
 
     leases_reset: int = 0  # future-dated mtimes stamped back to now
     leases_requeued: int = 0  # orphan leases returned to pending
     shard_lines_quarantined: int = 0
     store_lines_quarantined: int = 0
+    #: ``True`` when this was a dry run: the counters tally would-be
+    #: actions, :attr:`planned` details each one, and nothing was written.
+    dry_run: bool = False
+    #: One record per planned/performed action, populated on dry runs:
+    #: ``{"action": "reset_lease"|"requeue_lease"|"quarantine", ...}``.
+    planned: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def changed(self) -> bool:
@@ -380,13 +405,17 @@ def _repair_file(
     path: str,
     keep_line,
     stats_bump,
+    dry_run: bool = False,
+    planned: Optional[List[Dict[str, object]]] = None,
 ) -> None:
     """Rewrite one JSONL file keeping only lines ``keep_line`` blesses.
 
     ``keep_line(line) -> Optional[reason]`` returns ``None`` to keep the
     line (its original bytes survive verbatim) or a quarantine reason to
     drop it; the rewrite is atomic and skipped entirely when nothing was
-    dropped, so intact files are never touched.
+    dropped, so intact files are never touched.  With ``dry_run`` nothing
+    is quarantined or rewritten — each would-be drop is appended to
+    ``planned`` instead (and still counted through ``stats_bump``).
     """
     raw = _raw_lines(path)
     if not raw:
@@ -400,6 +429,20 @@ def _repair_file(
             kept.append(line if line.endswith("\n") else line + "\n")
             continue
         record, status = parse_jsonl_line(line)
+        if dry_run:
+            if planned is not None:
+                planned.append(
+                    {
+                        "action": "quarantine",
+                        "source": source,
+                        "reason": reason,
+                        "key": (record or {}).get("key"),
+                        "item": (record or {}).get("item"),
+                        "worker": (record or {}).get("worker"),
+                    }
+                )
+            dropped += 1
+            continue
         quarantine_entry(
             run_dir,
             reason,
@@ -412,7 +455,8 @@ def _repair_file(
         )
         dropped += 1
     if dropped:
-        atomic_write_text(path, "".join(kept))
+        if not dry_run:
+            atomic_write_text(path, "".join(kept))
         stats_bump(dropped)
 
 
@@ -421,6 +465,7 @@ def repair_run_dir(
     lease_timeout: Optional[float] = None,
     skew_tolerance: float = DEFAULT_SKEW_TOLERANCE,
     now: Optional[float] = None,
+    dry_run: bool = False,
 ) -> RepairStats:
     """Quarantine every invariant violation and rewrite the damaged files.
 
@@ -436,6 +481,11 @@ def repair_run_dir(
     same reason compaction does — rewriting a file an active worker is
     appending to would lose its in-flight line (the CLI refuses while live
     beacons are present).
+
+    With ``dry_run=True`` nothing is written at all: the returned stats
+    count would-be actions and :attr:`RepairStats.planned` itemizes each
+    one (including every line that *would* be quarantined) — the preview
+    behind ``repro.cluster repair --dry-run``.
     """
     run_dir = os.path.abspath(run_dir)
     now = time.time() if now is None else float(now)
@@ -443,26 +493,45 @@ def repair_run_dir(
     queue = JobQueue(run_dir, lease_timeout=lease_timeout)
     guard = MergeGuard(run_dir, queue=queue)
     fences = guard.fences
-    stats = RepairStats()
+    stats = RepairStats(dry_run=dry_run)
 
     # Leases first: a skewed mtime would hide an orphan from requeue.
     for item_id in queue.leased_ids():
-        path = queue._path(LEASED, item_id)
-        try:
-            mtime = os.stat(path).st_mtime
-        # repro: ignore[REP008] lease ended between listdir and stat —
-        # nothing left to reset or requeue.
-        except OSError:
+        mtime = queue.backend.mtime(LEASED, item_id)
+        if mtime is None:
+            # Lease ended between list and read — nothing left to reset
+            # or requeue.
             continue
         if mtime > now + skew_tolerance:
-            try:
-                os.utime(path, (now, now))
+            if dry_run:
                 stats.leases_reset += 1
-            # repro: ignore[REP008] lease ended mid-repair; its skew died
-            # with it.
-            except OSError:
-                continue
-    stats.leases_requeued = len(queue.requeue_expired(now=now))
+                stats.planned.append(
+                    {
+                        "action": "reset_lease",
+                        "item": item_id,
+                        "source": f"queue/leased/{item_id}.json",
+                        "skew": round(mtime - now, 3),
+                    }
+                )
+            elif queue.backend.touch(LEASED, item_id, ts=now):
+                stats.leases_reset += 1
+    if dry_run:
+        for item_id in queue.leased_ids():
+            mtime = queue.backend.mtime(LEASED, item_id)
+            if mtime is None or mtime > now + skew_tolerance:
+                continue  # gone, or a skew the (planned) reset handles first
+            if now - mtime > lease_timeout:
+                stats.leases_requeued += 1
+                stats.planned.append(
+                    {
+                        "action": "requeue_lease",
+                        "item": item_id,
+                        "source": f"queue/leased/{item_id}.json",
+                        "stale_for": round(now - mtime, 3),
+                    }
+                )
+    else:
+        stats.leases_requeued = len(queue.requeue_expired(now=now))
 
     # The shard fence index must be built BEFORE shard repair rewrites the
     # evidence the store's fence_leak check needs.
@@ -490,6 +559,8 @@ def repair_run_dir(
             lambda n: setattr(
                 stats, "shard_lines_quarantined", stats.shard_lines_quarantined + n
             ),
+            dry_run=dry_run,
+            planned=stats.planned,
         )
 
     dead_keys = guard.dead_letter_keys()
@@ -527,13 +598,16 @@ def repair_run_dir(
         lambda n: setattr(
             stats, "store_lines_quarantined", stats.store_lines_quarantined + n
         ),
+        dry_run=dry_run,
+        planned=stats.planned,
     )
 
     rec = telemetry.get_recorder()
     rec.event(
         "integrity.repaired",
-        level="warning" if stats.changed else "info",
+        level="warning" if stats.changed and not dry_run else "info",
         run_dir=run_dir,
+        dry_run=dry_run,
         leases_reset=stats.leases_reset,
         leases_requeued=stats.leases_requeued,
         shard_lines=stats.shard_lines_quarantined,

@@ -455,13 +455,10 @@ def gc_run_dir(
 
     queue = JobQueue(run_dir)
     for item_id in queue.done_ids():
-        try:
-            os.unlink(os.path.join(queue.queue_dir, "done", item_id + ".json"))
+        # Best-effort cleanup through the storage backend; a concurrent gc
+        # may remove the done marker first — the item stays gone either way.
+        if queue.backend.remove("done", item_id):
             stats.done_items_removed += 1
-        # repro: ignore[REP008] best-effort cleanup; a concurrent gc may have
-        # unlinked the done marker first — the item stays gone either way.
-        except OSError:
-            pass
 
     workers_dir = os.path.join(run_dir, WORKERS_DIRNAME)
     live_workers = False

@@ -47,20 +47,26 @@ crash can never leave an item in two states or in none:
 Item payloads are small JSON documents (the serialized
 :class:`~repro.runtime.spec.EvalJob` records of one executor group), written
 atomically so readers on other hosts never observe partial files.
+
+The storage primitives behind all of the above — list/read/write/move/
+touch — live behind the pluggable :class:`~repro.cluster.backends.QueueBackend`
+seam: ``filesystem`` (this module's historical protocol, bit-identical) is
+the default, and ``kv`` speaks the same contract over a minimal blob-store
+interface so S3-style object stores can host the queue without a shared
+POSIX filesystem.  The scheduling semantics above are backend-independent.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro import telemetry
+from repro.cluster.backends import QueueBackend, resolve_queue_backend
 from repro.utils.rng import derived_seed, new_rng
-from repro.utils.serialization import atomic_write_json
 
 __all__ = [
     "JobQueue",
@@ -176,6 +182,12 @@ class JobQueue:
         The run's :class:`RetryPolicy` (default: a fresh one).  Workers
         construct their queue with the manifest's policy so the whole fleet
         agrees on the attempt budget.
+    backend:
+        Storage backend: a registry name (``"filesystem"``, ``"kv"``), a
+        :class:`~repro.cluster.backends.QueueBackend` instance, or ``None``
+        (the default) to resolve the run manifest's recorded backend — so a
+        worker handed nothing but a run directory always speaks the same
+        protocol the submission chose.
     """
 
     def __init__(
@@ -183,6 +195,7 @@ class JobQueue:
         run_dir: str,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         retry: Optional[RetryPolicy] = None,
+        backend: Union[str, QueueBackend, None] = None,
     ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
@@ -190,26 +203,21 @@ class JobQueue:
         self.queue_dir = os.path.join(self.run_dir, "queue")
         self.lease_timeout = float(lease_timeout)
         self.retry = retry or RetryPolicy()
+        self.backend = resolve_queue_backend(backend, self.run_dir)
         self.ensure_layout()
 
     # -- layout ---------------------------------------------------------------
 
     def ensure_layout(self) -> None:
-        for state in STATES:
-            os.makedirs(os.path.join(self.queue_dir, state), exist_ok=True)
+        self.backend.ensure_layout()
 
     def _path(self, state: str, item_id: str) -> str:
+        # Filesystem-layout path, kept for tooling that inspects the default
+        # backend's files directly; other backends have no path to give.
         return os.path.join(self.queue_dir, state, item_id + ".json")
 
     def _ids(self, state: str) -> List[str]:
-        directory = os.path.join(self.queue_dir, state)
-        try:
-            names = os.listdir(directory)
-        except FileNotFoundError:
-            return []
-        return sorted(
-            name[: -len(".json")] for name in names if name.endswith(".json")
-        )
+        return self.backend.list_ids(state)
 
     # -- producer side --------------------------------------------------------
 
@@ -223,9 +231,9 @@ class JobQueue:
         atomically, so a claimant can never read a partial item.
         """
         for state in STATES:
-            if os.path.exists(self._path(state, item_id)):
+            if self.backend.exists(state, item_id):
                 return False
-        atomic_write_json(self._path(PENDING, item_id), payload)
+        self.backend.write(PENDING, item_id, payload)
         telemetry.get_recorder().count("queue.enqueued")
         return True
 
@@ -256,24 +264,18 @@ class JobQueue:
         # content key, so claim order can never affect sweep output.
         random.shuffle(candidates)
         for item_id in candidates:
-            pending_path = self._path(PENDING, item_id)
-            leased_path = self._path(LEASED, item_id)
-            try:
-                os.rename(pending_path, leased_path)
-            except (FileNotFoundError, PermissionError):
+            if not self.backend.move(PENDING, LEASED, item_id):
                 rec.count("queue.claim_races")
                 continue  # lost the race (or racing filesystem); next
-            try:
-                with open(leased_path, "r", encoding="utf-8") as handle:
-                    payload = json.load(handle)
-            except (OSError, json.JSONDecodeError):
+            payload = self.backend.read(LEASED, item_id)
+            if payload is None:
                 # Unreadable item (should be impossible with atomic writes);
                 # surface rather than silently dropping work.
                 raise RuntimeError(f"claimed item {item_id!r} is unreadable")
             retry_after = float(payload.get("retry_after") or 0.0)
             if retry_after > now:
                 # Backing off: return it untouched and keep scanning.
-                os.rename(leased_path, pending_path)
+                self.backend.move(LEASED, PENDING, item_id)
                 rec.count("queue.deferred")
                 continue
             attempt = int(payload.get("attempt") or 0) + 1
@@ -304,7 +306,7 @@ class JobQueue:
             fence = int(payload.get("fence") or 0) + 1
             payload["fence"] = fence
             # Atomic rewrite doubles as the lease-start touch.
-            atomic_write_json(leased_path, payload)
+            self.backend.write(LEASED, item_id, payload)
             rec.count("queue.claims")
             return WorkItem(
                 item_id=item_id, payload=payload, attempt=attempt, fence=fence
@@ -329,7 +331,6 @@ class JobQueue:
         full attempt history accumulates in the payload either way.
         """
         rec = telemetry.get_recorder()
-        leased_path = self._path(LEASED, item.item_id)
         error = dict(error or {})
         payload = dict(item.payload)
         history = list(payload.get("history") or [])
@@ -350,10 +351,8 @@ class JobQueue:
             )
         delay = self.retry.delay(item.attempt, token=item.item_id)
         payload["retry_after"] = time.time() + delay
-        try:
-            atomic_write_json(leased_path, payload)
-            os.rename(leased_path, self._path(PENDING, item.item_id))
-        except FileNotFoundError:
+        self.backend.write(LEASED, item.item_id, payload)
+        if not self.backend.move(LEASED, PENDING, item.item_id):
             rec.count("queue.leases_lost")
             return "lost"
         rec.count("queue.nacks")
@@ -379,7 +378,6 @@ class JobQueue:
         already carries its failure — the next claim re-dead-letters it.
         """
         rec = telemetry.get_recorder()
-        leased_path = self._path(LEASED, item_id)
         payload = dict(payload)
         payload["failure"] = {
             "exc_type": error.get("exc_type"),
@@ -389,10 +387,8 @@ class JobQueue:
             "attempts": attempts,
             "ts": time.time(),
         }
-        try:
-            atomic_write_json(leased_path, payload)
-            os.rename(leased_path, self._path(FAILED, item_id))
-        except FileNotFoundError:
+        self.backend.write(LEASED, item_id, payload)
+        if not self.backend.move(LEASED, FAILED, item_id):
             rec.count("queue.leases_lost")
             return "lost"
         rec.count("queue.dead_lettered")
@@ -415,24 +411,18 @@ class JobQueue:
         """
         requeued = []
         for item_id in item_ids if item_ids is not None else self.failed_ids():
-            failed_path = self._path(FAILED, item_id)
-            try:
-                with open(failed_path, "r", encoding="utf-8") as handle:
-                    payload = json.load(handle)
-            # repro: ignore[REP008] an unreadable dead-letter file is left in
-            # failed/ for manual inspection; requeueing garbage would be worse.
-            except (OSError, json.JSONDecodeError):
+            payload = self.backend.read(FAILED, item_id)
+            if payload is None:
+                # An unreadable (or just-raced) dead-letter item is left in
+                # failed/ for manual inspection; requeueing garbage would be
+                # worse.
                 continue
             payload["attempt"] = 0
             payload.pop("retry_after", None)
             payload.pop("failure", None)
-            try:
-                atomic_write_json(failed_path, payload)
-                os.rename(failed_path, self._path(PENDING, item_id))
-            # repro: ignore[REP008] lost the race with a concurrent
-            # retry-failed — the winner already requeued this item.
-            except FileNotFoundError:
-                continue
+            self.backend.write(FAILED, item_id, payload)
+            if not self.backend.move(FAILED, PENDING, item_id):
+                continue  # a concurrent retry-failed already requeued it
             requeued.append(item_id)
         if requeued:
             rec = telemetry.get_recorder()
@@ -448,16 +438,11 @@ class JobQueue:
         clock runs ahead (a future-dated lease defeats expiry-based
         recovery; ``cluster verify`` flags it).
         """
-        try:
-            if skew:
-                now = time.time() + skew
-                os.utime(self._path(LEASED, item_id), (now, now))
-            else:
-                os.utime(self._path(LEASED, item_id))
-            telemetry.get_recorder().count("queue.heartbeats")
-            return True
-        except FileNotFoundError:
+        ts = time.time() + skew if skew else None
+        if not self.backend.touch(LEASED, item_id, ts=ts):
             return False
+        telemetry.get_recorder().count("queue.heartbeats")
+        return True
 
     def complete(self, item_id: str) -> bool:
         """Move a leased item to done; ``False`` if the lease was lost.
@@ -465,21 +450,15 @@ class JobQueue:
         Callers must flush the item's results to durable storage *before*
         completing, so a done item always has results somewhere.
         """
-        try:
-            os.rename(self._path(LEASED, item_id), self._path(DONE, item_id))
+        if self.backend.move(LEASED, DONE, item_id):
             telemetry.get_recorder().count("queue.completed")
             return True
-        except FileNotFoundError:
-            telemetry.get_recorder().count("queue.leases_lost")
-            return False
+        telemetry.get_recorder().count("queue.leases_lost")
+        return False
 
     def release(self, item_id: str) -> bool:
         """Voluntarily return a leased item to pending (e.g. on shutdown)."""
-        try:
-            os.rename(self._path(LEASED, item_id), self._path(PENDING, item_id))
-            return True
-        except FileNotFoundError:
-            return False
+        return self.backend.move(LEASED, PENDING, item_id)
 
     def requeue_done(self, item_id: str) -> bool:
         """Return a done item to pending (recovery from lost results).
@@ -489,11 +468,7 @@ class JobQueue:
         deleted before it was merged).  Re-execution is safe: results are
         keyed by content and deduplicated on merge.
         """
-        try:
-            os.rename(self._path(DONE, item_id), self._path(PENDING, item_id))
-            return True
-        except FileNotFoundError:
-            return False
+        return self.backend.move(DONE, PENDING, item_id)
 
     # -- recovery -------------------------------------------------------------
 
@@ -507,21 +482,15 @@ class JobQueue:
         now = time.time() if now is None else float(now)
         requeued = []
         for item_id in self._ids(LEASED):
-            leased_path = self._path(LEASED, item_id)
-            try:
-                heartbeat_at = os.stat(leased_path).st_mtime
-            # repro: ignore[REP008] completed or requeued by someone else
-            # between listdir and stat; nothing left to recover.
-            except FileNotFoundError:
+            heartbeat_at = self.backend.mtime(LEASED, item_id)
+            if heartbeat_at is None:
+                # Completed or requeued by someone else between list and
+                # read; nothing left to recover.
                 continue
             if now - heartbeat_at <= self.lease_timeout:
                 continue
-            try:
-                os.rename(leased_path, self._path(PENDING, item_id))
-            # repro: ignore[REP008] a concurrent requeuer (or the slow owner
-            # completing) won the rename; the item is in good hands.
-            except FileNotFoundError:
-                continue
+            if not self.backend.move(LEASED, PENDING, item_id):
+                continue  # a concurrent requeuer (or the slow owner) won
             requeued.append(item_id)
         if requeued:
             rec = telemetry.get_recorder()
@@ -546,12 +515,10 @@ class JobQueue:
         now = time.time() if now is None else float(now)
         ages = []
         for item_id in self._ids(LEASED):
-            try:
-                ages.append(now - os.stat(self._path(LEASED, item_id)).st_mtime)
-            # repro: ignore[REP008] the lease ended between listdir and stat;
-            # it simply doesn't contribute an age.
-            except FileNotFoundError:
-                continue
+            heartbeat_at = self.backend.mtime(LEASED, item_id)
+            if heartbeat_at is None:
+                continue  # the lease ended between list and read
+            ages.append(now - heartbeat_at)
         return min(ages) if ages else None
 
     def fence_of(self, item_id: str) -> Optional[int]:
@@ -562,15 +529,9 @@ class JobQueue:
         must treat the fence as unknown rather than zero.
         """
         for state in STATES:
-            try:
-                with open(
-                    self._path(state, item_id), "r", encoding="utf-8"
-                ) as handle:
-                    payload = json.load(handle)
-            # repro: ignore[REP008] not in this state (or mid-rename out of
-            # it); the next state directory gets its chance.
-            except (OSError, json.JSONDecodeError):
-                continue
+            payload = self.backend.read(state, item_id)
+            if payload is None:
+                continue  # not in this state (or mid-move out of it)
             return int(payload.get("fence") or 0)
         return None
 
@@ -587,14 +548,10 @@ class JobQueue:
         table: Dict[str, int] = {}
         for state in STATES:
             for item_id in self._ids(state):
-                try:
-                    with open(
-                        self._path(state, item_id), "r", encoding="utf-8"
-                    ) as handle:
-                        payload = json.load(handle)
-                # repro: ignore[REP008] item mid-rename between listdir and
-                # open; its fence is picked up from its new state next scan.
-                except (OSError, json.JSONDecodeError):
+                payload = self.backend.read(state, item_id)
+                if payload is None:
+                    # Item mid-move between list and read; its fence is
+                    # picked up from its new state next scan.
                     continue
                 table[item_id] = int(payload.get("fence") or 0)
         return table
@@ -614,11 +571,7 @@ class JobQueue:
 
     def failure_record(self, item_id: str) -> Optional[Dict[str, object]]:
         """The dead-lettered item's payload (failure + history), or ``None``."""
-        try:
-            with open(self._path(FAILED, item_id), "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
+        return self.backend.read(FAILED, item_id)
 
     def attempts_histogram(self) -> Dict[int, int]:
         """``{attempt_count: items}`` over every item in every state.
@@ -630,14 +583,10 @@ class JobQueue:
         histogram: Dict[int, int] = {}
         for state in STATES:
             for item_id in self._ids(state):
-                try:
-                    with open(
-                        self._path(state, item_id), "r", encoding="utf-8"
-                    ) as handle:
-                        payload = json.load(handle)
-                # repro: ignore[REP008] diagnostics only: an item mid-rename
-                # (or mid-rewrite) drops out of this snapshot, not the queue.
-                except (OSError, json.JSONDecodeError):
+                payload = self.backend.read(state, item_id)
+                if payload is None:
+                    # Diagnostics only: an item mid-move (or mid-rewrite)
+                    # drops out of this snapshot, not the queue.
                     continue
                 attempt = int(payload.get("attempt") or 0)
                 histogram[attempt] = histogram.get(attempt, 0) + 1

@@ -17,6 +17,8 @@ seam           fires
 ``publish``    just before the group's records are appended to the shard
 ``complete``   after a durable publish, before the completion rename
 ``heartbeat``  in the background lease-refresh thread, before each beat
+``dispatch``   in the service worker, right after the fair-share pick
+``steal``      in the service worker, when a pick stole from a hog tenant
 =============  ==============================================================
 
 and a **kind**:
@@ -28,6 +30,9 @@ and a **kind**:
   ``stall_s`` past the lease timeout to rehearse the fence (the merge layer
   must reject the zombie's stale-fenced shard lines);
 * ``sigkill`` — ``SIGKILL`` the current process (a crashed worker);
+* ``malloc`` — raise :class:`MemoryError` (an allocation that failed under
+  memory pressure; the containment boundary must treat it like any other
+  poisoned attempt, not die);
 * ``torn_write`` — cooperative: :meth:`FaultPlan.should_tear` returns
   ``True`` and the *seam's owner* performs the torn write (only the code
   holding the file handle can tear its own write, so this kind never fires
@@ -106,12 +111,13 @@ FAULTS_ENV = "REPRO_FAULT_SCHEDULE"
 #: Directory under a run dir where run-scoped rules claim firing slots.
 BUDGET_DIRNAME = "faults"
 
-SEAMS = ("claim", "execute", "publish", "complete", "heartbeat")
+SEAMS = ("claim", "execute", "publish", "complete", "heartbeat", "dispatch", "steal")
 KINDS = (
     "exception",
     "stall",
     "stall_resume",
     "sigkill",
+    "malloc",
     "torn_write",
     "disk_full",
     "clock_skew",
@@ -307,7 +313,7 @@ class FaultPlan:
         :meth:`clock_skew`.
         """
         firing = self._firing(
-            seam, tag, ("stall", "stall_resume", "exception", "sigkill")
+            seam, tag, ("stall", "stall_resume", "exception", "sigkill", "malloc")
         )
         for rule in firing:
             telemetry.get_recorder().event(
@@ -319,6 +325,11 @@ class FaultPlan:
             elif rule.kind == "exception":
                 raise InjectedFault(
                     f"injected fault at seam {seam!r}"
+                    + (f" ({rule.note})" if rule.note else "")
+                )
+            elif rule.kind == "malloc":
+                raise MemoryError(
+                    f"injected allocation failure at seam {seam!r}"
                     + (f" ({rule.note})" if rule.note else "")
                 )
             else:  # pragma: no cover - the process dies here

@@ -1,0 +1,180 @@
+"""Fair-share dispatch: deficit round-robin with locality and anti-starvation.
+
+The scheduling question a multi-tenant service worker faces every loop
+iteration is tiny — *which tenant do I claim from next?* — and this module
+answers it with a pure, fully deterministic policy object so the answer is
+testable without any filesystem, worker or clock:
+
+* **Deficit round-robin.**  Every :meth:`FairShareScheduler.pick` call is
+  one DRR round: each tenant with outstanding work earns credit
+  proportional to its priority share (``quantum * p_t / Σp``), the tenant
+  with the largest deficit leads, and the chosen tenant pays ``quantum``
+  for the claim.  Credit earned equals credit spent per round, so over N
+  picks each tenant's share converges to its priority share — weighted
+  fairness without timestamps or token buckets.
+* **Locality.**  Loading a tenant's pickled context is the expensive part
+  of switching tenants.  A worker passes the tenant it currently has
+  ``warm``; the scheduler lets the warm tenant jump the queue as long as
+  its deficit is within ``warm_slack`` quanta of the leader's — bounded
+  unfairness bought for cache hits.
+* **Anti-starvation stealing.**  Warm preference alone would let a hog
+  tenant pin every worker.  The scheduler counts, per tenant, consecutive
+  rounds it was claimable but not chosen; once that reaches
+  ``starve_after`` the starving tenant preempts everything — the worker
+  *steals* itself away from its warm tenant (``reason="steal"``), pays the
+  context switch, and the counter guarantees every tenant is served at
+  least once per ``starve_after + 1`` rounds per worker.
+* **Determinism.**  Ties (equal deficits) break by a seeded hash of the
+  tenant id (:func:`~repro.utils.rng.derived_seed`), then lexically — the
+  same seed and the same call sequence always dispatch identically, which
+  is what makes fair-share behavior assertable in tests.
+
+The scheduler holds no queue handles: the worker feeds it an
+``outstanding`` snapshot and claims from the picked tenant's
+:class:`~repro.cluster.queue.JobQueue`; a claim that loses the race is
+handed back via :meth:`refund` so the deficit ledger matches what was
+actually served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.utils.rng import derived_seed
+
+__all__ = ["Pick", "FairShareScheduler"]
+
+#: Default rounds a claimable tenant may be passed over before it steals.
+DEFAULT_STARVE_AFTER = 8
+
+#: Default slack (in quanta) within which a warm tenant may jump the leader.
+DEFAULT_WARM_SLACK = 2.0
+
+
+@dataclass(frozen=True)
+class Pick:
+    """One dispatch decision.
+
+    ``reason`` records *why* this tenant won: ``"leader"`` (largest
+    deficit), ``"warm"`` (locality preference within the slack) or
+    ``"steal"`` (anti-starvation preemption) — surfaced in the
+    ``service.dispatch`` telemetry span so fleet behavior is auditable.
+    """
+
+    tenant: str
+    reason: str
+
+
+class FairShareScheduler:
+    """Deterministic deficit-round-robin over tenants (see module docs)."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        quantum: float = 1.0,
+        warm_slack: float = DEFAULT_WARM_SLACK,
+        starve_after: int = DEFAULT_STARVE_AFTER,
+    ):
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        if warm_slack < 0:
+            raise ValueError(f"warm_slack must be non-negative, got {warm_slack}")
+        if starve_after < 1:
+            raise ValueError(f"starve_after must be at least 1, got {starve_after}")
+        self.seed = int(seed)
+        self.quantum = float(quantum)
+        self.warm_slack = float(warm_slack)
+        self.starve_after = int(starve_after)
+        self._deficit: Dict[str, float] = {}
+        self._passed_over: Dict[str, int] = {}
+
+    def _tiebreak(self, tenant: str) -> int:
+        return derived_seed(self.seed, "fair-share-tiebreak", tenant)
+
+    def _rank(self, tenant: str):
+        # Max-comparable: deficit first, then the seeded hash, then the id
+        # itself so the order is total even under hash collisions.
+        return (self._deficit[tenant], self._tiebreak(tenant), tenant)
+
+    def pick(
+        self,
+        outstanding: Mapping[str, int],
+        priorities: Optional[Mapping[str, float]] = None,
+        warm: Optional[str] = None,
+    ) -> Optional[Pick]:
+        """Choose the tenant to claim from next, or ``None`` if all idle.
+
+        Parameters
+        ----------
+        outstanding:
+            Claimable-item counts per tenant; only tenants with a positive
+            count are candidates.
+        priorities:
+            Fair-share weights (default 1.0 each): a priority-2 tenant
+            earns credit — and therefore service — at twice the rate of a
+            priority-1 one.
+        warm:
+            The tenant whose context this worker already has loaded, if
+            any; preferred within ``warm_slack`` quanta of the leader.
+        """
+        priorities = priorities or {}
+        candidates = sorted(t for t, n in outstanding.items() if n > 0)
+        # Tenants that left the pool surrender their ledger entries — a
+        # drained tenant must not return later holding stale credit.
+        for tenant in list(self._deficit):
+            if tenant not in candidates:
+                del self._deficit[tenant]
+        for tenant in list(self._passed_over):
+            if tenant not in candidates:
+                del self._passed_over[tenant]
+        if not candidates:
+            return None
+        total_weight = sum(
+            max(float(priorities.get(t, 1.0)), 0.0) or 1.0 for t in candidates
+        )
+        for tenant in candidates:
+            weight = max(float(priorities.get(tenant, 1.0)), 0.0) or 1.0
+            self._deficit.setdefault(tenant, 0.0)
+            self._deficit[tenant] += self.quantum * weight / total_weight
+
+        leader = max(candidates, key=self._rank)
+        choice, reason = leader, "leader"
+        if (
+            warm is not None
+            and warm in candidates
+            and warm != leader
+            and self._deficit[leader] - self._deficit[warm]
+            <= self.warm_slack * self.quantum
+        ):
+            choice, reason = warm, "warm"
+        starving = [
+            t
+            for t in candidates
+            if self._passed_over.get(t, 0) >= self.starve_after
+        ]
+        if starving and choice not in starving:
+            choice = max(starving, key=self._rank)
+            reason = "steal"
+        for tenant in candidates:
+            if tenant == choice:
+                self._passed_over[tenant] = 0
+            else:
+                self._passed_over[tenant] = self._passed_over.get(tenant, 0) + 1
+        self._deficit[choice] -= self.quantum
+        return Pick(tenant=choice, reason=reason)
+
+    def refund(self, tenant: str) -> None:
+        """Hand back one pick's credit after a claim that served nothing.
+
+        Called when the picked tenant's queue turned out empty (a racing
+        worker drained it between the snapshot and the claim): the quantum
+        the pick charged is returned so the ledger reflects work actually
+        served.
+        """
+        if tenant in self._deficit:
+            self._deficit[tenant] += self.quantum
+
+    def deficits(self) -> Dict[str, float]:
+        """A snapshot of the ledger (testing/diagnostics)."""
+        return dict(self._deficit)

@@ -113,6 +113,35 @@ def test_poisoned_item_dead_letters_and_the_rest_of_the_sweep_survives(
     _assert_survivors_exact(run_dir, serial, poison_keys)
 
 
+def test_malloc_fault_is_contained_like_any_poisoned_attempt(grid, tmp_path):
+    """An injected ``MemoryError`` at the execute seam must cost attempts,
+    not the worker: the item dead-letters with ``exc_type == MemoryError``
+    and every other cell still merges exactly."""
+    run_dir = str(tmp_path)
+    spec = grid()
+    poison_id, poison_keys = _poison_target(spec)
+    plan = FaultPlan(
+        [FaultRule(seam="execute", kind="malloc", match=poison_id,
+                   times=None, note="allocation pressure")]
+    )
+    submission = submit_spec(run_dir, spec, retry=NO_BACKOFF, fault_plan=plan)
+
+    stats = worker_loop(run_dir, worker_id="oom", poll_interval=0.01)
+    assert stats.failures == NO_BACKOFF.max_attempts
+    assert stats.dead_lettered == 1
+    assert stats.items == len(submission.enqueued) - 1
+
+    queue = JobQueue(run_dir)
+    assert queue.is_drained()
+    assert queue.failed_ids() == [poison_id]
+    failure = queue.failure_record(poison_id)["failure"]
+    assert failure["exc_type"] == "MemoryError"
+    assert "MemoryError" in failure["traceback"]
+
+    serial = run_sweep(grid(), executor=SerialExecutor())
+    _assert_survivors_exact(run_dir, serial, poison_keys)
+
+
 def test_cluster_executor_returns_partial_results_and_a_failure_report(
     grid, tmp_path
 ):

@@ -170,6 +170,114 @@ def test_verify_detects_every_seeded_corruption_class(clean_run):
     assert json.loads(json.dumps(report.to_json()))["counts"] == expected
 
 
+def test_verify_only_filters_to_named_checks_and_families(clean_run):
+    run_dir, queue, shard = clean_run
+    expected = _seed_corruptions(run_dir, queue, shard)
+
+    exact = verify_run_dir(
+        run_dir, lease_timeout=LEASE, only=["store.duplicate_key"]
+    )
+    assert exact.counts() == {"store.duplicate_key": 1}
+
+    family = verify_run_dir(run_dir, lease_timeout=LEASE, only=["queue"])
+    assert family.counts() == {
+        check: count
+        for check, count in expected.items()
+        if check.startswith("queue.")
+    }
+
+    combined = verify_run_dir(
+        run_dir, lease_timeout=LEASE, only=["shard", "store.torn_line"]
+    )
+    assert combined.counts() == {
+        "shard.torn_line": 1,
+        "shard.corrupt_line": 1,
+        "shard.stale_fence": 2,
+        "store.torn_line": 1,
+    }
+    # A filter matching nothing reports clean — the filter narrows the
+    # report, never invents findings.
+    assert verify_run_dir(run_dir, lease_timeout=LEASE, only=["nope"]).clean
+
+
+def test_repair_dry_run_plans_everything_and_writes_nothing(clean_run):
+    run_dir, queue, shard = clean_run
+    store = os.path.join(run_dir, "results.jsonl")
+    _seed_corruptions(run_dir, queue, shard, duplicate_item=False)
+    with open(shard, encoding="utf-8") as handle:
+        shard_before = handle.read()
+    with open(store, encoding="utf-8") as handle:
+        store_before = handle.read()
+    report_before = verify_run_dir(run_dir, lease_timeout=LEASE)
+
+    stats = repair_run_dir(run_dir, lease_timeout=LEASE, dry_run=True)
+    assert stats.dry_run
+    assert stats.changed  # "would change", counted exactly like a real run
+    assert stats.leases_reset == 1
+    assert stats.leases_requeued == 1
+    assert stats.shard_lines_quarantined == 4
+    assert stats.store_lines_quarantined == 5
+    actions = sorted(p["action"] for p in stats.planned)
+    assert actions == sorted(
+        ["reset_lease", "requeue_lease"] + ["quarantine"] * 9
+    )
+    by_action = {p["action"]: p for p in stats.planned}
+    assert by_action["reset_lease"]["item"] == "item-s"
+    assert by_action["requeue_lease"]["item"] == "item-o"
+    quarantines = [p for p in stats.planned if p["action"] == "quarantine"]
+    assert all(p["source"] for p in quarantines)
+    assert {p["reason"] for p in quarantines} == {
+        "torn", "checksum", "fence_stale", "duplicate_key", "dead_letter",
+    }
+
+    # Nothing on disk moved: files, quarantine, queue and verdict are as
+    # they were before the dry run.
+    with open(shard, encoding="utf-8") as handle:
+        assert handle.read() == shard_before
+    with open(store, encoding="utf-8") as handle:
+        assert handle.read() == store_before
+    assert not os.path.exists(os.path.join(run_dir, QUARANTINE_FILENAME))
+    after = verify_run_dir(run_dir, lease_timeout=LEASE)
+    assert after.counts() == report_before.counts()
+    # The real repair still works afterwards and does what the plan said.
+    real = repair_run_dir(run_dir, lease_timeout=LEASE)
+    assert not real.dry_run and real.changed
+    assert verify_run_dir(run_dir, lease_timeout=LEASE).clean
+
+
+def test_repair_dry_run_on_a_clean_run_dir_plans_nothing(clean_run):
+    run_dir, _, _ = clean_run
+    stats = repair_run_dir(run_dir, lease_timeout=LEASE, dry_run=True)
+    assert stats.dry_run and not stats.changed and not stats.planned
+
+
+def test_verify_only_and_repair_dry_run_cli(clean_run, capsys):
+    from repro.cluster.cli import main as cluster_main
+
+    run_dir, queue, shard = clean_run
+    _seed_corruptions(run_dir, queue, shard, duplicate_item=False)
+
+    code = cluster_main([
+        "verify", run_dir, "--lease-timeout", str(LEASE),
+        "--only", "store.duplicate_key", "--json",
+    ])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"store.duplicate_key": 1}
+
+    code = cluster_main([
+        "repair", run_dir, "--lease-timeout", str(LEASE), "--dry-run",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dry run" in out and "would" in out
+    assert "item-s" in out and "item-o" in out
+    # Dry run wrote nothing: the damage still verifies dirty.
+    assert cluster_main(["verify", run_dir,
+                         "--lease-timeout", str(LEASE)]) == 1
+    capsys.readouterr()
+
+
 def test_repair_restores_verify_clean_without_touching_intact_records(
     clean_run,
 ):

@@ -1,23 +1,31 @@
-"""Tests for the claim-by-rename leased job queue."""
+"""Tests for the claim-by-rename leased job queue.
 
-import os
+The whole matrix runs once per registered queue backend — the ``kv``
+blob-store protocol must honor every lease/retry/fence invariant the
+``filesystem`` rename protocol does.
+"""
+
 import time
 
 import pytest
 
 from repro.cluster import JobQueue, RetryPolicy
 
-
-@pytest.fixture
-def queue(tmp_path):
-    return JobQueue(str(tmp_path), lease_timeout=0.2)
+BACKENDS = ["filesystem", "kv"]
 
 
-@pytest.fixture
-def retry_queue(tmp_path):
+@pytest.fixture(params=BACKENDS)
+def queue(tmp_path, request):
+    return JobQueue(str(tmp_path), lease_timeout=0.2, backend=request.param)
+
+
+@pytest.fixture(params=BACKENDS)
+def retry_queue(tmp_path, request):
     """A queue with a tight, deterministic retry budget and no backoff wait."""
     policy = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
-    return JobQueue(str(tmp_path), lease_timeout=0.2, retry=policy)
+    return JobQueue(
+        str(tmp_path), lease_timeout=0.2, retry=policy, backend=request.param
+    )
 
 
 def test_enqueue_claim_complete_lifecycle(queue):
@@ -77,7 +85,7 @@ def test_heartbeat_extends_the_lease(queue):
     queue.claim("w1")
     later = time.time() + 1.0
     assert queue.heartbeat("a")
-    os.utime(os.path.join(queue.queue_dir, "leased", "a.json"), (later, later))
+    queue.backend.touch("leased", "a", ts=later)  # simulate a future heartbeat
     assert queue.requeue_expired(now=later + 0.1) == []  # heartbeat counted
 
 
@@ -155,9 +163,10 @@ def test_failure_record_carries_traceback_and_history(retry_queue):
     assert all(entry["exc_type"] == "ValueError" for entry in history)
 
 
-def test_retry_after_defers_the_claim(tmp_path):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_retry_after_defers_the_claim(tmp_path, backend):
     policy = RetryPolicy(max_attempts=3, backoff_base=30.0, jitter=0.0)
-    queue = JobQueue(str(tmp_path), lease_timeout=0.2, retry=policy)
+    queue = JobQueue(str(tmp_path), lease_timeout=0.2, retry=policy, backend=backend)
     queue.enqueue("a", {"item": "a", "jobs": []})
     item = queue.claim("w1")
     assert queue.nack(item, {"exc_type": "E", "message": "m"}, worker="w1") == "retry"

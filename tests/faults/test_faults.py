@@ -58,6 +58,14 @@ def test_match_pattern_selects_tags():
     plan.fire("claim", "group-a1")  # wrong seam
 
 
+def test_malloc_kind_raises_memory_error():
+    plan = FaultPlan([FaultRule(seam="execute", kind="malloc", note="oom")])
+    with pytest.raises(MemoryError, match="injected allocation failure"):
+        plan.fire("execute", "item")
+    plan.fire("execute", "item")  # times=1 default: second visit clean
+    assert plan.fired_counts() == {"execute:malloc": 1}
+
+
 def test_stall_sleeps_and_falls_through():
     import time
 

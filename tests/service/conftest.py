@@ -1,0 +1,39 @@
+"""Shared fixtures for the service subsystem tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.biterror import ChipProfile, make_error_fields
+from repro.models import MLP
+from repro.quant import FixedPointQuantizer, rquant
+from repro.quant.qat import quantize_model
+from repro.runtime import SweepSpec
+
+
+@pytest.fixture(scope="module")
+def grid(blob_data):
+    """A small sweep-spec builder parameterized by rates (fresh spec per call)."""
+    _, test = blob_data
+    model = MLP(
+        in_features=test.input_shape[0], num_classes=test.num_classes,
+        hidden=(16,), rng=np.random.default_rng(1),
+    )
+    quantizer = FixedPointQuantizer(rquant(8))
+    quantized = quantize_model(model, quantizer)
+    fields = make_error_fields(quantized.num_weights, 8, 3, seed=9)
+    chip = ChipProfile(rows=128, columns=64, column_alignment=0.4, seed=4)
+
+    def build(rates=(0.005, 0.01), chip_rate=None):
+        spec = SweepSpec(test, batch_size=32)
+        spec.add_model("m", model, quantizer, quantized)
+        spec.add_field_set("f", fields)
+        spec.add_chip("c", chip)
+        for rate in rates:
+            spec.add_field_jobs("m", "f", rate)
+        if chip_rate is not None:
+            spec.add_chip_jobs("m", "c", chip_rate, offsets=(0, 500))
+        return spec
+
+    return build

@@ -1,0 +1,108 @@
+"""Tenant registry semantics: the event-log fold, states and validation."""
+
+import os
+
+import pytest
+
+from repro.cluster import JobQueue
+from repro.service import ServiceRegistry
+from repro.utils.serialization import read_jsonl
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ServiceRegistry(str(tmp_path / "svc"))
+
+
+def test_submit_registers_a_queued_tenant(registry, grid):
+    submission = registry.submit("alice", grid(), priority=2.0)
+    assert submission.enqueued
+    tenant = registry.get("alice")
+    assert tenant.state == "queued"
+    assert tenant.priority == 2.0
+    assert tenant.enqueued == len(submission.enqueued)
+    assert tenant.expected == len(submission.expected_keys)
+    assert tenant.submitted_at > 0
+    # The tenant's run dir is a full cluster run dir with the queued items.
+    queue = JobQueue(registry.tenant_run_dir("alice"))
+    assert queue.counts()["pending"] == len(submission.enqueued)
+
+
+def test_tenant_id_and_priority_validation(registry, grid):
+    for bad in ("", "a/b", "a b", "../up", "ü"):
+        with pytest.raises(ValueError, match="invalid tenant id"):
+            registry.submit(bad, grid())
+    with pytest.raises(ValueError, match="priority"):
+        registry.submit("ok", grid(), priority=0.0)
+    with pytest.raises(ValueError, match="priority"):
+        registry.set_priority("ok", -1.0)
+
+
+def test_fold_is_last_wins_across_appends(registry, grid):
+    registry.submit("alice", grid(), priority=1.0)
+    registry.set_priority("alice", 3.0)
+    registry.pause("alice")
+    tenant = registry.get("alice")
+    assert tenant.priority == 3.0
+    assert tenant.state == "paused"
+    registry.resume("alice")
+    assert registry.get("alice").state == "queued"
+    # The log is append-only: every transition is still in the history.
+    events = [r.get("event") for r in read_jsonl(registry.tenants_path)]
+    assert events == ["submitted", "priority", "state", "state"]
+
+
+def test_unknown_tenant_operations_raise(registry):
+    with pytest.raises(KeyError, match="unknown tenant"):
+        registry.pause("ghost")
+    with pytest.raises(KeyError, match="unknown tenant"):
+        registry.set_priority("ghost", 2.0)
+    assert registry.get("ghost") is None
+
+
+def test_runnable_excludes_paused_and_terminal_states(registry, grid):
+    registry.submit("a", grid())
+    registry.submit("b", grid())
+    registry.submit("c", grid())
+    registry.pause("a")
+    registry.set_state("b", "done")
+    runnable = registry.runnable()
+    assert set(runnable) == {"c"}
+    registry.resume("a")
+    assert set(registry.runnable()) == {"a", "c"}
+
+
+def test_set_state_validates_the_state(registry, grid):
+    registry.submit("a", grid())
+    with pytest.raises(ValueError, match="unknown tenant state"):
+        registry.set_state("a", "zombie")
+
+
+def test_resume_of_a_done_tenant_is_a_noop(registry, grid):
+    registry.submit("a", grid())
+    registry.set_state("a", "done")
+    registry.resume("a")
+    assert registry.get("a").state == "done"
+    # A failed tenant, by contrast, returns to the pool for a retry pass.
+    registry.set_state("a", "failed")
+    registry.resume("a")
+    assert registry.get("a").state == "queued"
+
+
+def test_resubmission_rides_broker_idempotence(registry, grid):
+    first = registry.submit("a", grid())
+    second = registry.submit("a", grid())
+    assert not second.enqueued
+    assert set(second.skipped) == set(first.enqueued)
+    assert registry.get("a").state == "queued"
+
+
+def test_tenants_kept_isolated_per_run_dir(registry, grid):
+    registry.submit("a", grid())
+    registry.submit("b", grid(rates=(0.02,)))
+    run_a = registry.tenant_run_dir("a")
+    run_b = registry.tenant_run_dir("b")
+    assert os.path.isdir(run_a) and os.path.isdir(run_b)
+    assert run_a != run_b
+    assert JobQueue(run_a).counts()["pending"] != 0
+    assert JobQueue(run_b).counts()["pending"] != 0
